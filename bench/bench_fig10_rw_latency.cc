@@ -1,0 +1,112 @@
+// Figure 10: read and write latency of Raw (unsafe), Boki, Halfmoon-read, Halfmoon-write.
+//
+// Setup per §6.1: a synthetic SSF issuing one read and one write per request over 10 K
+// objects (8 B keys, 256 B values), reporting median (bar) and 99th percentile (error bar).
+//
+// Expected shape: HM-read ≈30% below Boki on reads, near the unsafe raw read; HM-write ≈30%
+// below Boki on writes, above raw writes (conditional update); each protocol matches Boki on
+// its logged side.
+
+#include "bench/bench_common.h"
+#include "src/workloads/loadgen.h"
+#include "src/workloads/synthetic.h"
+
+namespace halfmoon::bench {
+namespace {
+
+struct Fig10Row {
+  std::string system;
+  double read_median, read_p99, write_median, write_p99;
+};
+
+Fig10Row RunSystem(const SystemUnderTest& system) {
+  ExperimentOptions options;
+  options.protocol = system.protocol;
+  ExperimentWorld world(options);
+
+  workloads::SyntheticConfig config;
+  config.num_objects = 10000;
+  config.value_bytes = 256;
+  workloads::SyntheticWorkload synthetic(&world.runtime(), config);
+  synthetic.Setup();
+
+  // One read and one write per request (§6.1), at a light load so queueing stays negligible.
+  workloads::LoadGenConfig load;
+  load.requests_per_second = 100;
+  load.warmup = Seconds(2);
+  load.duration = Scaled(Seconds(20));
+  Rng& rng = world.cluster().rng();
+  workloads::LoadGenerator generator(
+      &world.runtime(), load, [&synthetic, &rng, &config]() {
+        Value input = "R:" + synthetic.KeyFor(static_cast<int>(
+                                 rng.UniformInt(0, config.num_objects - 1))) +
+                      ";W:" + synthetic.KeyFor(static_cast<int>(
+                                 rng.UniformInt(0, config.num_objects - 1)));
+        return std::make_pair(workloads::SyntheticWorkload::FunctionName(), input);
+      });
+
+  // Exclude warm-up samples from the per-op recorders.
+  world.cluster().scheduler().Post(load.warmup, [&synthetic] {
+    synthetic.read_latency().Clear();
+    synthetic.write_latency().Clear();
+  });
+  generator.RunToCompletion();
+
+  return Fig10Row{system.label, synthetic.read_latency().MedianMs(),
+                  synthetic.read_latency().P99Ms(), synthetic.write_latency().MedianMs(),
+                  synthetic.write_latency().P99Ms()};
+}
+
+void RunFig10() {
+  std::printf("== Figure 10: latency of read and write (median / p99) ==\n");
+  std::printf("   (paper: HM-read ~30%% below Boki on reads; HM-write ~30%% below Boki on\n");
+  std::printf("    writes; log-free ops near — but above — the unsafe raw baseline)\n\n");
+
+  std::vector<Fig10Row> rows;
+  for (const SystemUnderTest& system : AllSystems()) {
+    rows.push_back(RunSystem(system));
+  }
+
+  // Raw (unsafe) is the overhead reference.
+  const Fig10Row* raw = nullptr;
+  for (const Fig10Row& row : rows) {
+    if (row.system == "Unsafe") raw = &row;
+  }
+
+  metrics::TablePrinter table({"system", "read_med_ms", "read_p99_ms", "write_med_ms",
+                               "write_p99_ms", "read_overhead", "write_overhead"});
+  for (const Fig10Row& row : rows) {
+    double read_ovh = raw != nullptr ? row.read_median - raw->read_median : 0.0;
+    double write_ovh = raw != nullptr ? row.write_median - raw->write_median : 0.0;
+    table.AddRow({row.system, Fmt(row.read_median), Fmt(row.read_p99), Fmt(row.write_median),
+                  Fmt(row.write_p99), Fmt(read_ovh), Fmt(write_ovh)});
+  }
+  table.Print();
+
+  // Headline ratios the paper calls out in §6.1.
+  const Fig10Row* boki = &rows[0];
+  const Fig10Row* hmw = &rows[1];
+  const Fig10Row* hmr = &rows[2];
+  std::printf("\nHM-read read latency vs Boki: %.0f%% lower\n",
+              100.0 * (1.0 - hmr->read_median / boki->read_median));
+  std::printf("HM-write write latency vs Boki: %.0f%% lower\n",
+              100.0 * (1.0 - hmw->write_median / boki->write_median));
+  if (raw != nullptr) {
+    double hmr_ovh = hmr->read_median - raw->read_median;
+    double boki_ovh = boki->read_median - raw->read_median;
+    std::printf("read overhead over raw: Boki %.2f ms vs HM-read %.2f ms (%.1fx lower)\n",
+                boki_ovh, hmr_ovh, boki_ovh / hmr_ovh);
+    double hmw_ovh = hmw->write_median - raw->write_median;
+    double boki_w_ovh = boki->write_median - raw->write_median;
+    std::printf("write overhead over raw: Boki %.2f ms vs HM-write %.2f ms (%.1fx lower)\n",
+                boki_w_ovh, hmw_ovh, boki_w_ovh / hmw_ovh);
+  }
+}
+
+}  // namespace
+}  // namespace halfmoon::bench
+
+int main() {
+  halfmoon::bench::RunFig10();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 11: end-to-end median and p99 latency vs. throughput for the three application
+// workloads (travel reservation, movie review, Retwis) under Boki, Halfmoon-write,
+// Halfmoon-read, and the unsafe baseline.
+//
+// Expected shape (§6.2): with the protocol matching the workload, Halfmoon's median latency
+// is 20-40% below Boki; Halfmoon-read wins the read-intensive travel/Retwis workloads and
+// Halfmoon-write wins the write-skewed movie workload; even the "wrong" Halfmoon protocol
+// beats Boki; all fault-tolerant systems saturate at approximately the same offered load.
+
+#include "bench/bench_common.h"
+#include "src/workloads/applications.h"
+#include "src/workloads/loadgen.h"
+
+namespace halfmoon::bench {
+namespace {
+
+struct AppSweep {
+  const char* app;
+  std::vector<double> rates;
+};
+
+struct Point {
+  double offered;
+  double throughput;
+  double median_ms;
+  double p99_ms;
+};
+
+Point RunPoint(const workloads::AppDescriptor& app, const SystemUnderTest& system,
+               double rate) {
+  ExperimentOptions options;
+  options.protocol = system.protocol;
+  // The external store binds capacity (protocol-independent op counts), so all four systems
+  // saturate at the same offered load, as in the paper. Calibration: EXPERIMENTS.md.
+  options.db_servers = 4;
+  ExperimentWorld world(options);
+
+  workloads::AppDataset data;
+  app.register_fn(world.runtime(), data);
+  workloads::RequestFactory factory = app.factory_fn(world.runtime(), data);
+
+  workloads::LoadGenConfig load;
+  load.requests_per_second = rate;
+  load.warmup = Seconds(2);
+  load.duration = Scaled(Seconds(6));
+  workloads::LoadGenerator generator(&world.runtime(), load, std::move(factory));
+  generator.RunToCompletion();
+
+  return Point{rate, generator.MeasuredThroughput(), generator.latency().MedianMs(),
+               generator.latency().P99Ms()};
+}
+
+void RunFig11() {
+  std::printf("== Figure 11: end-to-end latency vs throughput (median & p99, ms) ==\n\n");
+
+  const std::vector<AppSweep> sweeps = {
+      {"travel", {200, 400, 600, 800, 1000, 1100}},
+      {"movie", {100, 250, 400, 550, 700, 800}},
+      {"retwis", {300, 800, 1300, 1800, 2100, 2300}},
+  };
+
+  for (const workloads::AppDescriptor& app : workloads::AllApplications()) {
+    const AppSweep* sweep = nullptr;
+    for (const AppSweep& s : sweeps) {
+      if (s.app == app.name) sweep = &s;
+    }
+    std::printf("-- %s --\n", app.name.c_str());
+    metrics::TablePrinter table({"req/s", "Boki_med", "HM-W_med", "HM-R_med", "Unsafe_med",
+                                 "Boki_p99", "HM-W_p99", "HM-R_p99", "Unsafe_p99"});
+    for (double rate : sweep->rates) {
+      std::vector<std::string> row;
+      row.push_back(Fmt(rate, 0));
+      std::vector<Point> points;
+      for (const SystemUnderTest& system : AllSystems()) {
+        points.push_back(RunPoint(app, system, rate));
+      }
+      for (const Point& p : points) row.push_back(Fmt(p.median_ms, 1));
+      for (const Point& p : points) row.push_back(Fmt(p.p99_ms, 1));
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace halfmoon::bench
+
+int main() {
+  halfmoon::bench::RunFig11();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 12: time-averaged storage (log + database) under different object sizes and GC
+// intervals, as a function of the read ratio.
+//
+// Setup per §6.3: a synthetic SSF issuing 10 operations per request against 10 K objects;
+// the read ratio sweeps the workload from write- to read-intensive.
+//
+// Expected shape: Halfmoon-read's storage grows toward low read ratios (write log + object
+// versions), Halfmoon-write's toward high read ratios (read-log records); the crossover sits
+// slightly above a read ratio of 0.5 (Halfmoon-read logs two records per write) and moves
+// toward 0.5 as the object size grows; the GC interval scales the absolute footprint but not
+// the boundary. Boki pays both logs and sits above the better Halfmoon protocol everywhere.
+
+#include "bench/bench_common.h"
+#include "src/core/advisor.h"
+#include "src/workloads/loadgen.h"
+#include "src/workloads/synthetic.h"
+
+namespace halfmoon::bench {
+namespace {
+
+constexpr double kRequestRate = 100.0;
+constexpr int kOpsPerRequest = 10;
+
+double RunStorageMb(core::ProtocolKind protocol, size_t value_bytes, SimDuration gc_interval,
+                    double read_ratio) {
+  ExperimentOptions options;
+  options.protocol = protocol;
+  options.gc_interval = gc_interval;
+  ExperimentWorld world(options);
+
+  workloads::SyntheticConfig config;
+  config.num_objects = 10000;
+  config.value_bytes = value_bytes;
+  config.ops_per_request = kOpsPerRequest;
+  config.read_ratio = read_ratio;
+  workloads::SyntheticWorkload synthetic(&world.runtime(), config);
+  synthetic.Setup();
+
+  workloads::LoadGenConfig load;
+  load.requests_per_second = kRequestRate;
+  // Storage reaches steady state after roughly one record lifetime (~ t + T_gc).
+  load.warmup = gc_interval + Seconds(5);
+  load.duration = Scaled(2 * gc_interval + Seconds(10));
+  workloads::LoadGenerator generator(
+      &world.runtime(), load, [&synthetic]() {
+        return std::make_pair(workloads::SyntheticWorkload::FunctionName(),
+                              synthetic.NextInput());
+      });
+
+  // Average log + DB bytes over the measurement window only.
+  world.cluster().scheduler().Post(load.warmup, [&world] {
+    SimTime now = world.cluster().scheduler().Now();
+    world.cluster().log_space().gauge().ResetWindow(now);
+    world.cluster().kv_state().gauge().ResetWindow(now);
+  });
+  generator.RunToCompletion();
+
+  SimTime now = world.cluster().scheduler().Now();
+  double bytes = world.cluster().log_space().gauge().WindowAverageBytes(now) +
+                 world.cluster().kv_state().gauge().WindowAverageBytes(now);
+  return bytes / (1024.0 * 1024.0);
+}
+
+void RunPanel(size_t value_bytes, SimDuration gc_interval) {
+  std::printf("-- object size %zuB, GC interval %llds --\n", value_bytes,
+              static_cast<long long>(gc_interval / Seconds(1)));
+  metrics::TablePrinter table(
+      {"read_ratio", "Boki_MB", "HM-read_MB", "HM-write_MB", "winner"});
+  for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    double boki = RunStorageMb(core::ProtocolKind::kBoki, value_bytes, gc_interval, ratio);
+    double hmr =
+        RunStorageMb(core::ProtocolKind::kHalfmoonRead, value_bytes, gc_interval, ratio);
+    double hmw =
+        RunStorageMb(core::ProtocolKind::kHalfmoonWrite, value_bytes, gc_interval, ratio);
+    table.AddRow({Fmt(ratio, 1), Fmt(boki), Fmt(hmr), Fmt(hmw),
+                  hmr <= hmw ? "HM-read" : "HM-write"});
+  }
+  table.Print();
+
+  // §4.6 prediction for this configuration.
+  core::WorkloadProfile profile;
+  profile.read_probability = 0.5;
+  profile.write_probability = 0.5;
+  profile.arrival_rate = kRequestRate * kOpsPerRequest / 10000.0;  // Per object.
+  profile.gc_delay_s = ToSecondsDouble(gc_interval) / 2.0;
+  profile.value_bytes = static_cast<double>(value_bytes);
+  std::printf("advisor storage boundary (Eq. 2 = Eq. 4): read ratio %.2f\n\n",
+              core::StorageBoundaryReadRatio(profile));
+}
+
+}  // namespace
+}  // namespace halfmoon::bench
+
+int main() {
+  std::printf("== Figure 12: storage overhead vs read ratio ==\n\n");
+  halfmoon::bench::RunPanel(256, halfmoon::Seconds(10));
+  halfmoon::bench::RunPanel(256, halfmoon::Seconds(60));
+  halfmoon::bench::RunPanel(1024, halfmoon::Seconds(10));
+  halfmoon::bench::RunPanel(1024, halfmoon::Seconds(60));
+  return 0;
+}

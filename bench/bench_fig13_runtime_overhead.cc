@@ -1,0 +1,70 @@
+// Figure 13: runtime overhead — median request latency vs. read ratio at different request
+// rates (§6.3 setup: 10 operations per request, 256 B objects, GC every 10 s).
+//
+// Expected shape: Halfmoon-read's latency falls as the read ratio rises (log-free reads get
+// cheaper than logged writes); Halfmoon-write's rises; the curves cross slightly above a read
+// ratio of 2/3 (C_w ≈ 2 C_r, §4.6); the crossover is insensitive to the request rate; both
+// protocols sit 1.2-1.5x below Boki everywhere.
+
+#include "bench/bench_common.h"
+#include "src/core/advisor.h"
+#include "src/workloads/loadgen.h"
+#include "src/workloads/synthetic.h"
+
+namespace halfmoon::bench {
+namespace {
+
+double RunMedianMs(core::ProtocolKind protocol, double rate, double read_ratio) {
+  ExperimentOptions options;
+  options.protocol = protocol;
+  ExperimentWorld world(options);
+
+  workloads::SyntheticConfig config;
+  config.num_objects = 10000;
+  config.value_bytes = 256;
+  config.ops_per_request = 10;
+  config.read_ratio = read_ratio;
+  workloads::SyntheticWorkload synthetic(&world.runtime(), config);
+  synthetic.Setup();
+
+  workloads::LoadGenConfig load;
+  load.requests_per_second = rate;
+  load.warmup = Seconds(2);
+  load.duration = Scaled(Seconds(8));
+  workloads::LoadGenerator generator(
+      &world.runtime(), load, [&synthetic]() {
+        return std::make_pair(workloads::SyntheticWorkload::FunctionName(),
+                              synthetic.NextInput());
+      });
+  generator.RunToCompletion();
+  return generator.latency().MedianMs();
+}
+
+void RunPanel(double rate) {
+  std::printf("-- %d requests/s --\n", static_cast<int>(rate));
+  metrics::TablePrinter table(
+      {"read_ratio", "Boki_ms", "HM-read_ms", "HM-write_ms", "winner"});
+  for (double ratio : {0.1, 0.3, 0.5, 2.0 / 3.0, 0.8, 0.9}) {
+    double boki = RunMedianMs(core::ProtocolKind::kBoki, rate, ratio);
+    double hmr = RunMedianMs(core::ProtocolKind::kHalfmoonRead, rate, ratio);
+    double hmw = RunMedianMs(core::ProtocolKind::kHalfmoonWrite, rate, ratio);
+    table.AddRow({Fmt(ratio, 2), Fmt(boki, 1), Fmt(hmr, 1), Fmt(hmw, 1),
+                  hmr <= hmw ? "HM-read" : "HM-write"});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace halfmoon::bench
+
+int main() {
+  std::printf("== Figure 13: median latency vs read ratio at different request rates ==\n");
+  halfmoon::core::WorkloadProfile profile;
+  std::printf("   (advisor runtime boundary, Section 4.6: read ratio %.3f)\n\n",
+              halfmoon::core::RuntimeBoundaryReadRatio(profile));
+  for (double rate : {100.0, 200.0, 300.0, 400.0}) {
+    halfmoon::bench::RunPanel(rate);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Recovery-cost analysis (§7 "Recovery cost").
+//
+// SSF execution is modeled as a Bernoulli process: each attempt crashes with probability f
+// and is re-executed. Halfmoon's asymmetric protocols optimize the failure-free path but must
+// *replay* log-free operations during re-execution, while the symmetric protocol skips every
+// logged operation. The paper's model predicts Halfmoon stays ahead as long as f is below its
+// failure-free advantage (boundary f ≈ 30%, far above real failure rates).
+//
+// This harness sweeps f and reports median latency for Boki and both Halfmoon protocols on
+// the balanced synthetic workload, plus the advantage of the best Halfmoon protocol.
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "src/workloads/loadgen.h"
+#include "src/workloads/synthetic.h"
+
+namespace halfmoon::bench {
+namespace {
+
+struct RunResult {
+  double median_ms;
+  double crashes_per_invocation;
+};
+
+RunResult RunAtFailureRate(core::ProtocolKind protocol, double attempt_failure_rate) {
+  ExperimentOptions options;
+  options.protocol = protocol;
+  ExperimentWorld world(options);
+
+  workloads::SyntheticConfig config;
+  config.num_objects = 10000;
+  config.value_bytes = 256;
+  config.ops_per_request = 10;
+  config.read_ratio = 0.5;
+  workloads::SyntheticWorkload synthetic(&world.runtime(), config);
+  synthetic.Setup();
+
+  // Convert the per-attempt failure probability f into a per-crash-site probability. An
+  // attempt passes ~2 crash sites per op plus the invoke path; calibrate against a quick dry
+  // count: ~22 sites for 10 ops.
+  constexpr double kSitesPerAttempt = 22.0;
+  double per_site = attempt_failure_rate <= 0.0
+                        ? 0.0
+                        : 1.0 - std::pow(1.0 - attempt_failure_rate, 1.0 / kSitesPerAttempt);
+  world.cluster().failure_injector().SetCrashProbability(per_site);
+
+  workloads::LoadGenConfig load;
+  load.requests_per_second = 50;
+  load.warmup = Seconds(2);
+  load.duration = Scaled(Seconds(10));
+  workloads::LoadGenerator generator(
+      &world.runtime(), load, [&synthetic]() {
+        return std::make_pair(workloads::SyntheticWorkload::FunctionName(),
+                              synthetic.NextInput());
+      });
+  generator.RunToCompletion();
+
+  RunResult result;
+  result.median_ms = generator.latency().MedianMs();
+  result.crashes_per_invocation =
+      static_cast<double>(world.runtime().stats().crashes) /
+      static_cast<double>(world.runtime().stats().invocations);
+  return result;
+}
+
+void RunSweep() {
+  metrics::TablePrinter table({"failure_rate_f", "Boki_ms", "HM-read_ms", "HM-write_ms",
+                               "best_HM_advantage", "crashes/inv(Boki)"});
+  for (double f : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    RunResult boki = RunAtFailureRate(core::ProtocolKind::kBoki, f);
+    RunResult hmr = RunAtFailureRate(core::ProtocolKind::kHalfmoonRead, f);
+    RunResult hmw = RunAtFailureRate(core::ProtocolKind::kHalfmoonWrite, f);
+    double best = std::min(hmr.median_ms, hmw.median_ms);
+    double advantage = 100.0 * (1.0 - best / boki.median_ms);
+    table.AddRow({Fmt(f, 1), Fmt(boki.median_ms, 1), Fmt(hmr.median_ms, 1),
+                  Fmt(hmw.median_ms, 1), Fmt(advantage, 1) + "%",
+                  Fmt(boki.crashes_per_invocation, 2)});
+  }
+  table.Print();
+  std::printf("\n(the advantage shrinks as f grows: Halfmoon replays log-free operations on\n");
+  std::printf(" re-execution while the symmetric protocol skips logged ones; the paper's\n");
+  std::printf(" boundary model puts the break-even near f = 30%%, far beyond real rates)\n");
+}
+
+}  // namespace
+}  // namespace halfmoon::bench
+
+int main() {
+  std::printf("== Recovery cost under crash-retry (Section 7) ==\n\n");
+  halfmoon::bench::RunSweep();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Lightweight assertion macros in the spirit of glog's CHECK family.
+//
+// These fire in every build type: the simulation is only meaningful if its invariants hold, so
+// we never compile checks out. A failed check prints file/line plus a message and aborts.
+
+#ifndef HALFMOON_COMMON_CHECK_H_
+#define HALFMOON_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace halfmoon::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace halfmoon::internal
+
+#define HM_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::halfmoon::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                                 \
+  } while (0)
+
+#define HM_CHECK_MSG(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::halfmoon::internal::CheckFailed(__FILE__, __LINE__, msg);     \
+    }                                                                 \
+  } while (0)
+
+#endif  // HALFMOON_COMMON_CHECK_H_

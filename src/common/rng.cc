@@ -1,0 +1,15 @@
+#include "src/common/rng.h"
+
+namespace halfmoon {
+
+std::string Rng::HexString(size_t len) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kHex[UniformInt(0, 15)]);
+  }
+  return out;
+}
+
+}  // namespace halfmoon

@@ -1,0 +1,53 @@
+// Deterministic random number generation for the simulation.
+//
+// A single Rng instance is owned by the simulation world and threaded through every component
+// that needs randomness, so a fixed seed reproduces an entire run bit-for-bit.
+
+#ifndef HALFMOON_COMMON_RNG_H_
+#define HALFMOON_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace halfmoon {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
+
+  // Exponential with the given mean (used for Poisson inter-arrival gaps).
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Standard normal.
+  double Normal() { return std::normal_distribution<double>(0.0, 1.0)(engine_); }
+
+  // Random lowercase hex string of `len` characters, for instance IDs and version numbers.
+  std::string HexString(size_t len);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace halfmoon
+
+#endif  // HALFMOON_COMMON_RNG_H_

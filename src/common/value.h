@@ -1,0 +1,62 @@
+// Byte-accounted values and field maps.
+//
+// Objects in the external state and payloads of log records are modeled as strings plus typed
+// field maps. Every container here can report its approximate serialized size, which feeds the
+// storage-overhead accounting of Figure 12.
+
+#ifndef HALFMOON_COMMON_VALUE_H_
+#define HALFMOON_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+namespace halfmoon {
+
+// A value stored in the external state. Plain bytes; applications encode what they need.
+using Value = std::string;
+
+// One field of a log record: either a signed integer or a byte string.
+using Field = std::variant<int64_t, std::string>;
+
+// An ordered field map, e.g. {"op": "write", "step": 3, "version": "a1b2"}.
+// Ordered so that record equality and test expectations are deterministic.
+class FieldMap {
+ public:
+  FieldMap() = default;
+  FieldMap(std::initializer_list<std::pair<const std::string, Field>> init) : fields_(init) {}
+
+  void SetInt(const std::string& key, int64_t v) { fields_[key] = v; }
+  void SetStr(const std::string& key, std::string v) { fields_[key] = std::move(v); }
+
+  bool Has(const std::string& key) const { return fields_.count(key) > 0; }
+
+  // Typed getters abort on missing keys or type mismatches: a malformed log record indicates a
+  // protocol bug, and the simulation must not limp past it.
+  int64_t GetInt(const std::string& key) const;
+  const std::string& GetStr(const std::string& key) const;
+
+  // Approximate serialized size in bytes: key bytes + value bytes (8 for integers).
+  size_t ByteSize() const;
+
+  bool operator==(const FieldMap& other) const { return fields_ == other.fields_; }
+
+  auto begin() const { return fields_.begin(); }
+  auto end() const { return fields_.end(); }
+  size_t size() const { return fields_.size(); }
+
+ private:
+  std::map<std::string, Field> fields_;
+};
+
+// Helpers for packing integers into Values used by the workloads.
+Value EncodeInt64(int64_t v);
+int64_t DecodeInt64(const Value& v);
+
+// Returns `v` padded with filler bytes up to `size` (used to emulate fixed object sizes).
+Value PadValue(Value v, size_t size);
+
+}  // namespace halfmoon
+
+#endif  // HALFMOON_COMMON_VALUE_H_

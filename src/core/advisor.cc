@@ -1,0 +1,55 @@
+#include "src/core/advisor.h"
+
+#include <algorithm>
+
+namespace halfmoon::core {
+
+AdvisorReport AnalyzeWorkload(const WorkloadProfile& p) {
+  AdvisorReport report;
+  const double window = p.arrival_rate * (p.function_lifetime_s + p.gc_delay_s);
+
+  // Equation 2: Halfmoon-write keeps one object version plus N_r read-log records.
+  report.storage_hm_write =
+      p.value_bytes + p.read_probability * window * (p.meta_bytes + p.value_bytes);
+  // Equation 4: Halfmoon-read keeps N_w write-log pairs and as many object versions.
+  report.storage_hm_read =
+      (1.0 + p.write_probability * window) * (2.0 * p.meta_bytes + p.value_bytes);
+
+  report.storage_choice = report.storage_hm_read <= report.storage_hm_write
+                              ? ProtocolKind::kHalfmoonRead
+                              : ProtocolKind::kHalfmoonWrite;
+
+  // Expected extra runtime cost per second, in units of C_r.
+  report.runtime_hm_read = p.write_probability * p.arrival_rate * p.write_cost_ratio;
+  report.runtime_hm_write = p.read_probability * p.arrival_rate;
+  report.runtime_choice = report.runtime_hm_read <= report.runtime_hm_write
+                              ? ProtocolKind::kHalfmoonRead
+                              : ProtocolKind::kHalfmoonWrite;
+
+  // §4.6 remark: runtime and storage can be combined by a weighted (e.g. monetary) sum. We
+  // weigh runtime first and use storage as the tie-breaker.
+  report.recommendation = report.runtime_choice;
+  if (report.runtime_hm_read == report.runtime_hm_write) {
+    report.recommendation = report.storage_choice;
+  }
+  return report;
+}
+
+double StorageBoundaryReadRatio(const WorkloadProfile& p) {
+  // With P_r + P_w fixed and r = P_r / (P_r + P_w), equate Equations 2 and 4 and solve for r.
+  const double total = p.read_probability + p.write_probability;
+  const double a = p.arrival_rate * (p.function_lifetime_s + p.gc_delay_s) * total;
+  const double sm = p.meta_bytes;
+  const double sv = p.value_bytes;
+  const double numerator = 2.0 * sm + a * (2.0 * sm + sv);
+  const double denominator = a * (3.0 * sm + 2.0 * sv);
+  if (denominator <= 0.0) return 0.5;
+  return std::clamp(numerator / denominator, 0.0, 1.0);
+}
+
+double RuntimeBoundaryReadRatio(const WorkloadProfile& p) {
+  // P_r * C_r = P_w * C_w  =>  r* = ratio / (1 + ratio); 2/3 for the prototype's ratio of 2.
+  return p.write_cost_ratio / (1.0 + p.write_cost_ratio);
+}
+
+}  // namespace halfmoon::core

@@ -1,0 +1,57 @@
+// The §4.6 criterion: choosing the right protocol for a workload.
+//
+// Storage overhead (Equations 1-4, per object):
+//   S_hm_write = S_val + P_r * lambda * (t + T_gc) * (S_meta + S_val)
+//   S_hm_read  = (1 + P_w * lambda * (t + T_gc)) * (2 * S_meta + S_val)
+// With S_meta << S_val the boundary is P_r = P_w.
+//
+// Runtime overhead: expected extra cost per unit time is P_w * lambda * C_w for Halfmoon-read
+// versus P_r * lambda * C_r for Halfmoon-write, with C_w ≈ 2 C_r for the prototype, so the
+// boundary is P_r = 2 P_w.
+
+#ifndef HALFMOON_CORE_ADVISOR_H_
+#define HALFMOON_CORE_ADVISOR_H_
+
+#include "src/core/env.h"
+
+namespace halfmoon::core {
+
+struct WorkloadProfile {
+  double read_probability = 0.5;   // P_r: probability an SSF reads the object.
+  double write_probability = 0.5;  // P_w: probability an SSF writes the object.
+  double arrival_rate = 100.0;     // lambda, SSFs per second.
+  double function_lifetime_s = 0.05;  // t, average SSF lifetime including re-execution.
+  double gc_delay_s = 10.0;           // T_gc, average completion-to-GC-scan delay.
+  double meta_bytes = 48.0;           // S_meta, log record metadata size.
+  double value_bytes = 256.0;         // S_val, object size.
+
+  // C_w / C_r: extra write cost under Halfmoon-read over the extra read cost under
+  // Halfmoon-write. ≈ 2 in the prototype (the write logs twice, the read logs once).
+  double write_cost_ratio = 2.0;
+};
+
+struct AdvisorReport {
+  // Expected time-averaged storage per object, bytes (Equations 2 and 4).
+  double storage_hm_read = 0.0;
+  double storage_hm_write = 0.0;
+  // Expected extra runtime cost per second, in units of C_r.
+  double runtime_hm_read = 0.0;
+  double runtime_hm_write = 0.0;
+
+  ProtocolKind storage_choice = ProtocolKind::kHalfmoonRead;
+  ProtocolKind runtime_choice = ProtocolKind::kHalfmoonRead;
+  // Combined recommendation: weighs runtime first, storage as tie-breaker.
+  ProtocolKind recommendation = ProtocolKind::kHalfmoonRead;
+};
+
+AdvisorReport AnalyzeWorkload(const WorkloadProfile& profile);
+
+// Closed-form boundary read ratios r* = P_r / (P_r + P_w) at which the two protocols tie,
+// assuming P_r + P_w is fixed. Storage boundary -> 0.5 as S_meta/S_val -> 0 (§6.3); the
+// runtime boundary is 2/3 for C_w = 2 C_r.
+double StorageBoundaryReadRatio(const WorkloadProfile& profile);
+double RuntimeBoundaryReadRatio(const WorkloadProfile& profile);
+
+}  // namespace halfmoon::core
+
+#endif  // HALFMOON_CORE_ADVISOR_H_

@@ -1,0 +1,52 @@
+#include "src/core/auto_switch.h"
+
+namespace halfmoon::core {
+
+void AutoSwitchService::Start() {
+  cluster_->scheduler().Spawn(Loop());
+}
+
+sim::Task<void> AutoSwitchService::Loop() {
+  while (!stopped_) {
+    co_await cluster_->scheduler().Delay(config_.window);
+    if (stopped_) break;
+    co_await EvaluateOnce();
+  }
+}
+
+sim::Task<bool> AutoSwitchService::EvaluateOnce() {
+  ++stats_.windows_evaluated;
+
+  int64_t reads = cluster_->TotalKvReads();
+  int64_t writes = cluster_->TotalKvWrites();
+  int64_t window_reads = reads - last_reads_;
+  int64_t window_writes = writes - last_writes_;
+  last_reads_ = reads;
+  last_writes_ = writes;
+
+  int64_t total = window_reads + window_writes;
+  if (total < config_.min_ops) co_return false;
+
+  double read_ratio = static_cast<double>(window_reads) / static_cast<double>(total);
+  stats_.last_read_ratio = read_ratio;
+
+  WorkloadProfile profile;
+  profile.write_cost_ratio = config_.write_cost_ratio;
+  double boundary = RuntimeBoundaryReadRatio(profile);
+
+  // Only act when the observed mix sits clearly on one side of the §4.6 boundary.
+  ProtocolKind target = current_;
+  if (read_ratio > boundary + config_.margin) {
+    target = ProtocolKind::kHalfmoonRead;
+  } else if (read_ratio < boundary - config_.margin) {
+    target = ProtocolKind::kHalfmoonWrite;
+  }
+  if (target == current_) co_return false;
+
+  ++stats_.switches_triggered;
+  current_ = target;
+  co_await manager_->SwitchTo(target);
+  co_return true;
+}
+
+}  // namespace halfmoon::core

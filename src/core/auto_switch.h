@@ -1,0 +1,75 @@
+// Automatic protocol selection for dynamic workloads.
+//
+// §4.6 gives the criterion for choosing a protocol and §4.7 the mechanism for switching; this
+// service closes the loop (a natural extension the paper leaves to the operator): it samples
+// the observed read/write intensity of the external state over sliding windows, evaluates the
+// runtime criterion, and triggers a pauseless switch when the recommendation flips. A
+// hysteresis margin around the boundary read ratio prevents flapping on borderline mixes.
+
+#ifndef HALFMOON_CORE_AUTO_SWITCH_H_
+#define HALFMOON_CORE_AUTO_SWITCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/advisor.h"
+#include "src/core/switch_manager.h"
+#include "src/runtime/cluster.h"
+#include "src/sim/task.h"
+
+namespace halfmoon::core {
+
+struct AutoSwitchConfig {
+  // Sampling window over which the read ratio is measured.
+  SimDuration window = Seconds(2);
+  // Required distance between the observed read ratio and the criterion boundary before a
+  // switch fires (hysteresis against flapping).
+  double margin = 0.08;
+  // Minimum operations per window for a statistically meaningful decision.
+  int64_t min_ops = 50;
+  // Cost ratio C_w / C_r of the deployment (§4.6; ≈ 2 for this prototype).
+  double write_cost_ratio = 2.0;
+};
+
+struct AutoSwitchStats {
+  int64_t windows_evaluated = 0;
+  int64_t switches_triggered = 0;
+  double last_read_ratio = 0.0;
+};
+
+class AutoSwitchService {
+ public:
+  AutoSwitchService(runtime::Cluster* cluster, SwitchManager* manager,
+                    ProtocolKind initial_protocol, AutoSwitchConfig config = {})
+      : cluster_(cluster),
+        manager_(manager),
+        current_(initial_protocol),
+        config_(config) {}
+
+  // Spawns the periodic evaluation loop; runs until Stop().
+  void Start();
+  void Stop() { stopped_ = true; }
+
+  // One evaluation step over the ops observed since the previous call; exposed for tests.
+  // Returns true if a switch was initiated.
+  sim::Task<bool> EvaluateOnce();
+
+  ProtocolKind current_protocol() const { return current_; }
+  const AutoSwitchStats& stats() const { return stats_; }
+
+ private:
+  sim::Task<void> Loop();
+
+  runtime::Cluster* cluster_;
+  SwitchManager* manager_;
+  ProtocolKind current_;
+  AutoSwitchConfig config_;
+  AutoSwitchStats stats_;
+  bool stopped_ = false;
+  int64_t last_reads_ = 0;
+  int64_t last_writes_ = 0;
+};
+
+}  // namespace halfmoon::core
+
+#endif  // HALFMOON_CORE_AUTO_SWITCH_H_

@@ -1,0 +1,90 @@
+// Per-attempt execution environment of a stateful serverless function (SSF).
+//
+// One Env exists per *attempt* (original execution, retry after a crash, or duplicate peer
+// instance). All attempts of an invocation share the same instance ID and therefore the same
+// step-log sub-stream, which is how a re-execution recovers the progress of its predecessors
+// (Figure 5, Init).
+
+#ifndef HALFMOON_CORE_ENV_H_
+#define HALFMOON_CORE_ENV_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/cluster.h"
+#include "src/sharedlog/log_record.h"
+
+namespace halfmoon::core {
+
+// The protocols of §3: Halfmoon's two asymmetric protocols, the Boki-style symmetric baseline,
+// the unsafe (no-logging) baseline, and the transitional protocol used during switching.
+enum class ProtocolKind {
+  kUnsafe,
+  kBoki,
+  kHalfmoonRead,
+  kHalfmoonWrite,
+  kTransitional,
+};
+
+const char* ProtocolName(ProtocolKind kind);
+
+// Outcome of consulting the transition log for an object scope (§4.7).
+struct ProtocolResolution {
+  ProtocolKind kind = ProtocolKind::kHalfmoonRead;
+  // True when the resolution came from a transition record rather than the configured default.
+  // Post-switch objects may have state on both the single-version (LATEST) path and the
+  // multi-version path, so reads must compare freshness across both (§5.2).
+  bool post_switch = false;
+};
+
+struct Env {
+  // ---- Identity ----
+  std::string instance_id;  // Shared by every attempt/peer of this invocation.
+  int attempt = 0;
+
+  // ---- Protocol state (Figures 5 and 7) ----
+  sharedlog::SeqNum init_cursor_ts = 0;  // cursorTS acquired by Init; stable across attempts.
+  sharedlog::SeqNum cursor_ts = 0;       // Advances with every logged operation.
+  int64_t step = 0;                      // Operation counter (annotation in log records).
+  int64_t consecutive_writes = 0;        // Tie-breaker counter of Halfmoon-write (§4.2).
+
+  // Recovery state: the instance's step-log records in stream order, and the logical position
+  // the next logged record will occupy. During re-execution, positions < step_logs.size() are
+  // replayed from the log instead of re-executed.
+  std::vector<sharedlog::LogRecord> step_logs;
+  size_t log_pos = 0;
+
+  // Cached result of the transition-log lookup (one per SSF, first state access; §4.7).
+  std::optional<ProtocolResolution> resolution;
+
+  // §4.4 ordered-writes extension state: the key of the previous operation when it was a
+  // log-free write (empty otherwise). When the next write targets a *different* object, the
+  // protocol inserts a sync record between them so the dependent pair cannot commute.
+  std::string last_write_key;
+  bool preserve_write_order = false;
+
+  // ---- Plumbing ----
+  runtime::Cluster* cluster = nullptr;
+  runtime::FunctionNode* node = nullptr;
+
+  sharedlog::LogClient& log() { return node->log(); }
+  kvstore::KvClient& kv() { return node->kv(); }
+
+  // Crash site: throws SsfCrashed when the failure injector decides this attempt dies here.
+  void MaybeCrash(const char* site) {
+    if (cluster->failure_injector().ShouldCrash(cluster->rng(), site)) {
+      throw runtime::SsfCrashed{site};
+    }
+  }
+
+  // Fresh random identifier (version numbers, callee instance IDs). Non-deterministic; every
+  // use must be made recoverable by logging, per §4.1.
+  std::string RandomId() { return cluster->rng().HexString(16); }
+};
+
+}  // namespace halfmoon::core
+
+#endif  // HALFMOON_CORE_ENV_H_

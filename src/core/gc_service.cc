@@ -1,0 +1,74 @@
+#include "src/core/gc_service.h"
+
+#include <string>
+#include <vector>
+
+#include "src/sharedlog/log_record.h"
+
+namespace halfmoon::core {
+
+using sharedlog::LogRecord;
+using sharedlog::SeqNum;
+using sharedlog::Tag;
+
+void GcService::Start() {
+  cluster_->scheduler().Spawn(Loop());
+}
+
+sim::Task<void> GcService::Loop() {
+  while (!stopped_) {
+    co_await cluster_->scheduler().Delay(interval_);
+    if (stopped_) break;
+    RunOnce();
+  }
+}
+
+void GcService::RunOnce() {
+  ++stats_.scans;
+  sharedlog::LogSpace& log = cluster_->log_space();
+  kvstore::KvState& kv = cluster_->kv_state();
+  SimTime now = cluster_->scheduler().Now();
+
+  SeqNum frontier = cluster_->RunningFrontier();
+
+  // (2) Per-object write logs and their versions.
+  for (const Tag& tag : log.StreamTagsWithPrefix("k:")) {
+    std::vector<LogRecord> records = log.ReadStream(tag);
+    // Mark the latest record below the frontier; everything before it is superseded.
+    const LogRecord* marked = nullptr;
+    for (const LogRecord& record : records) {
+      if (record.seqnum < frontier) {
+        marked = &record;
+      } else {
+        break;
+      }
+    }
+    if (marked == nullptr) continue;
+    std::string key = tag.substr(2);  // Strip the "k:" prefix.
+    for (const LogRecord& record : records) {
+      if (record.seqnum >= marked->seqnum) break;
+      if (record.fields.Has("version") &&
+          kv.DeleteVersioned(now, key, record.fields.GetStr("version"))) {
+        ++stats_.versions_deleted;
+      }
+      ++stats_.write_records_trimmed;
+    }
+    if (marked->seqnum > 0) {
+      log.Trim(now, tag, marked->seqnum - 1);
+    }
+  }
+
+  // (3) Step logs of finished workflows.
+  for (const std::string& instance_id : cluster_->DrainStepLogTrimQueue()) {
+    log.Trim(now, sharedlog::StepLogTag(instance_id), sharedlog::kMaxSeqNum);
+    ++stats_.step_logs_trimmed;
+  }
+
+  // (4) The global init stream: records below the frontier belong to finished SSFs.
+  if (frontier > 0) {
+    log.Trim(now, sharedlog::InitLogTag(), frontier - 1);
+    ++stats_.init_records_trimmed;
+  }
+}
+
+}  // namespace halfmoon::core

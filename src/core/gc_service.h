@@ -1,0 +1,64 @@
+// Garbage collection of log records and stale object versions (§4.5).
+//
+// Periodically invoked by the runtime. Each scan:
+//   1. computes the frontier t: the largest seqnum such that every SSF whose init record has
+//      seqnum < t has finished (condition (b) of §4.5);
+//   2. for every per-object write log, marks the latest record with seqnum < t and deletes
+//      all records preceding it together with their object versions (condition (a): the
+//      marked record supersedes them; condition (b): no running or future SSF can still seek
+//      backward past the marked record);
+//   3. trims the step logs of instances whose workflow has finished (their lifetime equals
+//      the initiating SSF's lifetime — this is where Halfmoon-write's read-log records and
+//      the version half of Halfmoon-read's write pairs get reclaimed);
+//   4. trims the global init stream up to the frontier.
+//
+// Modeling note: GC mutations are applied directly to the storage state (no simulated
+// latency). The paper observes that runtime performance is insensitive to the GC interval
+// (§6.3); charging GC traffic to the data-path stations would only distort that. All GC work
+// is still counted in GcStats.
+
+#ifndef HALFMOON_CORE_GC_SERVICE_H_
+#define HALFMOON_CORE_GC_SERVICE_H_
+
+#include <cstdint>
+
+#include "src/runtime/cluster.h"
+#include "src/sim/task.h"
+
+namespace halfmoon::core {
+
+struct GcStats {
+  int64_t scans = 0;
+  int64_t step_logs_trimmed = 0;
+  int64_t write_records_trimmed = 0;
+  int64_t versions_deleted = 0;
+  int64_t init_records_trimmed = 0;
+};
+
+class GcService {
+ public:
+  GcService(runtime::Cluster* cluster, SimDuration interval)
+      : cluster_(cluster), interval_(interval) {}
+
+  // Spawns the periodic loop. Runs until Stop() (benchmarks drive the scheduler with
+  // RunUntil, so a pending tick past the horizon is harmless).
+  void Start();
+  void Stop() { stopped_ = true; }
+
+  // One full scan; exposed for deterministic tests.
+  void RunOnce();
+
+  const GcStats& stats() const { return stats_; }
+
+ private:
+  sim::Task<void> Loop();
+
+  runtime::Cluster* cluster_;
+  SimDuration interval_;
+  bool stopped_ = false;
+  GcStats stats_;
+};
+
+}  // namespace halfmoon::core
+
+#endif  // HALFMOON_CORE_GC_SERVICE_H_

@@ -1,0 +1,172 @@
+#include "src/core/log_steps.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace halfmoon::core {
+
+using sharedlog::CondAppendResult;
+using sharedlog::LogRecord;
+using sharedlog::LogSpace;
+using sharedlog::SeqNum;
+using sharedlog::Tag;
+
+const LogRecord* PeekNextLog(Env& env) {
+  if (env.log_pos < env.step_logs.size()) {
+    return &env.step_logs[env.log_pos];
+  }
+  return nullptr;
+}
+
+sim::Task<LogRecord> FetchExisting(Env& env, SeqNum seqnum) {
+  std::optional<LogRecord> record =
+      co_await env.log().ReadPrev(sharedlog::StepLogTag(env.instance_id), seqnum);
+  HM_CHECK_MSG(record.has_value() && record->seqnum == seqnum,
+               "lost-race record vanished from the step log");
+  co_return std::move(*record);
+}
+
+namespace {
+
+// Consumes the record at the current position: caches it (if fetched), advances the position
+// pointer and the cursor.
+void AdoptRecord(Env& env, const LogRecord& record) {
+  if (env.log_pos == env.step_logs.size()) {
+    env.step_logs.push_back(record);
+  }
+  HM_CHECK(env.log_pos < env.step_logs.size());
+  ++env.log_pos;
+  env.cursor_ts = record.seqnum;
+}
+
+}  // namespace
+
+sim::Task<StepLogResult> LogStep(Env& env, std::vector<Tag> extra_tags, FieldMap fields) {
+  size_t pos = env.log_pos;
+  if (const LogRecord* cached = PeekNextLog(env)) {
+    HM_CHECK_MSG(cached->fields.GetStr("op") == fields.GetStr("op"),
+                 "replayed a different operation at this log position (non-determinism?)");
+    LogRecord record = *cached;
+    AdoptRecord(env, record);
+    co_return StepLogResult{std::move(record), /*recovered=*/true};
+  }
+
+  std::vector<Tag> tags;
+  tags.reserve(1 + extra_tags.size());
+  tags.push_back(sharedlog::StepLogTag(env.instance_id));
+  for (Tag& tag : extra_tags) tags.push_back(std::move(tag));
+
+  FieldMap fields_copy = fields;
+  CondAppendResult result = co_await env.log().CondAppend(
+      tags, std::move(fields), sharedlog::StepLogTag(env.instance_id), pos);
+  if (result.ok) {
+    LogRecord record;
+    record.seqnum = result.seqnum;
+    record.tags = std::move(tags);
+    record.fields = std::move(fields_copy);
+    AdoptRecord(env, record);
+    co_return StepLogResult{std::move(record), /*recovered=*/false};
+  }
+
+  // A peer instance logged this step first: adopt its record and treat the step as done.
+  LogRecord record = co_await FetchExisting(env, result.existing_seqnum);
+  HM_CHECK_MSG(record.fields.GetStr("op") == fields_copy.GetStr("op"),
+               "peer logged a different operation at this position (non-determinism?)");
+  AdoptRecord(env, record);
+  co_return StepLogResult{std::move(record), /*recovered=*/true};
+}
+
+sim::Task<BatchLogResult> LogStepBatch(Env& env, std::vector<FieldMap> fields) {
+  HM_CHECK(!fields.empty());
+  size_t pos = env.log_pos;
+  const size_t n = fields.size();
+  BatchLogResult result;
+
+  if (pos < env.step_logs.size()) {
+    // Replay: the batch committed atomically, so all n records must be cached.
+    HM_CHECK_MSG(pos + n <= env.step_logs.size(), "batched group is partially missing");
+    result.recovered = true;
+    for (size_t i = 0; i < n; ++i) {
+      const LogRecord& cached = env.step_logs[env.log_pos];
+      HM_CHECK_MSG(cached.fields.GetStr("op") == fields[i].GetStr("op"),
+                   "replayed a different operation at this log position (non-determinism?)");
+      result.records.push_back(cached);
+      AdoptRecord(env, cached);
+    }
+    co_return result;
+  }
+
+  Tag step_tag = sharedlog::StepLogTag(env.instance_id);
+  std::vector<LogSpace::BatchEntry> batch(n);
+  std::vector<FieldMap> copies = fields;
+  for (size_t i = 0; i < n; ++i) {
+    batch[i].tags = sharedlog::OneTag(step_tag);
+    batch[i].fields = std::move(fields[i]);
+  }
+  CondAppendResult append = co_await env.log().CondAppendBatch(std::move(batch), step_tag, pos);
+  if (append.ok) {
+    for (size_t i = 0; i < n; ++i) {
+      LogRecord record;
+      record.seqnum = append.seqnum + i;  // Consecutive seqnums within a batch.
+      record.tags = sharedlog::OneTag(step_tag);
+      record.fields = std::move(copies[i]);
+      result.records.push_back(record);
+      AdoptRecord(env, result.records.back());
+    }
+    co_return result;
+  }
+
+  // Lost the race: the peer committed the whole batch; fetch the n records.
+  result.recovered = true;
+  SeqNum seqnum = append.existing_seqnum;
+  for (size_t i = 0; i < n; ++i) {
+    std::optional<LogRecord> record =
+        co_await env.log().ReadNext(step_tag, i == 0 ? seqnum : result.records.back().seqnum + 1);
+    HM_CHECK_MSG(record.has_value() &&
+                     record->fields.GetStr("op") == copies[i].GetStr("op"),
+                 "peer's batched group is incomplete");
+    result.records.push_back(std::move(*record));
+    AdoptRecord(env, result.records.back());
+  }
+  co_return result;
+}
+
+sim::Task<void> InitSsf(Env& env, const Value& input) {
+  // Retrieve the execution history (Figure 5, line 3).
+  env.step_logs = co_await env.log().ReadStream(sharedlog::StepLogTag(env.instance_id));
+  env.log_pos = 0;
+  env.step = 0;
+  env.consecutive_writes = 0;
+
+  FieldMap fields;
+  fields.SetStr("op", "init");
+  fields.SetInt("step", 0);
+  fields.SetStr("instance", env.instance_id);
+  StepLogResult init =
+      co_await LogStep(env, sharedlog::OneTag(sharedlog::InitLogTag()), std::move(fields));
+  env.init_cursor_ts = init.record.seqnum;
+}
+
+sim::Task<void> InitChildSsf(Env& env, SeqNum inherited_cursor) {
+  HM_CHECK(inherited_cursor != sharedlog::kInvalidSeqNum);
+  env.step_logs = co_await env.log().ReadStream(sharedlog::StepLogTag(env.instance_id));
+  env.log_pos = 0;
+  env.step = 0;
+  env.consecutive_writes = 0;
+  env.cursor_ts = inherited_cursor;
+  env.init_cursor_ts = inherited_cursor;
+}
+
+const char* ProtocolName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kUnsafe: return "Unsafe";
+    case ProtocolKind::kBoki: return "Boki";
+    case ProtocolKind::kHalfmoonRead: return "Halfmoon-read";
+    case ProtocolKind::kHalfmoonWrite: return "Halfmoon-write";
+    case ProtocolKind::kTransitional: return "Transitional";
+  }
+  return "?";
+}
+
+}  // namespace halfmoon::core

@@ -1,0 +1,70 @@
+// The five data-access protocols (§3, §4): Halfmoon-read, Halfmoon-write, the Boki symmetric
+// baseline, the unsafe baseline, and the transitional protocol used while switching.
+//
+// Each protocol is a pair of free functions (Read/Write) over the per-attempt Env. Invoke and
+// Init are protocol-uniform and live with the runtime (ssf_runtime.*).
+//
+// Logging shapes (failure-free costs; "sync" latencies add up, "async" do not):
+//                       Read                          Write
+//   Unsafe              DBRead                        plain DBWrite
+//   Boki                DBRead + sync log             sync version log + cond DBWrite + async
+//                                                     commit log
+//   Halfmoon-read       logReadPrev (cached) +        versioned DBWrite + one *batched* round
+//                       versioned DBRead              carrying version + commit records
+//   Halfmoon-write      DBRead + sync log             cond DBWrite only (log-free)
+//   Transitional        dual read + sync log          versioned DBWrite + cond DBWrite +
+//                                                     batched version/commit round
+
+#ifndef HALFMOON_CORE_PROTOCOLS_H_
+#define HALFMOON_CORE_PROTOCOLS_H_
+
+#include <string>
+
+#include "src/core/env.h"
+#include "src/sim/task.h"
+
+namespace halfmoon::core::protocols {
+
+// ---- Halfmoon-read: log-free reads (Figure 5) ----
+
+// Seeks backward from cursorTS in the object's write log and fetches the version the matching
+// record points to. `post_switch` reads also consult the LATEST slot and pick the fresher of
+// the two (§5.2), because the object's newest state may live on either path after a switch.
+sim::Task<Value> HalfmoonReadRead(Env& env, const std::string& key, bool post_switch);
+
+// Multi-version write: installs a new version under a random ID, then commits it with a
+// batched pair of log records (version record + commit record). The commit record is tagged
+// into both the step log and the object's write log (§4.1).
+sim::Task<void> HalfmoonReadWrite(Env& env, const std::string& key, Value value);
+
+// ---- Halfmoon-write: log-free writes (Figure 7) ----
+
+// Reads the current object and logs the result (the record *is* the recovery value).
+sim::Task<Value> HalfmoonWriteRead(Env& env, const std::string& key, bool post_switch);
+
+// Log-free conditional update versioned by (cursorTS, consecutive-write counter).
+sim::Task<void> HalfmoonWriteWrite(Env& env, const std::string& key, Value value);
+
+// ---- Boki: the symmetric logging baseline (§2, [51]) ----
+
+sim::Task<Value> BokiRead(Env& env, const std::string& key);
+sim::Task<void> BokiWrite(Env& env, const std::string& key, Value value);
+
+// ---- Unsafe: raw operations, no exactly-once guarantee (§6's lower bound) ----
+
+sim::Task<Value> UnsafeRead(Env& env, const std::string& key);
+sim::Task<void> UnsafeWrite(Env& env, const std::string& key, Value value);
+
+// ---- Transitional: logs reads AND writes, maintains both versioning schemes (§5.2) ----
+
+sim::Task<Value> TransitionalRead(Env& env, const std::string& key);
+sim::Task<void> TransitionalWrite(Env& env, const std::string& key, Value value);
+
+// Reads both the LATEST slot and the freshest write-log version <= cursorTS, returning the
+// fresher of the two (LATEST's version.cursor_ts vs. the write record's seqnum; both live in
+// the same seqnum space). Used by the transitional protocol and post-switch reads.
+sim::Task<Value> DualRead(Env& env, const std::string& key);
+
+}  // namespace halfmoon::core::protocols
+
+#endif  // HALFMOON_CORE_PROTOCOLS_H_

@@ -1,0 +1,65 @@
+// The application-facing API of the Halfmoon client library (§3).
+//
+// Stateful serverless functions are written as coroutines over SsfContext. The context's
+// Read/Write/Invoke have the same signatures as their raw counterparts but perform logging
+// behind the scenes according to the active protocol, guaranteeing exactly-once semantics
+// under crashes, retries, and duplicate instances.
+//
+// Determinism contract (§2, §4.1): an SSF body must be deterministic given its input and the
+// results of its context operations — no wall-clock time, no private randomness. Anything
+// non-deterministic must flow through the context so the protocols can make it recoverable.
+
+#ifndef HALFMOON_CORE_SSF_CONTEXT_H_
+#define HALFMOON_CORE_SSF_CONTEXT_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/sim/task.h"
+
+namespace halfmoon::core {
+
+class SsfContext {
+ public:
+  virtual ~SsfContext() = default;
+
+  // Reads the object; empty value if it was never written.
+  virtual sim::Task<Value> Read(std::string key) = 0;
+
+  // Writes the object.
+  virtual sim::Task<void> Write(std::string key, Value value) = 0;
+
+  // Invokes another SSF and returns its result, exactly once across crashes of either side.
+  virtual sim::Task<Value> Invoke(std::string function, Value input) = 0;
+
+  // Scatter-gather: invokes several SSFs concurrently and returns their results in call
+  // order, with the same exactly-once guarantee. The callee IDs are pinned by one batched
+  // pre-record round and the results by one batched post-record round, so the logging cost is
+  // that of a single invocation.
+  virtual sim::Task<std::vector<Value>> InvokeAll(
+      std::vector<std::pair<std::string, Value>> calls) = 0;
+
+  // Charges one unit of local compute (the SSF's own CPU work between state operations).
+  virtual sim::Task<void> Compute() = 0;
+
+  // Explicitly advances cursorTS to the present by appending a sync record, upgrading
+  // subsequent operations on this SSF to linearizable behaviour (§4.4). No-op for protocols
+  // whose reads are already real-time.
+  virtual sim::Task<void> Sync() = 0;
+
+  // The invocation input.
+  virtual const Value& input() const = 0;
+
+  // The instance ID (stable across retries), exposed for logging/debugging in applications.
+  virtual const std::string& instance_id() const = 0;
+};
+
+// An SSF body. Invoked (and re-invoked after crashes) by the runtime.
+using SsfBody = std::function<sim::Task<Value>(SsfContext&)>;
+
+}  // namespace halfmoon::core
+
+#endif  // HALFMOON_CORE_SSF_CONTEXT_H_

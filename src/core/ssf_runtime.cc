@@ -1,0 +1,612 @@
+#include "src/core/ssf_runtime.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/core/log_steps.h"
+#include "src/core/protocols.h"
+#include "src/sharedlog/log_record.h"
+
+namespace halfmoon::core {
+
+using sharedlog::LogRecord;
+using sharedlog::SeqNum;
+
+namespace {
+
+ProtocolKind KindFromInt(int64_t v) {
+  HM_CHECK(v >= 0 && v <= static_cast<int64_t>(ProtocolKind::kTransitional));
+  return static_cast<ProtocolKind>(v);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ContextImpl: protocol dispatch for one attempt
+// ---------------------------------------------------------------------------
+
+class ContextImpl final : public SsfContext {
+ public:
+  ContextImpl(SsfRuntime* runtime, Env* env, const Value* input, std::string root_id)
+      : runtime_(runtime), env_(env), input_(input), root_id_(std::move(root_id)) {}
+
+  sim::Task<Value> Read(std::string key) override {
+    ProtocolResolution res = co_await Resolve();
+    switch (res.kind) {
+      case ProtocolKind::kUnsafe:
+        co_return co_await protocols::UnsafeRead(*env_, key);
+      case ProtocolKind::kBoki:
+        co_return co_await protocols::BokiRead(*env_, key);
+      case ProtocolKind::kHalfmoonRead:
+        co_return co_await protocols::HalfmoonReadRead(*env_, key, res.post_switch);
+      case ProtocolKind::kHalfmoonWrite:
+        co_return co_await protocols::HalfmoonWriteRead(*env_, key, res.post_switch);
+      case ProtocolKind::kTransitional:
+        co_return co_await protocols::TransitionalRead(*env_, key);
+    }
+    HM_CHECK_MSG(false, "unreachable");
+  }
+
+  sim::Task<void> Write(std::string key, Value value) override {
+    ProtocolResolution res = co_await Resolve();
+    switch (res.kind) {
+      case ProtocolKind::kUnsafe:
+        co_return co_await protocols::UnsafeWrite(*env_, key, std::move(value));
+      case ProtocolKind::kBoki:
+        co_return co_await protocols::BokiWrite(*env_, key, std::move(value));
+      case ProtocolKind::kHalfmoonRead:
+        co_return co_await protocols::HalfmoonReadWrite(*env_, key, std::move(value));
+      case ProtocolKind::kHalfmoonWrite:
+        co_return co_await protocols::HalfmoonWriteWrite(*env_, key, std::move(value));
+      case ProtocolKind::kTransitional:
+        co_return co_await protocols::TransitionalWrite(*env_, key, std::move(value));
+    }
+    HM_CHECK_MSG(false, "unreachable");
+  }
+
+  sim::Task<Value> Invoke(std::string function, Value input) override {
+    ProtocolKind kind = runtime_->config().default_protocol;
+    if (kind == ProtocolKind::kUnsafe) {
+      // No logging: a retried parent re-invokes under a fresh instance ID and the callee
+      // re-executes in full — the §1 duplication anomaly, kept as the negative control.
+      std::string callee = env_->instance_id + "/" + env_->RandomId();
+      co_return co_await CallChild(std::move(callee), std::move(function), std::move(input),
+                                   sharedlog::kInvalidSeqNum);
+    }
+    if (kind == ProtocolKind::kBoki) {
+      co_return co_await InvokeBoki(std::move(function), std::move(input));
+    }
+    co_return co_await InvokeLogged(std::move(function), std::move(input));
+  }
+
+  sim::Task<std::vector<Value>> InvokeAll(
+      std::vector<std::pair<std::string, Value>> calls) override {
+    HM_CHECK(!calls.empty());
+    ProtocolKind kind = runtime_->config().default_protocol;
+    if (kind == ProtocolKind::kUnsafe) {
+      std::vector<SeqNum> cursors(calls.size(), sharedlog::kInvalidSeqNum);
+      co_return co_await RunChildrenConcurrently(MakeRandomCallees(calls.size()),
+                                                 std::move(calls), std::move(cursors));
+    }
+    if (kind == ProtocolKind::kBoki) {
+      co_return co_await InvokeAllBoki(std::move(calls));
+    }
+    co_return co_await InvokeAllLogged(std::move(calls));
+  }
+
+  sim::Task<void> Compute() override {
+    co_await env_->cluster->scheduler().Delay(
+        env_->cluster->models().compute_step.Sample(env_->cluster->rng()));
+  }
+
+  sim::Task<void> Sync() override {
+    ProtocolResolution res = co_await Resolve();
+    if (res.kind == ProtocolKind::kUnsafe || res.kind == ProtocolKind::kBoki) {
+      co_return;  // Already real-time (Boki) or no guarantees at all (unsafe).
+    }
+    // Append a sync record to acquire an up-to-date seqnum (§4.4): subsequent reads observe
+    // every operation that finished before this point in real time.
+    env_->step += 1;
+    FieldMap fields;
+    fields.SetStr("op", "sync");
+    fields.SetInt("step", env_->step);
+    co_await LogStep(*env_, sharedlog::NoTags(), std::move(fields));
+  }
+
+  const Value& input() const override { return *input_; }
+  const std::string& instance_id() const override { return env_->instance_id; }
+
+ private:
+  // Runs a child invocation with the parent's worker slot released for the duration: a
+  // function blocked on a synchronous sub-invocation consumes no executor, and holding the
+  // slot would deadlock the pool once every worker hosts a waiting parent.
+  sim::Task<Value> CallChild(std::string callee, std::string function, Value input,
+                             SeqNum inherited_cursor) {
+    env_->node->workers().Release();
+    Value result = co_await runtime_->RunInvocation(std::move(callee), root_id_,
+                                                    std::move(function), std::move(input),
+                                                    inherited_cursor);
+    co_await env_->node->workers().Acquire();
+    co_return result;
+  }
+
+  std::vector<std::string> MakeRandomCallees(size_t n) {
+    std::vector<std::string> callees;
+    callees.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      callees.push_back(env_->instance_id + "/" + env_->RandomId());
+    }
+    return callees;
+  }
+
+  // Runs the child invocations concurrently with the parent's worker slot released once for
+  // the whole group (the parent is blocked; the children need their own slots).
+  sim::Task<std::vector<Value>> RunChildrenConcurrently(
+      std::vector<std::string> callees, std::vector<std::pair<std::string, Value>> calls,
+      std::vector<SeqNum> cursors) {
+    HM_CHECK(cursors.size() == calls.size());
+    env_->node->workers().Release();
+    std::vector<sim::JoinHandle<Value>> handles;
+    handles.reserve(calls.size());
+    for (size_t i = 0; i < calls.size(); ++i) {
+      handles.push_back(sim::SpawnJoinable(
+          env_->cluster->scheduler(),
+          runtime_->RunInvocation(callees[i], root_id_, std::move(calls[i].first),
+                                  std::move(calls[i].second), cursors[i])));
+    }
+    std::vector<Value> results;
+    results.reserve(handles.size());
+    for (sim::JoinHandle<Value>& handle : handles) {
+      results.push_back(co_await handle);
+    }
+    co_await env_->node->workers().Acquire();
+    co_return results;
+  }
+
+  // Scatter-gather invoke for the Halfmoon protocols: one batched round pins all callee IDs,
+  // the callees run concurrently, one batched round pins all results.
+  sim::Task<std::vector<Value>> InvokeAllLogged(
+      std::vector<std::pair<std::string, Value>> calls) {
+    Env& env = *env_;
+    const size_t n = calls.size();
+
+    env.MaybeCrash("invoke_all.before");
+    std::vector<FieldMap> pre_fields(n);
+    for (size_t i = 0; i < n; ++i) {
+      env.step += 1;
+      pre_fields[i].SetStr("op", "invoke-pre");
+      pre_fields[i].SetInt("step", env.step);
+      pre_fields[i].SetStr("callee", env.instance_id + "/" + env.RandomId());
+    }
+    BatchLogResult pres = co_await LogStepBatch(env, std::move(pre_fields));
+    std::vector<std::string> callees;
+    std::vector<SeqNum> cursors;
+    callees.reserve(n);
+    cursors.reserve(n);
+    for (const sharedlog::LogRecord& record : pres.records) {
+      callees.push_back(record.fields.GetStr("callee"));
+      cursors.push_back(record.seqnum);
+    }
+
+    // If the post batch is already in the step log, skip the calls entirely.
+    std::vector<Value> results;
+    if (const LogRecord* cached = PeekNextLog(env);
+        cached != nullptr && cached->fields.GetStr("op") == "invoke") {
+      std::vector<FieldMap> post_fields(n);
+      for (size_t i = 0; i < n; ++i) {
+        post_fields[i].SetStr("op", "invoke");
+      }
+      BatchLogResult posts = co_await LogStepBatch(env, std::move(post_fields));
+      for (const sharedlog::LogRecord& record : posts.records) {
+        results.push_back(record.fields.GetStr("result"));
+      }
+      co_return results;
+    }
+
+    env.MaybeCrash("invoke_all.after_prelog");
+    results = co_await RunChildrenConcurrently(callees, std::move(calls), cursors);
+    env.MaybeCrash("invoke_all.after_calls");
+
+    std::vector<FieldMap> post_fields(n);
+    for (size_t i = 0; i < n; ++i) {
+      post_fields[i].SetStr("op", "invoke");
+      post_fields[i].SetInt("step", pres.records[i].fields.GetInt("step"));
+      post_fields[i].SetStr("result", results[i]);
+    }
+    BatchLogResult posts = co_await LogStepBatch(env, std::move(post_fields));
+    if (posts.recovered) {
+      results.clear();
+      for (const sharedlog::LogRecord& record : posts.records) {
+        results.push_back(record.fields.GetStr("result"));
+      }
+    }
+    env.MaybeCrash("invoke_all.after_postlog");
+    co_return results;
+  }
+
+  // Boki's scatter-gather: step-keyed records, appended concurrently (its recovery does not
+  // depend on stream positions).
+  sim::Task<std::vector<Value>> InvokeAllBoki(
+      std::vector<std::pair<std::string, Value>> calls) {
+    Env& env = *env_;
+    const size_t n = calls.size();
+    const sharedlog::Tag step_tag = sharedlog::StepLogTag(env.instance_id);
+
+    env.MaybeCrash("invoke_all.before");
+    std::vector<int64_t> steps(n);
+    std::vector<std::string> callees(n);
+    std::vector<SeqNum> pre_seqs(n, sharedlog::kInvalidSeqNum);
+    std::vector<bool> have_result(n, false);
+    std::vector<Value> results(n);
+    for (size_t i = 0; i < n; ++i) {
+      env.step += 1;
+      steps[i] = env.step;
+      for (const LogRecord& record : env.step_logs) {
+        if (record.fields.GetInt("step") != steps[i]) continue;
+        if (record.fields.GetStr("op") == "invoke-pre") {
+          callees[i] = record.fields.GetStr("callee");
+          pre_seqs[i] = record.seqnum;
+        } else if (record.fields.GetStr("op") == "invoke") {
+          results[i] = record.fields.GetStr("result");
+          have_result[i] = true;
+        }
+      }
+    }
+
+    // Log missing pre records (one batched append round, as Boki clients batch).
+    std::vector<sharedlog::LogSpace::BatchEntry> pre_batch;
+    for (size_t i = 0; i < n; ++i) {
+      if (!callees[i].empty()) continue;
+      callees[i] = env.instance_id + "/" + env.RandomId();
+      sharedlog::LogSpace::BatchEntry entry;
+      entry.tags = sharedlog::OneTag(step_tag);
+      entry.fields.SetStr("op", "invoke-pre");
+      entry.fields.SetInt("step", steps[i]);
+      entry.fields.SetStr("callee", callees[i]);
+      pre_batch.push_back(std::move(entry));
+    }
+    if (!pre_batch.empty()) {
+      co_await env.log().AppendBatch(std::move(pre_batch));
+      for (size_t i = 0; i < n; ++i) {
+        std::optional<LogRecord> first = env.cluster->log_space().FindFirstByStep(
+            step_tag, "invoke-pre", steps[i]);
+        if (first.has_value()) {
+          callees[i] = first->fields.GetStr("callee");
+          pre_seqs[i] = first->seqnum;
+        }
+      }
+    }
+
+    env.MaybeCrash("invoke_all.after_prelog");
+    std::vector<std::pair<std::string, Value>> pending;
+    std::vector<size_t> pending_index;
+    for (size_t i = 0; i < n; ++i) {
+      if (!have_result[i]) {
+        pending.push_back(std::move(calls[i]));
+        pending_index.push_back(i);
+      }
+    }
+    if (!pending.empty()) {
+      std::vector<std::string> pending_callees;
+      std::vector<SeqNum> pending_cursors;
+      for (size_t idx : pending_index) {
+        pending_callees.push_back(callees[idx]);
+        pending_cursors.push_back(pre_seqs[idx]);
+      }
+      std::vector<Value> fresh = co_await RunChildrenConcurrently(
+          std::move(pending_callees), std::move(pending), std::move(pending_cursors));
+      std::vector<sharedlog::LogSpace::BatchEntry> post_batch;
+      for (size_t j = 0; j < pending_index.size(); ++j) {
+        results[pending_index[j]] = fresh[j];
+        sharedlog::LogSpace::BatchEntry entry;
+        entry.tags = sharedlog::OneTag(step_tag);
+        entry.fields.SetStr("op", "invoke");
+        entry.fields.SetInt("step", steps[pending_index[j]]);
+        entry.fields.SetStr("result", fresh[j]);
+        post_batch.push_back(std::move(entry));
+      }
+      co_await env.log().AppendBatch(std::move(post_batch));
+      for (size_t i = 0; i < n; ++i) {
+        std::optional<LogRecord> first =
+            env.cluster->log_space().FindFirstByStep(step_tag, "invoke", steps[i]);
+        if (first.has_value()) results[i] = first->fields.GetStr("result");
+      }
+    }
+    co_return results;
+  }
+
+  // §4.7: the first state access resolves the protocol from the transition log, using the
+  // initial cursorTS so that re-executions resolve identically.
+  sim::Task<ProtocolResolution> Resolve() {
+    if (env_->resolution.has_value()) co_return *env_->resolution;
+    const RuntimeConfig& config = runtime_->config();
+    ProtocolResolution res;
+    if (!config.enable_switching || config.default_protocol == ProtocolKind::kUnsafe ||
+        config.default_protocol == ProtocolKind::kBoki) {
+      res.kind = config.default_protocol;
+    } else {
+      std::optional<LogRecord> record = co_await env_->log().ReadPrev(
+          sharedlog::TransitionLogTag(config.switch_scope), env_->init_cursor_ts);
+      if (!record.has_value()) {
+        res.kind = config.default_protocol;
+      } else if (record->fields.GetStr("op") == "END") {
+        res.kind = KindFromInt(record->fields.GetInt("target"));
+        res.post_switch = true;
+      } else {
+        res.kind = ProtocolKind::kTransitional;
+        res.post_switch = true;
+      }
+    }
+    env_->resolution = res;
+    co_return res;
+  }
+
+  // Invoke for the Halfmoon protocols (Figure 5, lines 31-44): a synchronous pre record pins
+  // the callee's instance ID; a synchronous post record pins the result and advances cursorTS
+  // monotonically across the workflow.
+  sim::Task<Value> InvokeLogged(std::string function, Value input) {
+    Env& env = *env_;
+    env.step += 1;
+
+    FieldMap pre_fields;
+    pre_fields.SetStr("op", "invoke-pre");
+    pre_fields.SetInt("step", env.step);
+    pre_fields.SetStr("callee", env.instance_id + "/" + env.RandomId());
+    env.MaybeCrash("invoke.before");
+    StepLogResult pre = co_await LogStep(env, sharedlog::NoTags(), std::move(pre_fields));
+    std::string callee = pre.record.fields.GetStr("callee");
+
+    // Skip the call entirely if the result was already logged (Figure 5, lines 33-36).
+    if (const LogRecord* cached = PeekNextLog(env);
+        cached != nullptr && cached->fields.GetStr("op") == "invoke") {
+      FieldMap post_fields;
+      post_fields.SetStr("op", "invoke");
+      post_fields.SetInt("step", env.step);
+      StepLogResult post = co_await LogStep(env, sharedlog::NoTags(), std::move(post_fields));
+      co_return post.record.fields.GetStr("result");
+    }
+
+    env.MaybeCrash("invoke.after_prelog");
+    Value result = co_await CallChild(callee, std::move(function), std::move(input),
+                                      pre.record.seqnum);
+    env.MaybeCrash("invoke.after_call");
+
+    FieldMap post_fields;
+    post_fields.SetStr("op", "invoke");
+    post_fields.SetInt("step", env.step);
+    post_fields.SetStr("result", result);
+    StepLogResult post = co_await LogStep(env, sharedlog::NoTags(), std::move(post_fields));
+    if (post.recovered) {
+      result = post.record.fields.GetStr("result");
+    }
+    env.MaybeCrash("invoke.after_postlog");
+    co_return result;
+  }
+
+  // Boki's invoke uses step-keyed recovery (its asynchronous write markers make stream
+  // positions non-deterministic) with first-record-wins conflict resolution.
+  sim::Task<Value> InvokeBoki(std::string function, Value input) {
+    Env& env = *env_;
+    env.step += 1;
+    const sharedlog::Tag step_tag = sharedlog::StepLogTag(env.instance_id);
+
+    std::string callee;
+    SeqNum pre_seq = sharedlog::kInvalidSeqNum;
+    for (const LogRecord& record : env.step_logs) {
+      if (record.fields.GetInt("step") == env.step) {
+        if (record.fields.GetStr("op") == "invoke-pre") {
+          callee = record.fields.GetStr("callee");
+          pre_seq = record.seqnum;
+        } else if (record.fields.GetStr("op") == "invoke") {
+          co_return record.fields.GetStr("result");
+        }
+      }
+    }
+    if (callee.empty()) {
+      env.MaybeCrash("invoke.before");
+      FieldMap pre_fields;
+      pre_fields.SetStr("op", "invoke-pre");
+      pre_fields.SetInt("step", env.step);
+      pre_fields.SetStr("callee", env.instance_id + "/" + env.RandomId());
+      co_await env.log().Append(sharedlog::OneTag(step_tag), std::move(pre_fields));
+      std::optional<LogRecord> first =
+          env.cluster->log_space().FindFirstByStep(step_tag, "invoke-pre", env.step);
+      HM_CHECK(first.has_value());
+      callee = first->fields.GetStr("callee");
+      pre_seq = first->seqnum;
+    }
+
+    env.MaybeCrash("invoke.after_prelog");
+    Value result = co_await CallChild(callee, std::move(function), std::move(input), pre_seq);
+    env.MaybeCrash("invoke.after_call");
+
+    FieldMap post_fields;
+    post_fields.SetStr("op", "invoke");
+    post_fields.SetInt("step", env.step);
+    post_fields.SetStr("result", result);
+    co_await env.log().Append(sharedlog::OneTag(step_tag), std::move(post_fields));
+    std::optional<LogRecord> first =
+        env.cluster->log_space().FindFirstByStep(step_tag, "invoke", env.step);
+    if (first.has_value()) result = first->fields.GetStr("result");
+    co_return result;
+  }
+
+  SsfRuntime* runtime_;
+  Env* env_;
+  const Value* input_;
+  std::string root_id_;
+};
+
+// ---------------------------------------------------------------------------
+// SsfRuntime
+// ---------------------------------------------------------------------------
+
+SsfRuntime::SsfRuntime(runtime::Cluster* cluster, RuntimeConfig config)
+    : cluster_(cluster), config_(config), inflight_(&cluster->scheduler()) {}
+
+void SsfRuntime::RegisterFunction(std::string name, SsfBody body) {
+  functions_[std::move(name)] = std::move(body);
+}
+
+sim::Task<Value> SsfRuntime::InvokeSsf(std::string name, Value input) {
+  std::string id = name + "#" + std::to_string(next_invocation_++);
+  inflight_.Add();
+  ++stats_.invocations;
+  Value result;
+  try {
+    result = co_await RunInvocation(id, /*root_id=*/id, std::move(name), std::move(input));
+  } catch (...) {
+    inflight_.Done();
+    throw;
+  }
+  inflight_.Done();
+  co_return result;
+}
+
+sim::Task<Value> SsfRuntime::RunInvocation(std::string instance_id, std::string root_id,
+                                           std::string name, Value input,
+                                           sharedlog::SeqNum inherited_cursor) {
+  WorkflowState& workflow = workflows_[root_id];
+  workflow.members.push_back(instance_id);
+  auto state = std::make_shared<InvocationState>();
+
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (state->done) break;  // A peer instance completed the work.
+
+    // The platform may suspect a timeout and race a duplicate instance (§5.1).
+    if (cluster_->failure_injector().ShouldDuplicate(cluster_->rng())) {
+      ++stats_.peer_instances;
+      cluster_->scheduler().Spawn(RunPeer(state, instance_id, root_id, name, input,
+                                          attempt + 1000, inherited_cursor));
+    }
+
+    ++stats_.attempts;
+    ++state->live_attempts;
+    ++workflows_[root_id].live_attempts;
+    bool crashed = false;
+    try {
+      Value result = co_await RunAttempt(state.get(), instance_id, root_id, name, input,
+                                         attempt, inherited_cursor);
+      --state->live_attempts;
+      if (!state->done) {
+        state->done = true;
+        state->result = std::move(result);
+      }
+    } catch (const runtime::SsfCrashed&) {
+      --state->live_attempts;
+      ++stats_.crashes;
+      crashed = true;
+    }
+    --workflows_[root_id].live_attempts;
+    if (!crashed) break;
+    // Crash detected: the platform re-executes after the detection delay.
+    co_await cluster_->scheduler().Delay(config_.retry_delay);
+  }
+
+  HM_CHECK_MSG(state->done, "invocation exhausted its retry budget");
+  Value result = state->result;
+  if (instance_id == root_id) {
+    workflows_[root_id].root_done = true;
+  }
+  MaybeFinishWorkflow(root_id);
+  co_return result;
+}
+
+sim::Task<Value> SsfRuntime::RunAttempt(InvocationState* state, const std::string& instance_id,
+                                        const std::string& root_id, const std::string& name,
+                                        const Value& input, int attempt,
+                                        sharedlog::SeqNum inherited_cursor) {
+  auto it = functions_.find(name);
+  HM_CHECK_MSG(it != functions_.end(), "unknown function");
+
+  // Gateway dispatch hop, then wait for a worker slot on the chosen node.
+  co_await cluster_->scheduler().Delay(
+      cluster_->models().invoke_dispatch.Sample(cluster_->rng()));
+  runtime::FunctionNode& node = cluster_->PickNode();
+  co_await node.workers().Acquire();
+  sim::SemaphoreGuard guard(&node.workers());
+
+  Env env;
+  env.instance_id = instance_id;
+  env.attempt = attempt;
+  env.cluster = cluster_;
+  env.node = &node;
+  env.preserve_write_order = config_.preserve_write_order;
+
+  ContextImpl context(this, &env, &input, root_id);
+  if (config_.default_protocol != ProtocolKind::kUnsafe) {
+    if (inherited_cursor == sharedlog::kInvalidSeqNum || !config_.inherit_child_cursor) {
+      co_await InitSsf(env, input);
+    } else {
+      co_await InitChildSsf(env, inherited_cursor);
+    }
+  }
+  co_return co_await it->second(context);
+}
+
+sim::Task<void> SsfRuntime::RunPeer(std::shared_ptr<InvocationState> state,
+                                    std::string instance_id, std::string root_id,
+                                    std::string name, Value input, int attempt,
+                                    sharedlog::SeqNum inherited_cursor) {
+  co_await cluster_->scheduler().Delay(config_.duplicate_delay);
+  if (state->done) co_return;  // The primary finished before the peer launched.
+  ++stats_.attempts;
+  ++state->live_attempts;
+  ++workflows_[root_id].live_attempts;
+  try {
+    Value result = co_await RunAttempt(state.get(), instance_id, root_id, name, input,
+                                       attempt, inherited_cursor);
+    --state->live_attempts;
+    if (!state->done) {
+      state->done = true;
+      state->result = std::move(result);
+    }
+  } catch (const runtime::SsfCrashed&) {
+    // Peers are not retried; the primary's retry loop drives progress.
+    --state->live_attempts;
+    ++stats_.crashes;
+  }
+  --workflows_[root_id].live_attempts;
+  MaybeFinishWorkflow(root_id);
+}
+
+void SsfRuntime::MaybeFinishWorkflow(const std::string& root_id) {
+  auto it = workflows_.find(root_id);
+  if (it == workflows_.end()) return;
+  if (!it->second.root_done || it->second.live_attempts > 0) return;
+  // The whole workflow has drained: the root's init record may now release the GC/switch
+  // frontier, and every member's step log becomes collectible.
+  cluster_->MarkInstanceFinished(root_id);
+  for (const std::string& member : it->second.members) {
+    cluster_->EnqueueStepLogTrim(member);
+  }
+  workflows_.erase(it);
+}
+
+void SsfRuntime::PopulateObject(const std::string& key, const Value& value) {
+  SimTime now = cluster_->scheduler().Now();
+  // Seed only the representation the configured protocol actually reads, so storage
+  // accounting reflects each protocol's §4.6 model: a single LATEST version under
+  // Halfmoon-write/Boki/unsafe, versions + write-log records under Halfmoon-read. With
+  // switching enabled both schemes coexist (§5.2) and both are seeded.
+  bool single_version = config_.default_protocol != ProtocolKind::kHalfmoonRead;
+  bool multi_version = config_.default_protocol == ProtocolKind::kHalfmoonRead;
+  if (config_.enable_switching) {
+    single_version = true;
+    multi_version = true;
+  }
+  if (single_version) {
+    cluster_->kv_state().Put(now, key, value);
+  }
+  if (!multi_version) return;
+  // One multi-version copy plus its write-log commit record (Halfmoon-read path).
+  std::string version = "seed:" + key;
+  cluster_->kv_state().PutVersioned(now, key, version, value);
+  FieldMap fields;
+  fields.SetStr("op", "write");
+  fields.SetInt("step", 0);
+  fields.SetStr("version", version);
+  cluster_->log_space().Append(now, {sharedlog::WriteLogTag(key)}, std::move(fields));
+}
+
+}  // namespace halfmoon::core

@@ -1,0 +1,128 @@
+// The serverless runtime: function registry, gateway dispatch, crash detection and retry,
+// duplicate-instance injection, and the protocol-uniform Init/Invoke machinery.
+
+#ifndef HALFMOON_CORE_SSF_RUNTIME_H_
+#define HALFMOON_CORE_SSF_RUNTIME_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/env.h"
+#include "src/core/ssf_context.h"
+#include "src/runtime/cluster.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace halfmoon::core {
+
+struct RuntimeConfig {
+  ProtocolKind default_protocol = ProtocolKind::kHalfmoonRead;
+
+  // When true, the first state access of every SSF resolves its protocol through the
+  // transition log (§4.7); when false, `default_protocol` applies unconditionally and the
+  // lookup is skipped.
+  bool enable_switching = false;
+  std::string switch_scope = "global";
+
+  // Crash handling: how quickly the platform detects a dead function and re-executes it, and
+  // how many re-executions it attempts before giving up.
+  SimDuration retry_delay = Milliseconds(1);
+  int max_attempts = 200;
+
+  // Delay after which a duplicate (peer) instance launches when the injector asks for one.
+  SimDuration duplicate_delay = Milliseconds(5);
+
+  // §4.3 remark: child SSFs may inherit their initial cursorTS from the parent's invoke-pre
+  // record instead of appending an init record of their own. Disable for ablation.
+  bool inherit_child_cursor = true;
+
+  // §4.4 ordered-writes extension: insert a sync record between consecutive Halfmoon-write
+  // writes to different objects, so dependent pairs cannot commute. Log-free in the best
+  // case; off by default (most workloads make dependencies explicit through invocations).
+  bool preserve_write_order = false;
+};
+
+struct RuntimeStats {
+  int64_t invocations = 0;
+  int64_t attempts = 0;
+  int64_t crashes = 0;
+  int64_t peer_instances = 0;
+};
+
+class SsfRuntime {
+ public:
+  SsfRuntime(runtime::Cluster* cluster, RuntimeConfig config);
+
+  void RegisterFunction(std::string name, SsfBody body);
+
+  // Top-level entry point (the gateway): runs `name` as a new root invocation and returns its
+  // result after any retries. Tracks the whole workflow for garbage collection.
+  sim::Task<Value> InvokeSsf(std::string name, Value input);
+
+  // Runs an invocation with a fixed instance ID (callee invocations and re-invocations).
+  // `root_id` names the root of the workflow for GC bookkeeping. Child SSFs pass
+  // `inherited_cursor` — the seqnum of the parent's invoke-pre record — and skip the init
+  // append entirely: per the §4.3 remark, the initial cursorTS only needs to be
+  // deterministic, and can be inherited from the parent SSF.
+  sim::Task<Value> RunInvocation(std::string instance_id, std::string root_id,
+                                 std::string name, Value input,
+                                 sharedlog::SeqNum inherited_cursor = sharedlog::kInvalidSeqNum);
+
+  // Installs an object so that it is readable under every protocol: the LATEST slot, one
+  // multi-version copy, and a write-log commit record. No latency (test/bench setup).
+  void PopulateObject(const std::string& key, const Value& value);
+
+  runtime::Cluster& cluster() { return *cluster_; }
+  const RuntimeConfig& config() const { return config_; }
+  const RuntimeStats& stats() const { return stats_; }
+
+  // Outstanding top-level invocations; benchmarks drain this before reading metrics.
+  sim::WaitGroup& inflight() { return inflight_; }
+
+ private:
+  friend class ContextImpl;
+
+  struct InvocationState {
+    bool done = false;
+    Value result;
+    int live_attempts = 0;
+  };
+
+  // Per-workflow bookkeeping. A root's init record feeds the GC/switch frontier, so the root
+  // counts as running until the *entire* workflow — including lingering duplicate instances
+  // of its children — has drained; only then may versions its members might read be
+  // collected.
+  struct WorkflowState {
+    std::vector<std::string> members;
+    int live_attempts = 0;
+    bool root_done = false;
+  };
+
+  sim::Task<Value> RunAttempt(InvocationState* state, const std::string& instance_id,
+                              const std::string& root_id, const std::string& name,
+                              const Value& input, int attempt,
+                              sharedlog::SeqNum inherited_cursor);
+
+  // Spawned when the platform suspects a timeout: races the primary attempt (§5.1).
+  sim::Task<void> RunPeer(std::shared_ptr<InvocationState> state, std::string instance_id,
+                          std::string root_id, std::string name, Value input, int attempt,
+                          sharedlog::SeqNum inherited_cursor);
+
+  void MaybeFinishWorkflow(const std::string& root_id);
+
+  runtime::Cluster* cluster_;
+  RuntimeConfig config_;
+  std::unordered_map<std::string, SsfBody> functions_;
+  std::unordered_map<std::string, WorkflowState> workflows_;
+  RuntimeStats stats_;
+  sim::WaitGroup inflight_;
+  uint64_t next_invocation_ = 0;
+};
+
+}  // namespace halfmoon::core
+
+#endif  // HALFMOON_CORE_SSF_RUNTIME_H_

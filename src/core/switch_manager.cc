@@ -1,0 +1,47 @@
+#include "src/core/switch_manager.h"
+
+#include "src/common/check.h"
+
+namespace halfmoon::core {
+
+sim::Task<SwitchReport> SwitchManager::SwitchTo(ProtocolKind target) {
+  HM_CHECK_MSG(!in_progress_, "concurrent switches on one scope are not supported");
+  HM_CHECK_MSG(target == ProtocolKind::kHalfmoonRead || target == ProtocolKind::kHalfmoonWrite,
+               "switching targets must be Halfmoon protocols");
+  in_progress_ = true;
+
+  SwitchReport report;
+  report.target = target;
+
+  // The manager runs on node 0 (any node works; the transition log is globally visible).
+  sharedlog::LogClient& log = cluster_->node(0).log();
+
+  FieldMap begin_fields;
+  begin_fields.SetStr("op", "BEGIN");
+  begin_fields.SetInt("step", 0);
+  begin_fields.SetInt("target", static_cast<int64_t>(target));
+  report.begin_seqnum =
+      co_await log.Append(sharedlog::OneTag(sharedlog::TransitionLogTag(scope_)), std::move(begin_fields));
+  report.begin_time = cluster_->scheduler().Now();
+
+  // Wait for every SSF that started before the BEGIN (initial cursorTS < begin_seqnum) to
+  // finish. SSFs starting after the BEGIN already run the transitional protocol, so the
+  // system stays fully operational — the switch is pauseless.
+  while (cluster_->RunningFrontier() < report.begin_seqnum) {
+    co_await cluster_->scheduler().Delay(Milliseconds(2));
+  }
+
+  FieldMap end_fields;
+  end_fields.SetStr("op", "END");
+  end_fields.SetInt("step", 0);
+  end_fields.SetInt("target", static_cast<int64_t>(target));
+  report.end_seqnum =
+      co_await log.Append(sharedlog::OneTag(sharedlog::TransitionLogTag(scope_)), std::move(end_fields));
+  report.end_time = cluster_->scheduler().Now();
+
+  history_.push_back(report);
+  in_progress_ = false;
+  co_return report;
+}
+
+}  // namespace halfmoon::core

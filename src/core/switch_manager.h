@@ -1,0 +1,51 @@
+// Pauseless protocol switching (§4.7, §5.2).
+//
+// The runtime records switching history in a per-scope transition log. A switch appends a
+// BEGIN record, waits until every SSF that started before the BEGIN has finished (scanning the
+// init stream, never blocking new SSFs — they simply run the transitional protocol), then
+// appends the END record. SSFs resolve their protocol from the transition log using their
+// initial cursorTS, which makes the resolution stable across re-executions.
+
+#ifndef HALFMOON_CORE_SWITCH_MANAGER_H_
+#define HALFMOON_CORE_SWITCH_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/env.h"
+#include "src/runtime/cluster.h"
+#include "src/sim/task.h"
+
+namespace halfmoon::core {
+
+struct SwitchReport {
+  ProtocolKind target = ProtocolKind::kHalfmoonRead;
+  SimTime begin_time = 0;
+  SimTime end_time = 0;
+  sharedlog::SeqNum begin_seqnum = 0;
+  sharedlog::SeqNum end_seqnum = 0;
+
+  SimDuration SwitchingDelay() const { return end_time - begin_time; }
+};
+
+class SwitchManager {
+ public:
+  SwitchManager(runtime::Cluster* cluster, std::string scope)
+      : cluster_(cluster), scope_(std::move(scope)) {}
+
+  // Switches the scope to `target`. Returns once the END record is durable; the system keeps
+  // serving throughout. Concurrent switches on one scope are not allowed.
+  sim::Task<SwitchReport> SwitchTo(ProtocolKind target);
+
+  const std::vector<SwitchReport>& history() const { return history_; }
+
+ private:
+  runtime::Cluster* cluster_;
+  std::string scope_;
+  bool in_progress_ = false;
+  std::vector<SwitchReport> history_;
+};
+
+}  // namespace halfmoon::core
+
+#endif  // HALFMOON_CORE_SWITCH_MANAGER_H_

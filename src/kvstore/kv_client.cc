@@ -1,0 +1,135 @@
+#include "src/kvstore/kv_client.h"
+
+namespace halfmoon::kvstore {
+namespace {
+
+constexpr double kRequestLegFraction = 0.4;
+constexpr double kServiceFraction = 0.2;
+
+}  // namespace
+
+sim::Task<void> KvClient::Round(SimDuration total_latency) {
+  auto leg = static_cast<SimDuration>(static_cast<double>(total_latency) * kRequestLegFraction);
+  auto service =
+      static_cast<SimDuration>(static_cast<double>(total_latency) * kServiceFraction);
+  co_await scheduler_->Delay(leg);
+  if (station_ != nullptr) {
+    co_await station_->Process(service);
+  } else {
+    co_await scheduler_->Delay(service);
+  }
+  co_await scheduler_->Delay(leg);
+}
+
+sim::Task<std::optional<Value>> KvClient::Get(std::string key) {
+  ++stats_.reads;
+  SimDuration total = models_->db_read.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  auto service = static_cast<SimDuration>(static_cast<double>(total) * kServiceFraction);
+  co_await scheduler_->Delay(leg);
+  if (station_ != nullptr) {
+    co_await station_->Process(service);
+  } else {
+    co_await scheduler_->Delay(service);
+  }
+  // Snapshot at the store, before the reply leg: the read's linearization point.
+  std::optional<Value> value = state_->Get(key);
+  co_await scheduler_->Delay(leg);
+  co_return value;
+}
+
+sim::Task<std::optional<std::pair<Value, VersionTuple>>> KvClient::GetWithVersion(
+    std::string key) {
+  ++stats_.reads;
+  SimDuration total = models_->db_read.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  auto service = static_cast<SimDuration>(static_cast<double>(total) * kServiceFraction);
+  co_await scheduler_->Delay(leg);
+  if (station_ != nullptr) {
+    co_await station_->Process(service);
+  } else {
+    co_await scheduler_->Delay(service);
+  }
+  std::optional<std::pair<Value, VersionTuple>> result;
+  std::optional<Value> value = state_->Get(key);
+  if (value.has_value()) {
+    result.emplace(std::move(*value), state_->GetVersion(key).value_or(VersionTuple{}));
+  }
+  co_await scheduler_->Delay(leg);
+  co_return result;
+}
+
+sim::Task<void> KvClient::Put(std::string key, Value value) {
+  ++stats_.plain_writes;
+  SimDuration total = models_->db_plain_write.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  auto service = static_cast<SimDuration>(static_cast<double>(total) * kServiceFraction);
+  co_await scheduler_->Delay(leg);
+  if (station_ != nullptr) {
+    co_await station_->Process(service);
+  } else {
+    co_await scheduler_->Delay(service);
+  }
+  // The write becomes visible when the store applies it, before the reply reaches the caller.
+  state_->Put(scheduler_->Now(), std::move(key), std::move(value));
+  co_await scheduler_->Delay(leg);
+}
+
+sim::Task<bool> KvClient::CondPut(std::string key, Value value, VersionTuple version) {
+  ++stats_.cond_writes;
+  SimDuration total = models_->db_cond_write.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  auto service = static_cast<SimDuration>(static_cast<double>(total) * kServiceFraction);
+  co_await scheduler_->Delay(leg);
+  if (station_ != nullptr) {
+    co_await station_->Process(service);
+  } else {
+    co_await scheduler_->Delay(service);
+  }
+  bool applied = state_->CondPut(scheduler_->Now(), std::move(key), std::move(value), version);
+  if (!applied) ++stats_.cond_write_rejects;
+  co_await scheduler_->Delay(leg);
+  co_return applied;
+}
+
+sim::Task<void> KvClient::PutVersioned(std::string key, std::string version_id, Value value) {
+  ++stats_.versioned_writes;
+  SimDuration total = models_->db_plain_write.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  auto service = static_cast<SimDuration>(static_cast<double>(total) * kServiceFraction);
+  co_await scheduler_->Delay(leg);
+  if (station_ != nullptr) {
+    co_await station_->Process(service);
+  } else {
+    co_await scheduler_->Delay(service);
+  }
+  state_->PutVersioned(scheduler_->Now(), std::move(key), std::move(version_id),
+                       std::move(value));
+  co_await scheduler_->Delay(leg);
+}
+
+sim::Task<std::optional<Value>> KvClient::GetVersioned(std::string key,
+                                                       std::string version_id) {
+  ++stats_.versioned_reads;
+  SimDuration total = models_->db_read.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  auto service = static_cast<SimDuration>(static_cast<double>(total) * kServiceFraction);
+  co_await scheduler_->Delay(leg);
+  if (station_ != nullptr) {
+    co_await station_->Process(service);
+  } else {
+    co_await scheduler_->Delay(service);
+  }
+  std::optional<Value> value = state_->GetVersioned(key, version_id);
+  co_await scheduler_->Delay(leg);
+  co_return value;
+}
+
+sim::Task<bool> KvClient::DeleteVersioned(std::string key, std::string version_id) {
+  ++stats_.deletes;
+  SimDuration total = models_->db_plain_write.Sample(*rng_);
+  co_await Round(total);
+  co_return state_->DeleteVersioned(scheduler_->Now(), std::move(key), std::move(version_id));
+}
+
+}  // namespace halfmoon::kvstore

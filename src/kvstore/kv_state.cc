@@ -1,0 +1,82 @@
+#include "src/kvstore/kv_state.h"
+
+namespace halfmoon::kvstore {
+
+std::optional<Value> KvState::Get(const std::string& key) const {
+  auto it = latest_.find(key);
+  if (it == latest_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+void KvState::Put(SimTime now, const std::string& key, Value value) {
+  auto [it, inserted] = latest_.try_emplace(key);
+  if (!inserted) {
+    gauge_.Add(now, -LatestEntryBytes(key, it->second.value));
+  }
+  gauge_.Add(now, LatestEntryBytes(key, value));
+  it->second.value = std::move(value);
+}
+
+bool KvState::CondPut(SimTime now, const std::string& key, Value value, VersionTuple version) {
+  auto it = latest_.find(key);
+  if (it == latest_.end()) {
+    // Missing keys carry the zero version; the write applies iff its version is larger.
+    if (!(VersionTuple{} < version)) return false;
+    gauge_.Add(now, LatestEntryBytes(key, value));
+    latest_.emplace(key, LatestSlot{std::move(value), version});
+    return true;
+  }
+  if (!(it->second.version < version)) return false;
+  gauge_.Add(now, -LatestEntryBytes(key, it->second.value));
+  gauge_.Add(now, LatestEntryBytes(key, value));
+  it->second.value = std::move(value);
+  it->second.version = version;
+  return true;
+}
+
+std::optional<VersionTuple> KvState::GetVersion(const std::string& key) const {
+  auto it = latest_.find(key);
+  if (it == latest_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+void KvState::PutVersioned(SimTime now, const std::string& key, const std::string& version_id,
+                           Value value) {
+  auto& versions = versioned_[key];
+  auto [it, inserted] = versions.try_emplace(version_id);
+  if (!inserted) {
+    // Idempotent re-write of the same version (a retried SSF re-creating the version it
+    // already wrote): replace without double-accounting.
+    gauge_.Add(now, -VersionedEntryBytes(key, version_id, it->second));
+  }
+  gauge_.Add(now, VersionedEntryBytes(key, version_id, value));
+  it->second = std::move(value);
+}
+
+std::optional<Value> KvState::GetVersioned(const std::string& key,
+                                           const std::string& version_id) const {
+  auto it = versioned_.find(key);
+  if (it == versioned_.end()) return std::nullopt;
+  auto vit = it->second.find(version_id);
+  if (vit == it->second.end()) return std::nullopt;
+  return vit->second;
+}
+
+bool KvState::DeleteVersioned(SimTime now, const std::string& key,
+                              const std::string& version_id) {
+  auto it = versioned_.find(key);
+  if (it == versioned_.end()) return false;
+  auto vit = it->second.find(version_id);
+  if (vit == it->second.end()) return false;
+  gauge_.Add(now, -VersionedEntryBytes(key, version_id, vit->second));
+  it->second.erase(vit);
+  if (it->second.empty()) versioned_.erase(it);
+  return true;
+}
+
+size_t KvState::VersionCount(const std::string& key) const {
+  auto it = versioned_.find(key);
+  return it == versioned_.end() ? 0 : it->second.size();
+}
+
+}  // namespace halfmoon::kvstore

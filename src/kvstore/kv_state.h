@@ -1,0 +1,93 @@
+// The external state: a key-value store with DynamoDB-flavoured semantics.
+//
+// Three facilities, exactly what the protocols need (§4.1, §4.2, §5.2):
+//   * plain Get/Put on a single-version "LATEST" slot per key,
+//   * conditional Put that applies only if the stored version tuple is smaller
+//     (DynamoDB conditional update, used by Halfmoon-write and by Boki),
+//   * multi-version storage layered over plain KV where each version is a separate
+//     subkey (used by Halfmoon-read; version numbers are unordered pointers — the
+//     write log defines the order).
+//
+// KvState is pure state; latency/queueing live in KvClient.
+
+#ifndef HALFMOON_KVSTORE_KV_STATE_H_
+#define HALFMOON_KVSTORE_KV_STATE_H_
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/time.h"
+#include "src/common/value.h"
+#include "src/metrics/storage_sampler.h"
+
+namespace halfmoon::kvstore {
+
+// Version tuple for conditional updates: (cursorTS, consecutive-write counter), compared
+// lexicographically (§4.2). Fresh objects carry the zero version, smaller than any write.
+struct VersionTuple {
+  uint64_t cursor_ts = 0;
+  uint64_t counter = 0;
+
+  auto operator<=>(const VersionTuple&) const = default;
+};
+
+class KvState {
+ public:
+  KvState() = default;
+  KvState(const KvState&) = delete;
+  KvState& operator=(const KvState&) = delete;
+
+  // ---- Single-version (LATEST) slot ----
+
+  std::optional<Value> Get(const std::string& key) const;
+
+  // Unconditional write; leaves the stored version tuple untouched.
+  void Put(SimTime now, const std::string& key, Value value);
+
+  // Conditional write: applies iff the stored version is strictly smaller than `version`
+  // (missing keys count as version zero). Returns whether the update was applied.
+  bool CondPut(SimTime now, const std::string& key, Value value, VersionTuple version);
+
+  std::optional<VersionTuple> GetVersion(const std::string& key) const;
+
+  // ---- Multi-version objects ----
+
+  void PutVersioned(SimTime now, const std::string& key, const std::string& version_id,
+                    Value value);
+  std::optional<Value> GetVersioned(const std::string& key,
+                                    const std::string& version_id) const;
+  bool DeleteVersioned(SimTime now, const std::string& key, const std::string& version_id);
+  size_t VersionCount(const std::string& key) const;
+
+  int64_t CurrentBytes() const { return gauge_.CurrentBytes(); }
+  metrics::StorageGauge& gauge() { return gauge_; }
+
+  size_t key_count() const { return latest_.size(); }
+
+ private:
+  struct LatestSlot {
+    Value value;
+    VersionTuple version;
+  };
+
+  static int64_t LatestEntryBytes(const std::string& key, const Value& value) {
+    return static_cast<int64_t>(key.size() + value.size() + sizeof(VersionTuple));
+  }
+  static int64_t VersionedEntryBytes(const std::string& key, const std::string& version_id,
+                                     const Value& value) {
+    return static_cast<int64_t>(key.size() + version_id.size() + value.size());
+  }
+
+  std::unordered_map<std::string, LatestSlot> latest_;
+  // key -> version_id -> value. Ordered inner map for deterministic iteration in tests/GC.
+  std::unordered_map<std::string, std::map<std::string, Value>> versioned_;
+  metrics::StorageGauge gauge_;
+};
+
+}  // namespace halfmoon::kvstore
+
+#endif  // HALFMOON_KVSTORE_KV_STATE_H_

@@ -1,0 +1,26 @@
+#include "src/metrics/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace halfmoon::metrics {
+
+SimDuration LatencyRecorder::Percentile(double pct) const {
+  if (samples_.empty()) return 0;
+  std::vector<SimDuration> sorted = samples_;
+  // Nearest-rank percentile over the sorted sample set.
+  double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t index = static_cast<size_t>(std::llround(rank));
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(index), sorted.end());
+  return sorted[index];
+}
+
+double LatencyRecorder::MeanMs() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (SimDuration s : samples_) total += ToMillisDouble(s);
+  return total / static_cast<double>(samples_.size());
+}
+
+}  // namespace halfmoon::metrics

@@ -1,0 +1,63 @@
+// Time-weighted storage accounting for Figure 12.
+//
+// Components report their current byte footprint through Gauge objects; the sampler integrates
+// gauge values over simulated time so that `TimeAverageBytes()` matches the paper's
+// "time-average storage usage over a period of 10 minutes" metric.
+
+#ifndef HALFMOON_METRICS_STORAGE_SAMPLER_H_
+#define HALFMOON_METRICS_STORAGE_SAMPLER_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+
+namespace halfmoon::metrics {
+
+// A byte gauge that integrates its own value across time. Callers must update it with a
+// monotonically non-decreasing clock.
+class StorageGauge {
+ public:
+  void Add(SimTime now, int64_t delta) { Set(now, current_ + delta); }
+
+  void Set(SimTime now, int64_t bytes) {
+    HM_CHECK(now >= last_update_);
+    HM_CHECK(bytes >= 0);
+    integral_ += static_cast<double>(current_) * static_cast<double>(now - last_update_);
+    last_update_ = now;
+    current_ = bytes;
+  }
+
+  int64_t CurrentBytes() const { return current_; }
+
+  // Average bytes over [start, now]; flushes the integral up to `now` first.
+  double TimeAverageBytes(SimTime now) {
+    Set(now, current_);
+    if (now <= 0) return static_cast<double>(current_);
+    return integral_ / static_cast<double>(now);
+  }
+
+  // Average over a window [window_start, now], for benchmarks that exclude warm-up.
+  void ResetWindow(SimTime now) {
+    Set(now, current_);
+    integral_ = 0.0;
+    window_start_ = now;
+  }
+
+  double WindowAverageBytes(SimTime now) {
+    Set(now, current_);
+    SimDuration span = now - window_start_;
+    if (span <= 0) return static_cast<double>(current_);
+    return integral_ / static_cast<double>(span);
+  }
+
+ private:
+  int64_t current_ = 0;
+  SimTime last_update_ = 0;
+  SimTime window_start_ = 0;
+  double integral_ = 0.0;
+};
+
+}  // namespace halfmoon::metrics
+
+#endif  // HALFMOON_METRICS_STORAGE_SAMPLER_H_

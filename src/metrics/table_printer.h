@@ -1,0 +1,28 @@
+// Minimal aligned-table output for benchmark harnesses, so every bench binary prints rows and
+// series in the same layout as the paper's tables and figures.
+
+#ifndef HALFMOON_METRICS_TABLE_PRINTER_H_
+#define HALFMOON_METRICS_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace halfmoon::metrics {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  static std::string FormatDouble(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace halfmoon::metrics
+
+#endif  // HALFMOON_METRICS_TABLE_PRINTER_H_

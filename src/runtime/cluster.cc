@@ -1,0 +1,94 @@
+#include "src/runtime/cluster.h"
+
+#include "src/common/check.h"
+
+namespace halfmoon::runtime {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), rng_(config.seed), models_(config.calibration) {
+  if (config.model_queueing) {
+    sequencer_station_ =
+        std::make_unique<sim::ServiceStation>(&scheduler_, config.sequencer_servers);
+    storage_station_ =
+        std::make_unique<sim::ServiceStation>(&scheduler_, config.storage_servers);
+    db_station_ = std::make_unique<sim::ServiceStation>(&scheduler_, config.db_servers);
+  }
+  HM_CHECK(config.function_nodes > 0);
+  nodes_.reserve(config.function_nodes);
+  for (int i = 0; i < config.function_nodes; ++i) {
+    nodes_.push_back(std::make_unique<FunctionNode>(
+        i, &scheduler_, &rng_, &models_, &log_space_, &kv_state_, sequencer_station_.get(),
+        storage_station_.get(), db_station_.get(), config.workers_per_node));
+  }
+
+  // Index propagation: every committed seqnum reaches each function node's index replica
+  // after a sampled delay, enabling the cheap local logReadPrev path (§4.1).
+  log_space_.SetCommitListener([this](sharedlog::SeqNum seqnum) {
+    SimDuration delay = models_.index_propagation.Sample(rng_);
+    scheduler_.Post(delay, [this, seqnum] {
+      for (auto& node : nodes_) {
+        node->log().AdvanceIndex(seqnum);
+      }
+    });
+  });
+}
+
+sharedlog::SeqNum Cluster::RunningFrontier() const {
+  // Scan the (prefix-trimmed) global init stream: the first init record belonging to an
+  // instance that has not finished bounds the frontier.
+  std::vector<sharedlog::LogRecord> inits = log_space_.ReadStream(sharedlog::InitLogTag());
+  for (const sharedlog::LogRecord& record : inits) {
+    const std::string& instance_id = record.fields.GetStr("instance");
+    if (finished_instances_.count(instance_id) == 0) {
+      return record.seqnum;
+    }
+  }
+  return log_space_.next_seqnum();
+}
+
+int64_t Cluster::TotalLogAppends() const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->log().stats().appends + node->log().stats().cond_appends;
+  }
+  return total;
+}
+
+int64_t Cluster::TotalLogReads() const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) {
+    const auto& s = node->log().stats();
+    total += s.read_prev_cached + s.read_prev_uncached + s.read_next + s.stream_reads;
+  }
+  return total;
+}
+
+int64_t Cluster::TotalKvReads() const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) {
+    const auto& s = node->kv().stats();
+    total += s.reads + s.versioned_reads;
+  }
+  return total;
+}
+
+int64_t Cluster::TotalKvWrites() const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) {
+    const auto& s = node->kv().stats();
+    total += s.plain_writes + s.cond_writes + s.versioned_writes;
+  }
+  return total;
+}
+
+int64_t Cluster::TotalDbOps() const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) {
+    const auto& s = node->kv().stats();
+    total += s.reads + s.plain_writes + s.cond_writes + s.versioned_reads +
+             s.versioned_writes + s.deletes;
+  }
+  return total;
+}
+
+}  // namespace halfmoon::runtime

@@ -1,0 +1,160 @@
+// The simulated cluster: the paper's testbed in one object.
+//
+// Mirrors the §6 setup — a gateway plus eight function nodes, a logging layer (sequencer +
+// storage nodes) and DynamoDB as external storage. Each function node has a bounded worker
+// pool (invocations queue when all workers are busy — this produces Fig. 11's saturation), a
+// shared-log client with a trailing index replica, and a KV client.
+
+#ifndef HALFMOON_RUNTIME_CLUSTER_H_
+#define HALFMOON_RUNTIME_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/latency_model.h"
+#include "src/common/rng.h"
+#include "src/kvstore/kv_client.h"
+#include "src/kvstore/kv_state.h"
+#include "src/runtime/failure_injector.h"
+#include "src/sharedlog/log_client.h"
+#include "src/sharedlog/log_space.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/service_station.h"
+
+namespace halfmoon::runtime {
+
+struct ClusterConfig {
+  // §6: eight function nodes; worker slots bound per-node concurrency.
+  int function_nodes = 8;
+  int workers_per_node = 16;
+
+  // Logging layer: one sequencer node, three storage nodes (§6 setup). Server counts model
+  // each service's internal parallelism.
+  int sequencer_servers = 6;
+  int storage_servers = 12;
+
+  // External storage (DynamoDB scales well; generous parallelism).
+  int db_servers = 48;
+
+  // Disable to run microbenchmarks without queueing effects.
+  bool model_queueing = true;
+
+  uint64_t seed = 1;
+  LatencyCalibration calibration;
+};
+
+// One function node: a worker pool plus its clients to the logging layer and the KV store.
+class FunctionNode {
+ public:
+  FunctionNode(int id, sim::Scheduler* scheduler, Rng* rng, const LatencyModels* models,
+               sharedlog::LogSpace* log_space, kvstore::KvState* kv_state,
+               sim::ServiceStation* sequencer, sim::ServiceStation* storage,
+               sim::ServiceStation* db, int workers)
+      : id_(id),
+        workers_(scheduler, workers),
+        log_(scheduler, rng, models, log_space, sequencer, storage),
+        kv_(scheduler, rng, models, kv_state, db) {}
+
+  int id() const { return id_; }
+  sim::Semaphore& workers() { return workers_; }
+  sharedlog::LogClient& log() { return log_; }
+  kvstore::KvClient& kv() { return kv_; }
+
+ private:
+  int id_;
+  sim::Semaphore workers_;
+  sharedlog::LogClient log_;
+  kvstore::KvClient kv_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+  Rng& rng() { return rng_; }
+  const LatencyModels& models() const { return models_; }
+  const ClusterConfig& config() const { return config_; }
+
+  sharedlog::LogSpace& log_space() { return log_space_; }
+  kvstore::KvState& kv_state() { return kv_state_; }
+  FailureInjector& failure_injector() { return injector_; }
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  FunctionNode& node(int i) { return *nodes_[i]; }
+
+  // Round-robin node selection, the gateway's dispatch policy.
+  FunctionNode& PickNode() {
+    FunctionNode& n = *nodes_[next_node_];
+    next_node_ = (next_node_ + 1) % nodes_.size();
+    return n;
+  }
+
+  // ---- Completion bookkeeping (feeds GC condition (b) of §4.5 and the §4.7 switch wait) ----
+
+  // Marks an invocation (instance ID) as fully finished: result delivered and no live peers.
+  // Feeds the running-SSF frontier used by GC and switching.
+  void MarkInstanceFinished(const std::string& instance_id) {
+    finished_instances_.insert(instance_id);
+  }
+
+  bool IsInstanceFinished(const std::string& instance_id) const {
+    return finished_instances_.count(instance_id) > 0;
+  }
+
+  // Queues an instance's step log for trimming. Called only once the instance's *workflow
+  // root* has finished, because a crashed parent may still replay through its callees' logs.
+  void EnqueueStepLogTrim(const std::string& instance_id) {
+    trim_queue_.push_back(instance_id);
+  }
+
+  // Drains the step-log trim queue (one GC scan's worth of work).
+  std::vector<std::string> DrainStepLogTrimQueue() {
+    std::vector<std::string> out;
+    out.swap(trim_queue_);
+    return out;
+  }
+
+  // The GC/switch frontier: the largest seqnum t such that every SSF whose init record has
+  // seqnum < t has finished. Derived by scanning the global init stream, as in §4.7.
+  sharedlog::SeqNum RunningFrontier() const;
+
+  // Aggregate logging statistics across all function nodes.
+  int64_t TotalLogAppends() const;
+  int64_t TotalLogReads() const;
+  int64_t TotalDbOps() const;
+
+  // Aggregate external-state traffic, split by direction (feeds the auto-switch advisor's
+  // read/write-intensity estimate).
+  int64_t TotalKvReads() const;
+  int64_t TotalKvWrites() const;
+
+ private:
+  ClusterConfig config_;
+  sim::Scheduler scheduler_;
+  Rng rng_;
+  LatencyModels models_;
+
+  sharedlog::LogSpace log_space_;
+  kvstore::KvState kv_state_;
+
+  std::unique_ptr<sim::ServiceStation> sequencer_station_;
+  std::unique_ptr<sim::ServiceStation> storage_station_;
+  std::unique_ptr<sim::ServiceStation> db_station_;
+
+  std::vector<std::unique_ptr<FunctionNode>> nodes_;
+  size_t next_node_ = 0;
+
+  FailureInjector injector_;
+  std::set<std::string> finished_instances_;
+  std::vector<std::string> trim_queue_;
+};
+
+}  // namespace halfmoon::runtime
+
+#endif  // HALFMOON_RUNTIME_CLUSTER_H_

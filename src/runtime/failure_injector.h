@@ -1,0 +1,70 @@
+// Crash and duplicate-instance injection.
+//
+// Protocol implementations call Env::MaybeCrash("site") at every point where a real function
+// could die (before/after each DB operation, between a DB write and its commit log, ...).
+// The injector decides whether that site fires:
+//   * probabilistic mode — each site crashes independently with probability p (recovery-cost
+//     experiments, §7),
+//   * scheduled mode — crash exactly at the k-th site hit of the run, which lets property
+//     tests enumerate *every* crash point of a workload and check exactly-once semantics for
+//     each resulting execution.
+// The injector also decides when the gateway should launch a duplicate (peer) instance of an
+// in-flight invocation, exercising the §5.1 race.
+
+#ifndef HALFMOON_RUNTIME_FAILURE_INJECTOR_H_
+#define HALFMOON_RUNTIME_FAILURE_INJECTOR_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace halfmoon::runtime {
+
+// Thrown from a crash site; unwinds through the SSF coroutine into the runtime's retry loop.
+struct SsfCrashed {
+  std::string site;
+};
+
+class FailureInjector {
+ public:
+  FailureInjector() = default;
+
+  // Each crash site fires independently with probability p.
+  void SetCrashProbability(double p) { crash_probability_ = p; }
+
+  // Crash exactly when the global site-hit counter reaches each index in `indices` (0-based).
+  void CrashAtSiteHits(std::set<int64_t> indices) { scheduled_hits_ = std::move(indices); }
+
+  // Probability that the gateway duplicates an invocation with a peer instance.
+  void SetDuplicateProbability(double p) { duplicate_probability_ = p; }
+
+  // Called at every crash site. Returns true if the SSF should crash here. Always increments
+  // the global hit counter, so scheduled indices refer to a deterministic enumeration.
+  bool ShouldCrash(Rng& rng, const std::string& site) {
+    int64_t hit = site_hits_++;
+    if (scheduled_hits_.count(hit) > 0) return true;
+    if (crash_probability_ > 0.0 && rng.Bernoulli(crash_probability_)) return true;
+    return false;
+  }
+
+  bool ShouldDuplicate(Rng& rng) {
+    return duplicate_probability_ > 0.0 && rng.Bernoulli(duplicate_probability_);
+  }
+
+  // Total crash sites encountered so far; a dry run of a workload measures its site count,
+  // which exhaustive tests then sweep.
+  int64_t site_hits() const { return site_hits_; }
+  void ResetHitCounter() { site_hits_ = 0; }
+
+ private:
+  double crash_probability_ = 0.0;
+  double duplicate_probability_ = 0.0;
+  std::set<int64_t> scheduled_hits_;
+  int64_t site_hits_ = 0;
+};
+
+}  // namespace halfmoon::runtime
+
+#endif  // HALFMOON_RUNTIME_FAILURE_INJECTOR_H_

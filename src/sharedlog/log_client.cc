@@ -1,0 +1,152 @@
+#include "src/sharedlog/log_client.h"
+
+#include <utility>
+
+namespace halfmoon::sharedlog {
+namespace {
+
+// How a sampled end-to-end latency is split across the wire legs and the server occupancy.
+// The split keeps low-load latency equal to the calibrated sample while letting the station
+// inject queueing delay under load.
+constexpr double kRequestLegFraction = 0.4;
+constexpr double kServiceFraction = 0.2;
+
+}  // namespace
+
+sim::Task<void> LogClient::SequencerRound(SimDuration total_latency) {
+  auto service = static_cast<SimDuration>(static_cast<double>(total_latency) * kServiceFraction);
+  if (sequencer_station_ != nullptr) {
+    co_await sequencer_station_->Process(service);
+  } else {
+    co_await scheduler_->Delay(service);
+  }
+}
+
+sim::Task<void> LogClient::StorageRound(SimDuration total_latency) {
+  auto service = static_cast<SimDuration>(static_cast<double>(total_latency) * kServiceFraction);
+  if (storage_station_ != nullptr) {
+    co_await storage_station_->Process(service);
+  } else {
+    co_await scheduler_->Delay(service);
+  }
+}
+
+sim::Task<SeqNum> LogClient::Append(std::vector<Tag> tags, FieldMap fields) {
+  ++stats_.appends;
+  SimDuration total = models_->log_append.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  co_await scheduler_->Delay(leg);        // Request travels to the sequencer.
+  co_await SequencerRound(total);         // Ordering + replication to storage nodes.
+  SeqNum seqnum = space_->Append(scheduler_->Now(), std::move(tags), std::move(fields));
+  AdvanceIndex(seqnum);                   // The appender learns its own seqnum with the reply.
+  co_await scheduler_->Delay(leg);        // Reply.
+  co_return seqnum;
+}
+
+sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<Tag> tags, FieldMap fields,
+                                                  Tag cond_tag, size_t cond_pos) {
+  ++stats_.cond_appends;
+  SimDuration total = models_->log_append.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  co_await scheduler_->Delay(leg);
+  co_await SequencerRound(total);
+  CondAppendResult result =
+      space_->CondAppend(scheduler_->Now(), std::move(tags), std::move(fields), cond_tag,
+                         cond_pos);
+  if (result.ok) {
+    AdvanceIndex(result.seqnum);
+  } else {
+    ++stats_.cond_append_conflicts;
+  }
+  co_await scheduler_->Delay(leg);
+  co_return result;
+}
+
+sim::Task<CondAppendResult> LogClient::CondAppendBatch(std::vector<LogSpace::BatchEntry> batch,
+                                                       Tag cond_tag, size_t cond_pos) {
+  stats_.cond_appends += static_cast<int64_t>(batch.size());
+  SimDuration total = models_->log_append.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  co_await scheduler_->Delay(leg);
+  co_await SequencerRound(total);
+  CondAppendResult result =
+      space_->CondAppendBatch(scheduler_->Now(), std::move(batch), cond_tag, cond_pos);
+  if (result.ok) {
+    // The batch commits with consecutive seqnums; the replica learns them with the reply.
+    AdvanceIndex(space_->next_seqnum() - 1);
+  } else {
+    ++stats_.cond_append_conflicts;
+  }
+  co_await scheduler_->Delay(leg);
+  co_return result;
+}
+
+sim::Task<SeqNum> LogClient::AppendBatch(std::vector<LogSpace::BatchEntry> batch) {
+  stats_.appends += static_cast<int64_t>(batch.size());
+  SimDuration total = models_->log_append.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  co_await scheduler_->Delay(leg);
+  co_await SequencerRound(total);
+  SeqNum first = space_->AppendBatch(scheduler_->Now(), std::move(batch));
+  AdvanceIndex(space_->next_seqnum() - 1);
+  co_await scheduler_->Delay(leg);
+  co_return first;
+}
+
+sim::Task<std::optional<LogRecord>> LogClient::FindFirstByStep(Tag tag, std::string op,
+                                                               int64_t step) {
+  co_await scheduler_->Delay(models_->log_read_cached.Sample(*rng_));
+  co_return space_->FindFirstByStep(tag, op, step);
+}
+
+sim::Task<std::optional<LogRecord>> LogClient::ReadPrev(Tag tag, SeqNum max_seqnum) {
+  if (indexed_upto_ >= max_seqnum) {
+    // The local index replica provably covers the requested prefix: serve locally.
+    ++stats_.read_prev_cached;
+    co_await scheduler_->Delay(models_->log_read_cached.Sample(*rng_));
+    co_return space_->ReadPrev(tag, max_seqnum);
+  }
+  // Sync with a storage node; afterwards the replica covers max_seqnum.
+  ++stats_.read_prev_uncached;
+  SimDuration total = models_->log_read_uncached.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  co_await scheduler_->Delay(leg);
+  co_await StorageRound(total);
+  std::optional<LogRecord> record = space_->ReadPrev(tag, max_seqnum);
+  AdvanceIndex(max_seqnum);
+  co_await scheduler_->Delay(leg);
+  co_return record;
+}
+
+sim::Task<std::optional<LogRecord>> LogClient::ReadNext(Tag tag, SeqNum min_seqnum) {
+  ++stats_.read_next;
+  SimDuration total = models_->log_read_uncached.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  co_await scheduler_->Delay(leg);
+  co_await StorageRound(total);
+  std::optional<LogRecord> record = space_->ReadNext(tag, min_seqnum);
+  co_await scheduler_->Delay(leg);
+  co_return record;
+}
+
+sim::Task<std::vector<LogRecord>> LogClient::ReadStream(Tag tag) {
+  ++stats_.stream_reads;
+  // Served from the node-local index replica, which is complete up to indexed_upto_ (Boki
+  // replicates the index to every function node; only record payloads live on storage).
+  // Records beyond the replica's horizon may be missed — harmless, because every logged step
+  // is re-validated through logCondAppend and a conflict adopts the existing record.
+  co_await scheduler_->Delay(models_->log_read_cached.Sample(*rng_));
+  co_return space_->ReadStreamUpTo(tag, indexed_upto_);
+}
+
+sim::Task<void> LogClient::Trim(Tag tag, SeqNum upto) {
+  ++stats_.trims;
+  SimDuration total = models_->log_read_uncached.Sample(*rng_);
+  auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+  co_await scheduler_->Delay(leg);
+  co_await StorageRound(total);
+  space_->Trim(scheduler_->Now(), tag, upto);
+  co_await scheduler_->Delay(leg);
+}
+
+}  // namespace halfmoon::sharedlog

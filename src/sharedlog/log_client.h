@@ -1,0 +1,109 @@
+// Per-function-node client of the shared log. Adds what LogSpace deliberately leaves out:
+// operation latencies (calibrated to Boki, Table 1 / §4.1), queueing at the sequencer and
+// storage stations, and the node-local index replica that makes logReadPrev cheap.
+//
+// The index replica trails the authoritative log: each committed seqnum is propagated to every
+// client after a sampled delay. A logReadPrev bounded by `max_seqnum` can be served from the
+// local index iff the replica already covers `max_seqnum` (the 0.12 ms path); otherwise the
+// client syncs with a storage node (the slower path).
+
+#ifndef HALFMOON_SHAREDLOG_LOG_CLIENT_H_
+#define HALFMOON_SHAREDLOG_LOG_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/latency_model.h"
+#include "src/common/rng.h"
+#include "src/sharedlog/log_record.h"
+#include "src/sharedlog/log_space.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/service_station.h"
+#include "src/sim/task.h"
+
+namespace halfmoon::sharedlog {
+
+// Counters for the logging-overhead analysis (the paper's "number of abstract logging
+// operations", §4.3) and cache behaviour.
+struct LogClientStats {
+  int64_t appends = 0;
+  int64_t cond_appends = 0;
+  int64_t cond_append_conflicts = 0;
+  int64_t read_prev_cached = 0;
+  int64_t read_prev_uncached = 0;
+  int64_t read_next = 0;
+  int64_t stream_reads = 0;
+  int64_t trims = 0;
+};
+
+class LogClient {
+ public:
+  // `sequencer_station` and `storage_station` may be null to disable queueing (microbenches).
+  LogClient(sim::Scheduler* scheduler, Rng* rng, const LatencyModels* models, LogSpace* space,
+            sim::ServiceStation* sequencer_station, sim::ServiceStation* storage_station)
+      : scheduler_(scheduler),
+        rng_(rng),
+        models_(models),
+        space_(space),
+        sequencer_station_(sequencer_station),
+        storage_station_(storage_station) {}
+
+  // logAppend: returns the record's seqnum. The record commits mid-flight (after the request
+  // leg), so other nodes can observe it before the reply reaches the caller.
+  sim::Task<SeqNum> Append(std::vector<Tag> tags, FieldMap fields);
+
+  // logCondAppend (§5.1).
+  sim::Task<CondAppendResult> CondAppend(std::vector<Tag> tags, FieldMap fields, Tag cond_tag,
+                                         size_t cond_pos);
+
+  // Conditionally appends several records in one sequencer round (Boki's batched append).
+  // Costs a single append latency; the records receive consecutive seqnums.
+  sim::Task<CondAppendResult> CondAppendBatch(std::vector<LogSpace::BatchEntry> batch,
+                                              Tag cond_tag, size_t cond_pos);
+
+  // Unconditional batched append (one round, consecutive seqnums); returns the first seqnum.
+  sim::Task<SeqNum> AppendBatch(std::vector<LogSpace::BatchEntry> batch);
+
+  // Boki-style conflict resolution: the first record logged for (op, step) in `tag` wins.
+  // Served against the local index replica at cache cost; used immediately after an append,
+  // when the replica provably covers the appended seqnum.
+  sim::Task<std::optional<LogRecord>> FindFirstByStep(Tag tag, std::string op, int64_t step);
+
+  // logReadPrev / logReadNext.
+  sim::Task<std::optional<LogRecord>> ReadPrev(Tag tag, SeqNum max_seqnum);
+  sim::Task<std::optional<LogRecord>> ReadNext(Tag tag, SeqNum min_seqnum);
+
+  // Fetches a whole sub-stream (step-log retrieval in Init).
+  sim::Task<std::vector<LogRecord>> ReadStream(Tag tag);
+
+  // logTrim.
+  sim::Task<void> Trim(Tag tag, SeqNum upto);
+
+  // Called by the cluster's propagation machinery when this node's index replica catches up
+  // to `seqnum`.
+  void AdvanceIndex(SeqNum seqnum) {
+    if (seqnum > indexed_upto_) indexed_upto_ = seqnum;
+  }
+
+  SeqNum indexed_upto() const { return indexed_upto_; }
+  const LogClientStats& stats() const { return stats_; }
+  LogClientStats& mutable_stats() { return stats_; }
+
+ private:
+  sim::Task<void> SequencerRound(SimDuration total_latency);
+  sim::Task<void> StorageRound(SimDuration total_latency);
+
+  sim::Scheduler* scheduler_;
+  Rng* rng_;
+  const LatencyModels* models_;
+  LogSpace* space_;
+  sim::ServiceStation* sequencer_station_;
+  sim::ServiceStation* storage_station_;
+  SeqNum indexed_upto_ = 0;
+  LogClientStats stats_;
+};
+
+}  // namespace halfmoon::sharedlog
+
+#endif  // HALFMOON_SHAREDLOG_LOG_CLIENT_H_

@@ -1,0 +1,78 @@
+// Log records and tags for the shared-log layer (Figure 3 of the paper).
+//
+// The main log is totally ordered by monotonically increasing sequence numbers. Each record
+// carries a set of tags; records with a common tag form a sub-stream whose internal order is
+// consistent with the main log. Halfmoon uses three families of sub-streams:
+//   * step logs      — tag = the SSF's instance ID; the function's execution history,
+//   * write logs     — tag = "k:<key>"; per-object commit points under Halfmoon-read,
+//   * transition log — tag = "switch:<scope>"; protocol switching history (§4.7).
+
+#ifndef HALFMOON_SHAREDLOG_LOG_RECORD_H_
+#define HALFMOON_SHAREDLOG_LOG_RECORD_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace halfmoon::sharedlog {
+
+using Tag = std::string;
+using SeqNum = uint64_t;
+
+inline constexpr SeqNum kInvalidSeqNum = std::numeric_limits<SeqNum>::max();
+inline constexpr SeqNum kMaxSeqNum = std::numeric_limits<SeqNum>::max() - 1;
+
+// Tag constructors, so all modules agree on sub-stream naming.
+inline Tag StepLogTag(const std::string& instance_id) { return instance_id; }
+inline Tag WriteLogTag(const std::string& key) { return "k:" + key; }
+inline Tag TransitionLogTag(const std::string& scope) { return "switch:" + scope; }
+// Every Init record is also tagged into one global stream so the switch manager and the GC can
+// enumerate running SSFs (§4.7 "scans the init log records").
+inline Tag InitLogTag() { return "ssf.init"; }
+// Global stream of SSF completion markers, used by GC condition (b) of §4.5.
+inline Tag FinishLogTag() { return "ssf.finish"; }
+
+// Tag-vector helpers. Braced-init-list arguments to coroutines miscompile on GCC 12
+// (PR c++/102489 family), so call sites build tag vectors through these instead.
+inline std::vector<Tag> NoTags() { return {}; }
+inline std::vector<Tag> OneTag(Tag t) {
+  std::vector<Tag> v;
+  v.push_back(std::move(t));
+  return v;
+}
+inline std::vector<Tag> TwoTags(Tag a, Tag b) {
+  std::vector<Tag> v;
+  v.push_back(std::move(a));
+  v.push_back(std::move(b));
+  return v;
+}
+
+struct LogRecord {
+  SeqNum seqnum = kInvalidSeqNum;
+  std::vector<Tag> tags;
+  FieldMap fields;
+
+  // Approximate serialized size: header + tags + payload.
+  size_t ByteSize() const {
+    size_t total = sizeof(SeqNum) + 8;  // Header overhead.
+    for (const Tag& tag : tags) total += tag.size();
+    total += fields.ByteSize();
+    return total;
+  }
+};
+
+// Result of logCondAppend (§5.1). On success, `seqnum` is the new record's position. On
+// conflict the append is undone and `existing_seqnum` points to the record already occupying
+// the expected offset of the conditional stream.
+struct CondAppendResult {
+  bool ok = false;
+  SeqNum seqnum = kInvalidSeqNum;
+  SeqNum existing_seqnum = kInvalidSeqNum;
+};
+
+}  // namespace halfmoon::sharedlog
+
+#endif  // HALFMOON_SHAREDLOG_LOG_RECORD_H_

@@ -1,0 +1,189 @@
+#include "src/sharedlog/log_space.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace halfmoon::sharedlog {
+
+SeqNum LogSpace::Append(SimTime now, std::vector<Tag> tags, FieldMap fields) {
+  HM_CHECK_MSG(!tags.empty(), "log records must carry at least one tag");
+  SeqNum seqnum = next_seqnum_++;
+
+  LogRecord record;
+  record.seqnum = seqnum;
+  record.tags = std::move(tags);
+  record.fields = std::move(fields);
+
+  StoredRecord stored;
+  stored.live_tag_refs = static_cast<int>(record.tags.size());
+  gauge_.Add(now, static_cast<int64_t>(record.ByteSize()));
+  for (const Tag& tag : record.tags) {
+    streams_[tag].seqnums.push_back(seqnum);
+  }
+  stored.record = std::move(record);
+  records_.emplace(seqnum, std::move(stored));
+
+  if (commit_listener_) commit_listener_(seqnum);
+  return seqnum;
+}
+
+CondAppendResult LogSpace::CondAppend(SimTime now, std::vector<Tag> tags, FieldMap fields,
+                                      const Tag& cond_tag, size_t cond_pos) {
+  // The conditional tag must be among the record's tags, otherwise the offset check is
+  // meaningless (the new record would never appear in the conditional stream).
+  HM_CHECK_MSG(std::find(tags.begin(), tags.end(), cond_tag) != tags.end(),
+               "logCondAppend: cond_tag must be one of the record's tags");
+
+  CondAppendResult result;
+  TagStream& stream = streams_[cond_tag];
+  if (stream.seqnums.size() != cond_pos) {
+    // Conflict: some peer already appended at (or past) the expected offset. Report the record
+    // occupying that offset so the caller can recover its peer's state. Unlike the description
+    // in §5.1 we can check *before* physically appending because LogSpace is the linearization
+    // point itself; the observable behaviour (append undone, existing seqnum returned) is
+    // identical.
+    HM_CHECK_MSG(cond_pos < stream.seqnums.size(),
+                 "logCondAppend: expected offset beyond stream end (missed a step?)");
+    result.ok = false;
+    result.existing_seqnum = stream.seqnums[cond_pos];
+    return result;
+  }
+
+  result.ok = true;
+  result.seqnum = Append(now, std::move(tags), std::move(fields));
+  return result;
+}
+
+CondAppendResult LogSpace::CondAppendBatch(SimTime now, std::vector<BatchEntry> batch,
+                                           const Tag& cond_tag, size_t cond_pos) {
+  HM_CHECK(!batch.empty());
+  CondAppendResult result;
+  TagStream& stream = streams_[cond_tag];
+  if (stream.seqnums.size() != cond_pos) {
+    HM_CHECK_MSG(cond_pos < stream.seqnums.size(),
+                 "CondAppendBatch: expected offset beyond stream end (missed a step?)");
+    result.ok = false;
+    result.existing_seqnum = stream.seqnums[cond_pos];
+    return result;
+  }
+  result.ok = true;
+  result.seqnum = AppendBatch(now, std::move(batch));
+  return result;
+}
+
+SeqNum LogSpace::AppendBatch(SimTime now, std::vector<BatchEntry> batch) {
+  HM_CHECK(!batch.empty());
+  // Suppress per-record commit notifications: the batch becomes visible to index replicas as
+  // a unit (one notification carrying the last seqnum), so no replica ever observes half of
+  // an atomically committed group.
+  std::function<void(SeqNum)> listener;
+  listener.swap(commit_listener_);
+  SeqNum first = kInvalidSeqNum;
+  SeqNum last = kInvalidSeqNum;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    last = Append(now, std::move(batch[i].tags), std::move(batch[i].fields));
+    if (i == 0) first = last;
+  }
+  listener.swap(commit_listener_);
+  if (commit_listener_) commit_listener_(last);
+  return first;
+}
+
+std::optional<LogRecord> LogSpace::FindFirstByStep(const Tag& tag, const std::string& op,
+                                                   int64_t step) const {
+  auto it = streams_.find(tag);
+  if (it == streams_.end()) return std::nullopt;
+  const TagStream& stream = it->second;
+  for (size_t i = stream.trimmed; i < stream.seqnums.size(); ++i) {
+    std::optional<LogRecord> record = LookupLive(stream.seqnums[i]);
+    if (!record.has_value()) continue;
+    if (record->fields.GetStr("op") == op && record->fields.GetInt("step") == step) {
+      return record;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Tag> LogSpace::StreamTagsWithPrefix(const std::string& prefix) const {
+  std::vector<Tag> tags;
+  for (const auto& [tag, stream] : streams_) {
+    if (tag.size() >= prefix.size() && tag.compare(0, prefix.size(), prefix) == 0 &&
+        stream.trimmed < stream.seqnums.size()) {
+      tags.push_back(tag);
+    }
+  }
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+std::optional<LogRecord> LogSpace::LookupLive(SeqNum seqnum) const {
+  auto it = records_.find(seqnum);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.record;
+}
+
+std::optional<LogRecord> LogSpace::ReadPrev(const Tag& tag, SeqNum max_seqnum) const {
+  auto it = streams_.find(tag);
+  if (it == streams_.end()) return std::nullopt;
+  const TagStream& stream = it->second;
+  // Last seqnum <= max_seqnum within the live window [trimmed, size).
+  auto begin = stream.seqnums.begin() + static_cast<ptrdiff_t>(stream.trimmed);
+  auto upper = std::upper_bound(begin, stream.seqnums.end(), max_seqnum);
+  if (upper == begin) return std::nullopt;
+  return LookupLive(*(upper - 1));
+}
+
+std::optional<LogRecord> LogSpace::ReadNext(const Tag& tag, SeqNum min_seqnum) const {
+  auto it = streams_.find(tag);
+  if (it == streams_.end()) return std::nullopt;
+  const TagStream& stream = it->second;
+  auto begin = stream.seqnums.begin() + static_cast<ptrdiff_t>(stream.trimmed);
+  auto lower = std::lower_bound(begin, stream.seqnums.end(), min_seqnum);
+  if (lower == stream.seqnums.end()) return std::nullopt;
+  return LookupLive(*lower);
+}
+
+std::vector<LogRecord> LogSpace::ReadStream(const Tag& tag) const {
+  return ReadStreamUpTo(tag, kMaxSeqNum);
+}
+
+std::vector<LogRecord> LogSpace::ReadStreamUpTo(const Tag& tag, SeqNum max_seqnum) const {
+  std::vector<LogRecord> out;
+  auto it = streams_.find(tag);
+  if (it == streams_.end()) return out;
+  const TagStream& stream = it->second;
+  out.reserve(stream.seqnums.size() - stream.trimmed);
+  for (size_t i = stream.trimmed; i < stream.seqnums.size(); ++i) {
+    if (stream.seqnums[i] > max_seqnum) break;
+    std::optional<LogRecord> record = LookupLive(stream.seqnums[i]);
+    if (record.has_value()) out.push_back(std::move(*record));
+  }
+  return out;
+}
+
+void LogSpace::ReleaseRef(SimTime now, SeqNum seqnum) {
+  auto it = records_.find(seqnum);
+  HM_CHECK_MSG(it != records_.end(), "ReleaseRef on missing record");
+  if (--it->second.live_tag_refs == 0) {
+    gauge_.Add(now, -static_cast<int64_t>(it->second.record.ByteSize()));
+    records_.erase(it);
+  }
+}
+
+void LogSpace::Trim(SimTime now, const Tag& tag, SeqNum upto) {
+  auto it = streams_.find(tag);
+  if (it == streams_.end()) return;
+  TagStream& stream = it->second;
+  while (stream.trimmed < stream.seqnums.size() && stream.seqnums[stream.trimmed] <= upto) {
+    ReleaseRef(now, stream.seqnums[stream.trimmed]);
+    ++stream.trimmed;
+  }
+}
+
+size_t LogSpace::StreamLength(const Tag& tag) const {
+  auto it = streams_.find(tag);
+  return it == streams_.end() ? 0 : it->second.seqnums.size();
+}
+
+}  // namespace halfmoon::sharedlog

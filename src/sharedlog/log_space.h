@@ -1,0 +1,127 @@
+// The authoritative state of the shared log: the sequencer's counter, the record store, and
+// the per-tag sub-stream index.
+//
+// LogSpace is pure state — all latency, caching, and queueing live in LogClient. This split
+// mirrors Boki: a metalog/sequencer that orders records, storage nodes that hold them, and
+// per-function-node index replicas that trail the authoritative index by a propagation delay.
+
+#ifndef HALFMOON_SHAREDLOG_LOG_SPACE_H_
+#define HALFMOON_SHAREDLOG_LOG_SPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/metrics/storage_sampler.h"
+#include "src/sharedlog/log_record.h"
+
+namespace halfmoon::sharedlog {
+
+class LogSpace {
+ public:
+  LogSpace() = default;
+  LogSpace(const LogSpace&) = delete;
+  LogSpace& operator=(const LogSpace&) = delete;
+
+  // Appends a record, assigning the next sequence number. `now` feeds storage accounting.
+  // Notifies the commit listener (used for index propagation to clients).
+  SeqNum Append(SimTime now, std::vector<Tag> tags, FieldMap fields);
+
+  // Conditional append (§5.1): appends, then verifies that the new record lands at logical
+  // offset `cond_pos` of the `cond_tag` sub-stream. On mismatch the append is undone and the
+  // seqnum of the record actually at that offset is returned.
+  CondAppendResult CondAppend(SimTime now, std::vector<Tag> tags, FieldMap fields,
+                              const Tag& cond_tag, size_t cond_pos);
+
+  // Atomically appends a batch of records under the same condition (offset of the *first*
+  // record in `cond_tag`'s stream). Either all records commit with consecutive seqnums or none
+  // do. Models Boki's batched append, which Halfmoon-read uses to install the version record
+  // and the commit record of a write in one sequencer round (§4.1).
+  struct BatchEntry {
+    std::vector<Tag> tags;
+    FieldMap fields;
+  };
+  CondAppendResult CondAppendBatch(SimTime now, std::vector<BatchEntry> batch,
+                                   const Tag& cond_tag, size_t cond_pos);
+
+  // Unconditional atomic batch append; returns the first seqnum (the records receive
+  // consecutive ones). Index replicas learn about the batch as a unit.
+  SeqNum AppendBatch(SimTime now, std::vector<BatchEntry> batch);
+
+  // First live record in `tag`'s sub-stream whose "op" and "step" fields match. Boki resolves
+  // peer races by honoring the first record logged for a step (§5.1).
+  std::optional<LogRecord> FindFirstByStep(const Tag& tag, const std::string& op,
+                                           int64_t step) const;
+
+  // Tags of all streams whose name starts with `prefix` (GC scan over per-object write logs).
+  std::vector<Tag> StreamTagsWithPrefix(const std::string& prefix) const;
+
+  // Latest record in `tag`'s sub-stream with seqnum <= max (logReadPrev).
+  std::optional<LogRecord> ReadPrev(const Tag& tag, SeqNum max_seqnum) const;
+
+  // Earliest record in `tag`'s sub-stream with seqnum >= min (logReadNext).
+  std::optional<LogRecord> ReadNext(const Tag& tag, SeqNum min_seqnum) const;
+
+  // All live records of a sub-stream, in seqnum order (used to fetch step logs in Init).
+  std::vector<LogRecord> ReadStream(const Tag& tag) const;
+
+  // Live records of a sub-stream with seqnum <= max_seqnum: the view of an index replica
+  // that has caught up to max_seqnum.
+  std::vector<LogRecord> ReadStreamUpTo(const Tag& tag, SeqNum max_seqnum) const;
+
+  // Garbage-collects a sub-stream: logically deletes records with seqnum <= upto from `tag`.
+  // A record's storage is freed once every one of its tags has trimmed past it.
+  void Trim(SimTime now, const Tag& tag, SeqNum upto);
+
+  // Logical offset (position since the beginning of time) that the *next* record appended to
+  // `tag` would occupy. Used by clients to pre-check conditional appends in tests.
+  size_t StreamLength(const Tag& tag) const;
+
+  // The seqnum the next append will receive.
+  SeqNum next_seqnum() const { return next_seqnum_; }
+
+  // Number of records currently held (not yet trimmed from all their tags).
+  size_t live_records() const { return records_.size(); }
+
+  int64_t CurrentBytes() const { return gauge_.CurrentBytes(); }
+  metrics::StorageGauge& gauge() { return gauge_; }
+
+  // Invoked synchronously at each commit with the new seqnum; the runtime uses it to schedule
+  // index propagation to every function node.
+  void SetCommitListener(std::function<void(SeqNum)> listener) {
+    commit_listener_ = std::move(listener);
+  }
+
+ private:
+  struct TagStream {
+    // Seqnums ever appended under this tag, in order. Never shrinks: logical offsets for
+    // logCondAppend are stable positions in the stream's full history.
+    std::vector<SeqNum> seqnums;
+    // Entries before this index are trimmed (logically deleted).
+    size_t trimmed = 0;
+  };
+
+  struct StoredRecord {
+    LogRecord record;
+    // Number of tags that still reference this record (not yet trimmed past it).
+    int live_tag_refs = 0;
+  };
+
+  std::optional<LogRecord> LookupLive(SeqNum seqnum) const;
+  void ReleaseRef(SimTime now, SeqNum seqnum);
+
+  SeqNum next_seqnum_ = 1;  // Seqnum 0 is reserved as "before everything".
+  std::unordered_map<SeqNum, StoredRecord> records_;
+  std::unordered_map<Tag, TagStream> streams_;
+  metrics::StorageGauge gauge_;
+  std::function<void(SeqNum)> commit_listener_;
+};
+
+}  // namespace halfmoon::sharedlog
+
+#endif  // HALFMOON_SHAREDLOG_LOG_SPACE_H_

@@ -1,0 +1,38 @@
+#include "src/sim/scheduler.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace halfmoon::sim {
+namespace {
+
+// A self-destructing root coroutine used to anchor detached tasks. Its frame is destroyed
+// automatically at final_suspend (suspend_never), after the awaited task has completed and
+// been destroyed with it.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() {
+      return Detached{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() noexcept {
+      std::fprintf(stderr, "fatal: exception escaped a detached sim task\n");
+      std::abort();
+    }
+  };
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+Detached RunDetached(Task<void> task) { co_await std::move(task); }
+
+}  // namespace
+
+void Scheduler::Spawn(Task<void> task) {
+  Detached detached = RunDetached(std::move(task));
+  PostResume(0, detached.handle);
+}
+
+}  // namespace halfmoon::sim

@@ -1,0 +1,113 @@
+// The discrete-event scheduler: a virtual clock plus a time-ordered event queue.
+//
+// Exactly one coroutine runs at any moment; everything that "blocks" (delays, I/O latencies,
+// semaphores, events) suspends the coroutine and registers a wake-up in the queue. Ties in
+// time are broken by insertion order, which makes whole simulations deterministic for a fixed
+// RNG seed.
+
+#ifndef HALFMOON_SIM_SCHEDULER_H_
+#define HALFMOON_SIM_SCHEDULER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+#include "src/sim/task.h"
+
+namespace halfmoon::sim {
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Registers `fn` to run at Now() + delay.
+  void Post(SimDuration delay, std::function<void()> fn) {
+    HM_CHECK(delay >= 0);
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  }
+
+  // Schedules a coroutine resume at Now() + delay.
+  void PostResume(SimDuration delay, std::coroutine_handle<> handle) {
+    Post(delay, [handle] { handle.resume(); });
+  }
+
+  // Runs events until the queue drains. Returns the final simulated time.
+  SimTime Run() {
+    while (!queue_.empty()) {
+      Step();
+    }
+    return now_;
+  }
+
+  // Runs events with time <= deadline; the clock ends at min(deadline, drain time).
+  // Events scheduled beyond the deadline stay queued.
+  SimTime RunUntil(SimTime deadline) {
+    while (!queue_.empty() && queue_.top().time <= deadline) {
+      Step();
+    }
+    if (now_ < deadline) {
+      now_ = deadline;
+    }
+    return now_;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending_events() const { return queue_.size(); }
+
+  // Awaitable virtual-time sleep: `co_await scheduler.Delay(Milliseconds(2));`
+  struct DelayAwaiter {
+    Scheduler* scheduler;
+    SimDuration delay;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      scheduler->PostResume(delay, handle);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  DelayAwaiter Delay(SimDuration d) { return DelayAwaiter{this, d}; }
+
+  // Starts a fire-and-forget task at the current time. The coroutine frame self-destructs on
+  // completion; an exception escaping a detached task aborts the simulation (detached work
+  // must handle its own failures — SSF crashes are caught by the runtime, never here).
+  void Spawn(Task<void> task);
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void Step() {
+    // Moving out of the top of a priority_queue requires a const_cast; the element is popped
+    // immediately afterwards so the broken ordering invariant is never observed.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    HM_CHECK(event.time >= now_);
+    now_ = event.time;
+    event.fn();
+  }
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace halfmoon::sim
+
+#endif  // HALFMOON_SIM_SCHEDULER_H_

@@ -1,0 +1,45 @@
+// A multi-server queueing station used to model the capacity of backend services (the log
+// sequencer, log storage nodes, and external-state shards).
+//
+// Each operation occupies one of `servers` slots for a sampled service time; when all slots
+// are busy, callers queue FIFO. The queueing wait is what bends latency-vs-throughput curves
+// into the hockey-stick shape of Figure 11 as offered load approaches capacity.
+
+#ifndef HALFMOON_SIM_SERVICE_STATION_H_
+#define HALFMOON_SIM_SERVICE_STATION_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace halfmoon::sim {
+
+class ServiceStation {
+ public:
+  ServiceStation(Scheduler* scheduler, int64_t servers)
+      : scheduler_(scheduler), slots_(scheduler, servers) {}
+
+  // Occupies a server for `service_time`. Returns only after the work completes; the caller
+  // experiences queueing delay + service time.
+  Task<void> Process(SimDuration service_time) {
+    co_await slots_.Acquire();
+    SemaphoreGuard guard(&slots_);
+    co_await scheduler_->Delay(service_time);
+    ++completed_;
+  }
+
+  size_t queue_length() const { return slots_.queue_length(); }
+  int64_t completed() const { return completed_; }
+
+ private:
+  Scheduler* scheduler_;
+  Semaphore slots_;
+  int64_t completed_ = 0;
+};
+
+}  // namespace halfmoon::sim
+
+#endif  // HALFMOON_SIM_SERVICE_STATION_H_

@@ -1,0 +1,427 @@
+#include "src/workloads/applications.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/workloads/args.h"
+
+namespace halfmoon::workloads {
+namespace {
+
+std::string Id(const char* prefix, int64_t i) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%04lld", prefix, static_cast<long long>(i));
+  return std::string(buf);
+}
+
+// Appends `item` to a bounded comma-separated list value (newest first, keep 10).
+Value AppendToList(const Value& list, const std::string& item, size_t max_items = 10) {
+  Value out = item;
+  size_t count = 1;
+  size_t pos = 0;
+  while (pos < list.size() && count < max_items) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    out.push_back(',');
+    out += list.substr(pos, comma - pos);
+    ++count;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::string NthListItem(const Value& list, size_t n) {
+  size_t pos = 0;
+  for (size_t i = 0; pos < list.size(); ++i) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    if (i == n) return list.substr(pos, comma - pos);
+    pos = comma + 1;
+  }
+  return "";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Travel reservation (10 SSFs)
+// ---------------------------------------------------------------------------
+
+void RegisterTravelApp(core::SsfRuntime& runtime, const AppDataset& data) {
+  Value pad = PadValue("hotel-data", data.value_bytes);
+  for (int i = 0; i < data.hotels; ++i) {
+    runtime.PopulateObject("geo:" + Id("h", i), pad);
+    runtime.PopulateObject("rate:" + Id("h", i), pad);
+    runtime.PopulateObject("profile:" + Id("h", i), pad);
+    runtime.PopulateObject("rating:" + Id("h", i), pad);
+    runtime.PopulateObject("avail:" + Id("h", i), EncodeInt64(100));
+  }
+  for (int i = 0; i < data.users; ++i) {
+    runtime.PopulateObject("user:" + Id("u", i), pad);
+  }
+
+  // 1. nearby: geo lookup over four candidate hotels.
+  runtime.RegisterFunction("travel.nearby", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    int64_t base = args.GetInt("hotel");
+    Value hotels;
+    for (int64_t i = 0; i < 4; ++i) {
+      std::string hotel = Id("h", base + i);
+      co_await ctx.Read("geo:" + hotel);
+      if (!hotels.empty()) hotels.push_back(',');
+      hotels += hotel;
+    }
+    co_return hotels;
+  });
+
+  // 2. get_rates: rate lookup for each candidate.
+  runtime.RegisterFunction("travel.get_rates", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    const Value& hotels = ctx.input();
+    for (size_t i = 0; !NthListItem(hotels, i).empty(); ++i) {
+      co_await ctx.Read("rate:" + NthListItem(hotels, i));
+    }
+    co_return hotels;
+  });
+
+  // 3. get_profiles.
+  runtime.RegisterFunction("travel.get_profiles",
+                           [](core::SsfContext& ctx) -> sim::Task<Value> {
+    const Value& hotels = ctx.input();
+    for (size_t i = 0; !NthListItem(hotels, i).empty(); ++i) {
+      co_await ctx.Read("profile:" + NthListItem(hotels, i));
+    }
+    co_return hotels;
+  });
+
+  // 4. search_hotels (root): nearby, then rates and profiles fetched in parallel
+  // (DeathStarBench's frontend scatter-gathers these).
+  runtime.RegisterFunction("travel.search_hotels",
+                           [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Value hotels = co_await ctx.Invoke("travel.nearby", ctx.input());
+    std::vector<std::pair<std::string, Value>> calls;
+    calls.emplace_back("travel.get_rates", hotels);
+    calls.emplace_back("travel.get_profiles", hotels);
+    co_await ctx.InvokeAll(std::move(calls));
+    co_await ctx.Compute();
+    co_return hotels;
+  });
+
+  // 5. rank: rating lookup.
+  runtime.RegisterFunction("travel.rank", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    int64_t base = args.GetInt("hotel");
+    for (int64_t i = 0; i < 5; ++i) {
+      co_await ctx.Read("rating:" + Id("h", base + i));
+    }
+    co_return Id("h", base);
+  });
+
+  // 6. recommend (root).
+  runtime.RegisterFunction("travel.recommend", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Value best = co_await ctx.Invoke("travel.rank", ctx.input());
+    co_await ctx.Compute();
+    co_return best;
+  });
+
+  // 7. check_user: credential lookup.
+  runtime.RegisterFunction("travel.check_user", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    co_return co_await ctx.Read("user:" + args.Get("user"));
+  });
+
+  // 8. make_reservation: decrement availability, record the reservation.
+  runtime.RegisterFunction("travel.make_reservation",
+                           [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    std::string hotel = args.Get("hotelid");
+    Value avail = co_await ctx.Read("avail:" + hotel);
+    int64_t rooms = avail.empty() ? 0 : DecodeInt64(avail);
+    if (rooms <= 0) co_return "sold-out";
+    co_await ctx.Write("avail:" + hotel, EncodeInt64(rooms - 1));
+    co_await ctx.Write("resv:" + args.Get("user") + ":" + hotel, ctx.input());
+    co_return "ok";
+  });
+
+  // 9. get_user_profile: companion read used by the reserve flow.
+  runtime.RegisterFunction("travel.get_user_profile",
+                           [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    co_return co_await ctx.Read("user:" + args.Get("user"));
+  });
+
+  // 10. reserve (root): check_user -> get_user_profile -> make_reservation.
+  runtime.RegisterFunction("travel.reserve", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Invoke("travel.check_user", ctx.input());
+    co_await ctx.Invoke("travel.get_user_profile", ctx.input());
+    Args args = Args::Parse(ctx.input());
+    Args sub;
+    sub.Set("user", args.Get("user"));
+    sub.Set("hotelid", Id("h", args.GetInt("hotel")));
+    co_return co_await ctx.Invoke("travel.make_reservation", sub.Encode());
+  });
+}
+
+RequestFactory TravelRequestFactory(core::SsfRuntime& runtime, const AppDataset& data) {
+  core::SsfRuntime* rt = &runtime;
+  AppDataset d = data;
+  return [rt, d]() -> std::pair<std::string, Value> {
+    Rng& rng = rt->cluster().rng();
+    Args args;
+    args.SetInt("hotel", rng.UniformInt(0, d.hotels - 6));
+    args.Set("user", Id("u", rng.UniformInt(0, d.users - 1)));
+    double dice = rng.UniformDouble();
+    // DeathStarBench-style mix: search-dominated, reservations rare. Read-intensive.
+    if (dice < 0.60) return {"travel.search_hotels", args.Encode()};
+    if (dice < 0.98) return {"travel.recommend", args.Encode()};
+    return {"travel.reserve", args.Encode()};
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Movie review (13 SSFs)
+// ---------------------------------------------------------------------------
+
+void RegisterMovieApp(core::SsfRuntime& runtime, const AppDataset& data) {
+  Value pad = PadValue("movie-data", data.value_bytes);
+  for (int i = 0; i < data.movies; ++i) {
+    runtime.PopulateObject("movie:" + Id("m", i), pad);
+    runtime.PopulateObject("movie-reviews:" + Id("m", i), Value{});
+  }
+  for (int i = 0; i < data.users; ++i) {
+    runtime.PopulateObject("muser:" + Id("u", i), pad);
+    runtime.PopulateObject("user-reviews:" + Id("u", i), Value{});
+  }
+
+  // 1. unique_id: reserves the review ID (write to the ID ledger).
+  runtime.RegisterFunction("movie.unique_id", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    std::string rid = args.Get("rid");
+    co_await ctx.Write("review-id:" + rid, rid);
+    co_return rid;
+  });
+
+  // 2-5. upload_*: each stores one component of the review.
+  runtime.RegisterFunction("movie.upload_user", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    co_await ctx.Read("muser:" + args.Get("user"));
+    co_await ctx.Write("review:" + args.Get("rid") + ":user", args.Get("user"));
+    co_return "";
+  });
+  runtime.RegisterFunction("movie.upload_movie_id",
+                           [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    co_await ctx.Read("movie:" + args.Get("movie"));
+    co_await ctx.Write("review:" + args.Get("rid") + ":movie", args.Get("movie"));
+    co_return "";
+  });
+  runtime.RegisterFunction("movie.upload_text", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    co_await ctx.Write("review:" + args.Get("rid") + ":text",
+                       PadValue("text", 200));
+    co_return "";
+  });
+  runtime.RegisterFunction("movie.upload_rating",
+                           [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    co_await ctx.Write("review:" + args.Get("rid") + ":rating", args.Get("rating"));
+    co_return "";
+  });
+
+  // 6. store_review: materializes the review object and bumps the movie's rating aggregate.
+  runtime.RegisterFunction("movie.store_review", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    std::string rid = args.Get("rid");
+    Value text = co_await ctx.Read("review:" + rid + ":text");
+    co_await ctx.Write("review:" + rid, text);
+    co_await ctx.Write("movie-stats:" + args.Get("movie"), args.Get("rating"));
+    co_return rid;
+  });
+
+  // 7. update_user_reviews: prepend to the author's review list.
+  runtime.RegisterFunction("movie.update_user_reviews",
+                           [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    std::string key = "user-reviews:" + args.Get("user");
+    Value list = co_await ctx.Read(key);
+    co_await ctx.Write(key, AppendToList(list, args.Get("rid")));
+    co_return "";
+  });
+
+  // 8. update_movie_reviews.
+  runtime.RegisterFunction("movie.update_movie_reviews",
+                           [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    std::string key = "movie-reviews:" + args.Get("movie");
+    Value list = co_await ctx.Read(key);
+    co_await ctx.Write(key, AppendToList(list, args.Get("rid")));
+    co_return "";
+  });
+
+  // 9. compose_review (root): the §6.2 write-heavy workflow. The five component uploads run
+  // in parallel (as in DeathStarBench's media frontend), then the review is stored and the
+  // user/movie indices are updated in parallel.
+  runtime.RegisterFunction("movie.compose_review",
+                           [](core::SsfContext& ctx) -> sim::Task<Value> {
+    const Value& in = ctx.input();
+    std::vector<std::pair<std::string, Value>> uploads;
+    uploads.emplace_back("movie.unique_id", in);
+    uploads.emplace_back("movie.upload_user", in);
+    uploads.emplace_back("movie.upload_movie_id", in);
+    uploads.emplace_back("movie.upload_text", in);
+    uploads.emplace_back("movie.upload_rating", in);
+    co_await ctx.InvokeAll(std::move(uploads));
+    Value rid = co_await ctx.Invoke("movie.store_review", in);
+    std::vector<std::pair<std::string, Value>> updates;
+    updates.emplace_back("movie.update_user_reviews", in);
+    updates.emplace_back("movie.update_movie_reviews", in);
+    co_await ctx.InvokeAll(std::move(updates));
+    co_return rid;
+  });
+
+  // 10. get_info.
+  runtime.RegisterFunction("movie.get_info", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    co_return co_await ctx.Read("movie:" + args.Get("movie"));
+  });
+
+  // 11. get_reviews: the review list plus the two newest reviews.
+  runtime.RegisterFunction("movie.get_reviews", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    Value list = co_await ctx.Read("movie-reviews:" + args.Get("movie"));
+    for (size_t i = 0; i < 2; ++i) {
+      std::string rid = NthListItem(list, i);
+      if (rid.empty()) break;
+      co_await ctx.Read("review:" + rid);
+    }
+    co_return list;
+  });
+
+  // 12. read_movie_info (root).
+  runtime.RegisterFunction("movie.read_movie_info",
+                           [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Value info = co_await ctx.Invoke("movie.get_info", ctx.input());
+    co_await ctx.Invoke("movie.get_reviews", ctx.input());
+    co_return info;
+  });
+
+  // 13. register_movie (root, rare).
+  runtime.RegisterFunction("movie.register_movie",
+                           [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    co_await ctx.Write("movie:" + args.Get("movie"), PadValue("new-movie", 256));
+    co_await ctx.Write("movie-reviews:" + args.Get("movie"), Value{});
+    co_return "";
+  });
+}
+
+RequestFactory MovieRequestFactory(core::SsfRuntime& runtime, const AppDataset& data) {
+  core::SsfRuntime* rt = &runtime;
+  AppDataset d = data;
+  auto next_rid = std::make_shared<int64_t>(0);
+  return [rt, d, next_rid]() -> std::pair<std::string, Value> {
+    Rng& rng = rt->cluster().rng();
+    Args args;
+    args.Set("movie", Id("m", rng.UniformInt(0, d.movies - 1)));
+    args.Set("user", Id("u", rng.UniformInt(0, d.users - 1)));
+    args.Set("rid", Id("r", (*next_rid)++) + rng.HexString(6));
+    args.SetInt("rating", rng.UniformInt(1, 10));
+    double dice = rng.UniformDouble();
+    // Posting reviews is the core functionality (§6.2): write-skewed.
+    if (dice < 0.80) return {"movie.compose_review", args.Encode()};
+    if (dice < 0.98) return {"movie.read_movie_info", args.Encode()};
+    return {"movie.register_movie", args.Encode()};
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Retwis
+// ---------------------------------------------------------------------------
+
+void RegisterRetwisApp(core::SsfRuntime& runtime, const AppDataset& data) {
+  Value pad = PadValue("retwis-user", data.value_bytes);
+  for (int i = 0; i < data.users; ++i) {
+    runtime.PopulateObject("ruser:" + Id("u", i), pad);
+    runtime.PopulateObject("followers:" + Id("u", i), Value{});
+    runtime.PopulateObject("timeline:" + Id("u", i), Value{});
+  }
+  for (int i = 0; i < data.tweets; ++i) {
+    runtime.PopulateObject("tweet:" + Id("t", i), PadValue("seed-tweet", data.value_bytes));
+  }
+
+  // post: store the tweet, prepend to the author's timeline.
+  runtime.RegisterFunction("retwis.post", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    std::string tid = args.Get("tweet");
+    co_await ctx.Write("tweet:" + tid, PadValue("tweet-body", 256));
+    std::string timeline = "timeline:" + args.Get("user");
+    Value list = co_await ctx.Read(timeline);
+    co_await ctx.Write(timeline, AppendToList(list, tid));
+    co_return tid;
+  });
+
+  // follow: update both follow lists.
+  runtime.RegisterFunction("retwis.follow", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    std::string followers = "followers:" + args.Get("target");
+    Value list = co_await ctx.Read(followers);
+    co_await ctx.Write(followers, AppendToList(list, args.Get("user")));
+    co_return "";
+  });
+
+  // get_timeline: the list plus up to five tweets (GET-heavy).
+  runtime.RegisterFunction("retwis.get_timeline", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    Value list = co_await ctx.Read("timeline:" + args.Get("user"));
+    int64_t fetched = 0;
+    while (fetched < 5) {
+      std::string tid = NthListItem(list, static_cast<size_t>(fetched));
+      if (tid.empty()) break;
+      co_await ctx.Read("tweet:" + tid);
+      ++fetched;
+    }
+    // Pad with reads of seed tweets so timeline costs are uniform across users.
+    for (int64_t i = fetched; i < 5; ++i) {
+      co_await ctx.Read("tweet:" + Id("t", (args.GetInt("seed") + i) % 500));
+    }
+    co_return list;
+  });
+
+  // get_profile: user record + follower list.
+  runtime.RegisterFunction("retwis.get_profile", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Args args = Args::Parse(ctx.input());
+    Value user = co_await ctx.Read("ruser:" + args.Get("user"));
+    co_await ctx.Read("followers:" + args.Get("user"));
+    co_return user;
+  });
+}
+
+RequestFactory RetwisRequestFactory(core::SsfRuntime& runtime, const AppDataset& data) {
+  core::SsfRuntime* rt = &runtime;
+  AppDataset d = data;
+  auto next_tweet = std::make_shared<int64_t>(0);
+  return [rt, d, next_tweet]() -> std::pair<std::string, Value> {
+    Rng& rng = rt->cluster().rng();
+    Args args;
+    args.Set("user", Id("u", rng.UniformInt(0, d.users - 1)));
+    args.Set("target", Id("u", rng.UniformInt(0, d.users - 1)));
+    args.Set("tweet", Id("t", 1000 + (*next_tweet)++));
+    args.SetInt("seed", rng.UniformInt(0, 499));
+    double dice = rng.UniformDouble();
+    // Redis's retwis mix: timelines dominate. Read-intensive.
+    if (dice < 0.70) return {"retwis.get_timeline", args.Encode()};
+    if (dice < 0.80) return {"retwis.get_profile", args.Encode()};
+    if (dice < 0.95) return {"retwis.post", args.Encode()};
+    return {"retwis.follow", args.Encode()};
+  };
+}
+
+const std::vector<AppDescriptor>& AllApplications() {
+  static const std::vector<AppDescriptor>* apps = new std::vector<AppDescriptor>{
+      {"travel", &RegisterTravelApp, &TravelRequestFactory},
+      {"movie", &RegisterMovieApp, &MovieRequestFactory},
+      {"retwis", &RegisterRetwisApp, &RetwisRequestFactory},
+  };
+  return *apps;
+}
+
+}  // namespace halfmoon::workloads

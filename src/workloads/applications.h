@@ -1,0 +1,55 @@
+// The three end-to-end application workloads of §6.2.
+//
+//   * Travel reservation (10 SSFs, adapted from DeathStarBench's hotel service):
+//     search/recommend flows are pure reads; a small reservation flow writes. Read-intensive.
+//   * Movie review (13 SSFs, adapted from DeathStarBench's media service): composing a review
+//     fans out to upload/update SSFs that mostly write. Slightly write-skewed.
+//   * Retwis (a simplified Twitter clone): post/follow write, timeline/profile read.
+//     Read-intensive.
+//
+// Each application registers its SSFs, seeds its dataset, and exposes a RequestFactory that
+// samples root invocations according to the application's operation mix.
+
+#ifndef HALFMOON_WORKLOADS_APPLICATIONS_H_
+#define HALFMOON_WORKLOADS_APPLICATIONS_H_
+
+#include <string>
+#include <utility>
+
+#include "src/core/ssf_runtime.h"
+#include "src/workloads/loadgen.h"
+
+namespace halfmoon::workloads {
+
+struct AppDataset {
+  int hotels = 200;
+  int users = 500;
+  int movies = 200;
+  int tweets = 500;
+  size_t value_bytes = 256;
+};
+
+// Travel reservation: 10 SSFs.
+void RegisterTravelApp(core::SsfRuntime& runtime, const AppDataset& data);
+RequestFactory TravelRequestFactory(core::SsfRuntime& runtime, const AppDataset& data);
+
+// Movie review: 13 SSFs.
+void RegisterMovieApp(core::SsfRuntime& runtime, const AppDataset& data);
+RequestFactory MovieRequestFactory(core::SsfRuntime& runtime, const AppDataset& data);
+
+// Retwis.
+void RegisterRetwisApp(core::SsfRuntime& runtime, const AppDataset& data);
+RequestFactory RetwisRequestFactory(core::SsfRuntime& runtime, const AppDataset& data);
+
+struct AppDescriptor {
+  std::string name;
+  void (*register_fn)(core::SsfRuntime&, const AppDataset&);
+  RequestFactory (*factory_fn)(core::SsfRuntime&, const AppDataset&);
+};
+
+// All three applications, in the order of Figure 11.
+const std::vector<AppDescriptor>& AllApplications();
+
+}  // namespace halfmoon::workloads
+
+#endif  // HALFMOON_WORKLOADS_APPLICATIONS_H_

@@ -1,0 +1,42 @@
+#include "src/workloads/args.h"
+
+#include "src/common/check.h"
+
+namespace halfmoon::workloads {
+
+Args Args::Parse(const Value& encoded) {
+  Args args;
+  size_t pos = 0;
+  while (pos < encoded.size()) {
+    size_t amp = encoded.find('&', pos);
+    if (amp == std::string::npos) amp = encoded.size();
+    size_t eq = encoded.find('=', pos);
+    HM_CHECK_MSG(eq != std::string::npos && eq < amp, "Args::Parse: malformed input");
+    args.fields_[encoded.substr(pos, eq - pos)] = encoded.substr(eq + 1, amp - eq - 1);
+    pos = amp + 1;
+  }
+  return args;
+}
+
+Value Args::Encode() const {
+  Value out;
+  for (const auto& [key, value] : fields_) {
+    if (!out.empty()) out.push_back('&');
+    out += key;
+    out.push_back('=');
+    out += value;
+  }
+  return out;
+}
+
+void Args::SetInt(const std::string& key, int64_t v) { fields_[key] = EncodeInt64(v); }
+
+const std::string& Args::Get(const std::string& key) const {
+  auto it = fields_.find(key);
+  HM_CHECK_MSG(it != fields_.end(), "Args::Get: missing key");
+  return it->second;
+}
+
+int64_t Args::GetInt(const std::string& key) const { return DecodeInt64(Get(key)); }
+
+}  // namespace halfmoon::workloads

@@ -1,0 +1,40 @@
+// A tiny key=value argument codec for SSF inputs.
+//
+// SSF bodies must be deterministic given their input (§2), so every random choice a workload
+// makes — which objects to touch, which operation mix to run — is made by the *generator* and
+// encoded into the invocation input with this codec.
+
+#ifndef HALFMOON_WORKLOADS_ARGS_H_
+#define HALFMOON_WORKLOADS_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/value.h"
+
+namespace halfmoon::workloads {
+
+class Args {
+ public:
+  Args() = default;
+
+  // Parses "k1=v1&k2=v2". Unescaped; keys and values must not contain '&' or '='.
+  static Args Parse(const Value& encoded);
+
+  Value Encode() const;
+
+  void Set(const std::string& key, std::string value) { fields_[key] = std::move(value); }
+  void SetInt(const std::string& key, int64_t v);
+
+  bool Has(const std::string& key) const { return fields_.count(key) > 0; }
+  const std::string& Get(const std::string& key) const;
+  int64_t GetInt(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> fields_;
+};
+
+}  // namespace halfmoon::workloads
+
+#endif  // HALFMOON_WORKLOADS_ARGS_H_

@@ -1,0 +1,64 @@
+#include "src/workloads/loadgen.h"
+
+#include "src/common/check.h"
+#include "src/sim/sync.h"
+
+namespace halfmoon::workloads {
+
+sim::Task<void> LoadGenerator::FireOne(std::string name, Value input, bool measured) {
+  sim::Scheduler& scheduler = runtime_->cluster().scheduler();
+  SimTime start = scheduler.Now();
+  co_await runtime_->InvokeSsf(std::move(name), std::move(input));
+  ++completed_;
+  if (measured) {
+    SimDuration latency = scheduler.Now() - start;
+    latency_.Record(latency);
+    if (sample_callback_) sample_callback_(scheduler.Now(), latency);
+  }
+}
+
+sim::Task<void> LoadGenerator::Run() {
+  sim::Scheduler& scheduler = runtime_->cluster().scheduler();
+  Rng& rng = runtime_->cluster().rng();
+  const double mean_gap_s = 1.0 / config_.requests_per_second;
+
+  SimTime end_of_warmup = scheduler.Now() + config_.warmup;
+  SimTime end_of_run = end_of_warmup + config_.duration;
+  window_start_ = end_of_warmup;
+  window_end_ = end_of_run;
+
+  while (scheduler.Now() < end_of_run) {
+    bool measured = scheduler.Now() >= end_of_warmup;
+    auto [name, input] = factory_();
+    ++offered_;
+    scheduler.Spawn(FireOne(std::move(name), std::move(input), measured));
+    auto gap = static_cast<SimDuration>(rng.Exponential(mean_gap_s) * 1e9);
+    co_await scheduler.Delay(gap);
+  }
+
+  // Drain: wait until every in-flight invocation finished.
+  co_await runtime_->inflight().Wait();
+}
+
+void LoadGenerator::RunToCompletion() {
+  bool done = false;
+  sim::Scheduler& scheduler = runtime_->cluster().scheduler();
+  scheduler.Spawn([](LoadGenerator* gen, bool* done) -> sim::Task<void> {
+    co_await gen->Run();
+    *done = true;
+  }(this, &done));
+  // Background daemons (GC) may keep the queue non-empty: drive until the generator reports
+  // completion rather than until the queue drains.
+  while (!done && !scheduler.empty()) {
+    scheduler.RunUntil(scheduler.Now() + Seconds(1));
+  }
+  HM_CHECK_MSG(done, "load generator did not finish");
+}
+
+double LoadGenerator::MeasuredThroughput() const {
+  double window_s = ToSecondsDouble(window_end_ - window_start_);
+  if (window_s <= 0) return 0.0;
+  return static_cast<double>(latency_.count()) / window_s;
+}
+
+}  // namespace halfmoon::workloads

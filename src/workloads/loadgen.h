@@ -1,0 +1,72 @@
+// Open-loop Poisson load generation (§4.6 assumes Poisson arrivals of SSFs; §6.2/§6.3 drive
+// the system at fixed request rates).
+//
+// The generator fires invocations at exponentially distributed inter-arrival gaps without
+// waiting for completions (open loop), records end-to-end latency per request, and separates
+// a warm-up window from the measurement window.
+
+#ifndef HALFMOON_WORKLOADS_LOADGEN_H_
+#define HALFMOON_WORKLOADS_LOADGEN_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/core/ssf_runtime.h"
+#include "src/metrics/latency_recorder.h"
+
+namespace halfmoon::workloads {
+
+struct LoadGenConfig {
+  double requests_per_second = 100.0;
+  SimDuration warmup = Seconds(2);
+  SimDuration duration = Seconds(10);  // Measurement window (after warm-up).
+};
+
+// Produces the next request: (function name, input).
+using RequestFactory = std::function<std::pair<std::string, Value>()>;
+
+class LoadGenerator {
+ public:
+  LoadGenerator(core::SsfRuntime* runtime, LoadGenConfig config, RequestFactory factory)
+      : runtime_(runtime), config_(config), factory_(std::move(factory)) {}
+
+  // Drives the workload to completion: warm-up, measurement, then drain of in-flight
+  // requests. Call from a spawned task or use RunToCompletion().
+  sim::Task<void> Run();
+
+  // Convenience: spawns Run() and drives the scheduler until everything drains.
+  void RunToCompletion();
+
+  const metrics::LatencyRecorder& latency() const { return latency_; }
+  metrics::LatencyRecorder& latency() { return latency_; }
+
+  // Invoked at every measured completion with (completion time, request latency); used by
+  // time-series experiments such as the switching-delay study (Fig. 14).
+  void SetSampleCallback(std::function<void(SimTime, SimDuration)> callback) {
+    sample_callback_ = std::move(callback);
+  }
+
+  int64_t offered() const { return offered_; }
+  int64_t completed() const { return completed_; }
+
+  // Completed requests per second over the measurement window.
+  double MeasuredThroughput() const;
+
+ private:
+  sim::Task<void> FireOne(std::string name, Value input, bool measured);
+
+  core::SsfRuntime* runtime_;
+  LoadGenConfig config_;
+  RequestFactory factory_;
+  std::function<void(SimTime, SimDuration)> sample_callback_;
+  metrics::LatencyRecorder latency_;
+  int64_t offered_ = 0;
+  int64_t completed_ = 0;
+  SimTime window_start_ = 0;
+  SimTime window_end_ = 0;
+};
+
+}  // namespace halfmoon::workloads
+
+#endif  // HALFMOON_WORKLOADS_LOADGEN_H_

@@ -1,0 +1,71 @@
+#include "src/workloads/synthetic.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace halfmoon::workloads {
+
+std::string SyntheticWorkload::KeyFor(int index) const {
+  // 8-byte keys, as in §6.1 ("8B key and 256B value").
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "o%07d", index);
+  return std::string(buf);
+}
+
+void SyntheticWorkload::Setup() {
+  Value base = PadValue("v", config_.value_bytes);
+  for (int i = 0; i < config_.num_objects; ++i) {
+    runtime_->PopulateObject(KeyFor(i), base);
+  }
+
+  // The SSF interprets an op list like "R:o0000003;W:o0000042". It captures `this` for the
+  // latency recorders; the closure lives in the function registry for the workload's
+  // lifetime, so the coroutine frames never outlive their captures.
+  SyntheticConfig config = config_;
+  auto* read_latency = &read_latency_;
+  auto* write_latency = &write_latency_;
+  auto* cluster = &runtime_->cluster();
+  runtime_->RegisterFunction(
+      FunctionName(),
+      [config, read_latency, write_latency, cluster](core::SsfContext& ctx)
+          -> sim::Task<Value> {
+        const Value& input = ctx.input();
+        Value payload = PadValue("w", config.value_bytes);
+        size_t pos = 0;
+        while (pos < input.size()) {
+          size_t semi = input.find(';', pos);
+          if (semi == std::string::npos) semi = input.size();
+          HM_CHECK_MSG(semi >= pos + 3 && input[pos + 1] == ':',
+                       "synthetic: malformed op list");
+          char op = input[pos];
+          std::string key = input.substr(pos + 2, semi - pos - 2);
+          SimTime before = cluster->scheduler().Now();
+          if (op == 'R') {
+            co_await ctx.Read(key);
+            read_latency->Record(cluster->scheduler().Now() - before);
+          } else {
+            HM_CHECK_MSG(op == 'W', "synthetic: unknown op");
+            co_await ctx.Write(key, payload);
+            write_latency->Record(cluster->scheduler().Now() - before);
+          }
+          pos = semi + 1;
+        }
+        co_return Value{};
+      });
+}
+
+Value SyntheticWorkload::NextInput() {
+  Rng& rng = runtime_->cluster().rng();
+  Value ops;
+  for (int i = 0; i < config_.ops_per_request; ++i) {
+    if (!ops.empty()) ops.push_back(';');
+    bool is_read = rng.Bernoulli(config_.read_ratio);
+    ops.push_back(is_read ? 'R' : 'W');
+    ops.push_back(':');
+    ops += KeyFor(static_cast<int>(rng.UniformInt(0, config_.num_objects - 1)));
+  }
+  return ops;
+}
+
+}  // namespace halfmoon::workloads

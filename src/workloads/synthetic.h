@@ -1,0 +1,54 @@
+// The synthetic SSF of §6.1 and §6.3.
+//
+// §6.1 microbenchmark: one read and one write per request over 10 K objects (8 B keys, 256 B
+// values). §6.3 overhead study: ten operations per request, each targeting a random object,
+// with a configurable read ratio. The generator samples the operation list; the SSF body is a
+// deterministic interpreter of that list. Per-operation latencies are recorded into shared
+// recorders, which is how Figure 10 and Table 1 separate read and write costs.
+
+#ifndef HALFMOON_WORKLOADS_SYNTHETIC_H_
+#define HALFMOON_WORKLOADS_SYNTHETIC_H_
+
+#include <string>
+
+#include "src/core/ssf_runtime.h"
+#include "src/metrics/latency_recorder.h"
+
+namespace halfmoon::workloads {
+
+struct SyntheticConfig {
+  int num_objects = 10000;
+  size_t value_bytes = 256;
+  int ops_per_request = 10;
+  double read_ratio = 0.5;
+};
+
+class SyntheticWorkload {
+ public:
+  SyntheticWorkload(core::SsfRuntime* runtime, SyntheticConfig config)
+      : runtime_(runtime), config_(config) {}
+
+  // Registers the "synthetic" SSF and seeds all objects.
+  void Setup();
+
+  // Samples one invocation input according to the configured mix. Uses the cluster RNG so
+  // runs are reproducible.
+  Value NextInput();
+
+  static std::string FunctionName() { return "synthetic"; }
+
+  metrics::LatencyRecorder& read_latency() { return read_latency_; }
+  metrics::LatencyRecorder& write_latency() { return write_latency_; }
+
+  std::string KeyFor(int index) const;
+
+ private:
+  core::SsfRuntime* runtime_;
+  SyntheticConfig config_;
+  metrics::LatencyRecorder read_latency_;
+  metrics::LatencyRecorder write_latency_;
+};
+
+}  // namespace halfmoon::workloads
+
+#endif  // HALFMOON_WORKLOADS_SYNTHETIC_H_

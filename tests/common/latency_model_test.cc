@@ -1,0 +1,86 @@
+#include "src/common/latency_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace halfmoon {
+namespace {
+
+// Draws `n` samples and returns the requested percentile in milliseconds.
+double SamplePercentile(const LognormalLatency& model, Rng& rng, int n, double pct) {
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) samples.push_back(ToMillisDouble(model.Sample(rng)));
+  std::sort(samples.begin(), samples.end());
+  size_t idx = static_cast<size_t>(pct / 100.0 * (n - 1));
+  return samples[idx];
+}
+
+TEST(LognormalLatencyTest, ReportsItsOwnQuantiles) {
+  LognormalLatency model(1.18, 1.91);
+  EXPECT_NEAR(model.median_ms(), 1.18, 1e-9);
+  EXPECT_NEAR(model.p99_ms(), 1.91, 1e-9);
+}
+
+TEST(LognormalLatencyTest, EmpiricalMedianMatchesTable1Log) {
+  LognormalLatency model(1.18, 1.91);
+  Rng rng(99);
+  EXPECT_NEAR(SamplePercentile(model, rng, 50000, 50.0), 1.18, 0.05);
+}
+
+TEST(LognormalLatencyTest, EmpiricalP99MatchesTable1Log) {
+  LognormalLatency model(1.18, 1.91);
+  Rng rng(99);
+  EXPECT_NEAR(SamplePercentile(model, rng, 50000, 99.0), 1.91, 0.10);
+}
+
+TEST(LognormalLatencyTest, EmpiricalQuantilesMatchTable1DbRead) {
+  LognormalLatency model(1.88, 4.60);
+  Rng rng(7);
+  EXPECT_NEAR(SamplePercentile(model, rng, 50000, 50.0), 1.88, 0.08);
+  EXPECT_NEAR(SamplePercentile(model, rng, 50000, 99.0), 4.60, 0.35);
+}
+
+TEST(LognormalLatencyTest, SamplesAreAlwaysPositive) {
+  LognormalLatency model(0.12, 0.72);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(model.Sample(rng), 0);
+  }
+}
+
+TEST(LognormalLatencyTest, DegenerateDistributionIsConstant) {
+  LognormalLatency model(2.0, 2.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(ToMillisDouble(model.Sample(rng)), 2.0, 1e-9);
+  }
+}
+
+TEST(LatencyCalibrationTest, DefaultsMatchPaperTable1) {
+  LatencyCalibration cal;
+  EXPECT_DOUBLE_EQ(cal.log_append_median, 1.18);
+  EXPECT_DOUBLE_EQ(cal.log_append_p99, 1.91);
+  EXPECT_DOUBLE_EQ(cal.db_read_median, 1.88);
+  EXPECT_DOUBLE_EQ(cal.db_read_p99, 4.60);
+  EXPECT_DOUBLE_EQ(cal.db_cond_write_median, 2.47);
+  EXPECT_DOUBLE_EQ(cal.db_cond_write_p99, 5.86);
+  // The raw (unconditional) write must be cheaper than the conditional one (§6.1).
+  EXPECT_LT(cal.db_plain_write_median, cal.db_cond_write_median);
+  // The cached logReadPrev path must be far cheaper than a DB read (§4.1).
+  EXPECT_LT(cal.log_read_cached_median * 5, cal.db_read_median);
+}
+
+TEST(SimTimeTest, UnitHelpers) {
+  EXPECT_EQ(Microseconds(3), 3000);
+  EXPECT_EQ(Milliseconds(2), 2000000);
+  EXPECT_EQ(Seconds(1), 1000000000);
+  EXPECT_EQ(FromMillisDouble(1.5), 1500000);
+  EXPECT_DOUBLE_EQ(ToMillisDouble(Milliseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToSecondsDouble(Seconds(3)), 3.0);
+}
+
+}  // namespace
+}  // namespace halfmoon

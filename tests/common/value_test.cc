@@ -1,0 +1,79 @@
+#include "src/common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace halfmoon {
+namespace {
+
+TEST(FieldMapTest, SetAndGetInt) {
+  FieldMap m;
+  m.SetInt("step", 7);
+  EXPECT_TRUE(m.Has("step"));
+  EXPECT_EQ(m.GetInt("step"), 7);
+}
+
+TEST(FieldMapTest, SetAndGetStr) {
+  FieldMap m;
+  m.SetStr("op", "write");
+  EXPECT_EQ(m.GetStr("op"), "write");
+}
+
+TEST(FieldMapTest, InitializerList) {
+  FieldMap m{{"op", std::string("read")}, {"step", int64_t{3}}};
+  EXPECT_EQ(m.GetStr("op"), "read");
+  EXPECT_EQ(m.GetInt("step"), 3);
+}
+
+TEST(FieldMapTest, HasReturnsFalseForMissing) {
+  FieldMap m;
+  EXPECT_FALSE(m.Has("nope"));
+}
+
+TEST(FieldMapTest, ByteSizeModelsCompactEncoding) {
+  // 2 bytes of field tag per entry plus the value payload (names are not stored).
+  FieldMap m;
+  m.SetStr("op", "write");       // 2 + 5
+  m.SetInt("step", 12);          // 2 + 8
+  EXPECT_EQ(m.ByteSize(), 2u + 5u + 2u + 8u);
+}
+
+TEST(FieldMapTest, EqualityIsValueBased) {
+  FieldMap a{{"x", int64_t{1}}};
+  FieldMap b{{"x", int64_t{1}}};
+  FieldMap c{{"x", int64_t{2}}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(FieldMapTest, OverwriteReplacesValue) {
+  FieldMap m;
+  m.SetInt("v", 1);
+  m.SetInt("v", 2);
+  EXPECT_EQ(m.GetInt("v"), 2);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(ValueCodecTest, Int64RoundTrip) {
+  EXPECT_EQ(DecodeInt64(EncodeInt64(0)), 0);
+  EXPECT_EQ(DecodeInt64(EncodeInt64(-17)), -17);
+  EXPECT_EQ(DecodeInt64(EncodeInt64(123456789012345)), 123456789012345);
+}
+
+TEST(ValueCodecTest, PadValueExtendsShortValues) {
+  Value v = PadValue("abc", 10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.substr(0, 3), "abc");
+}
+
+TEST(ValueCodecTest, PadValueLeavesLongValuesAlone) {
+  Value v = PadValue("abcdef", 3);
+  EXPECT_EQ(v, "abcdef");
+}
+
+TEST(ValueCodecTest, PaddedIntStillDecodes) {
+  Value v = PadValue(EncodeInt64(42), 256);
+  EXPECT_EQ(DecodeInt64(v), 42);
+}
+
+}  // namespace
+}  // namespace halfmoon

@@ -1,0 +1,96 @@
+// Tests of the §4.6 protocol-choice criterion.
+
+#include <gtest/gtest.h>
+
+#include "src/core/advisor.h"
+
+namespace halfmoon::core {
+namespace {
+
+WorkloadProfile Profile(double read_ratio) {
+  WorkloadProfile p;
+  p.read_probability = read_ratio;
+  p.write_probability = 1.0 - read_ratio;
+  return p;
+}
+
+TEST(AdvisorTest, ReadHeavyWorkloadPrefersHalfmoonRead) {
+  AdvisorReport report = AnalyzeWorkload(Profile(0.9));
+  EXPECT_EQ(report.runtime_choice, ProtocolKind::kHalfmoonRead);
+  EXPECT_EQ(report.storage_choice, ProtocolKind::kHalfmoonRead);
+  EXPECT_EQ(report.recommendation, ProtocolKind::kHalfmoonRead);
+}
+
+TEST(AdvisorTest, WriteHeavyWorkloadPrefersHalfmoonWrite) {
+  AdvisorReport report = AnalyzeWorkload(Profile(0.1));
+  EXPECT_EQ(report.runtime_choice, ProtocolKind::kHalfmoonWrite);
+  EXPECT_EQ(report.storage_choice, ProtocolKind::kHalfmoonWrite);
+  EXPECT_EQ(report.recommendation, ProtocolKind::kHalfmoonWrite);
+}
+
+TEST(AdvisorTest, RuntimeBoundaryIsTwoThirdsForPrototypeCostRatio) {
+  EXPECT_DOUBLE_EQ(RuntimeBoundaryReadRatio(Profile(0.5)), 2.0 / 3.0);
+}
+
+TEST(AdvisorTest, RuntimeBoundaryMovesWithCostRatio) {
+  WorkloadProfile p = Profile(0.5);
+  p.write_cost_ratio = 1.0;  // Equal extra costs -> boundary at 0.5.
+  EXPECT_DOUBLE_EQ(RuntimeBoundaryReadRatio(p), 0.5);
+  p.write_cost_ratio = 3.0;
+  EXPECT_DOUBLE_EQ(RuntimeBoundaryReadRatio(p), 0.75);
+}
+
+TEST(AdvisorTest, StorageBoundaryApproachesHalfForLargeObjects) {
+  WorkloadProfile p = Profile(0.5);
+  p.value_bytes = 1 << 20;  // 1 MiB objects dwarf record metadata.
+  EXPECT_NEAR(StorageBoundaryReadRatio(p), 0.5, 0.01);
+}
+
+TEST(AdvisorTest, StorageBoundaryExceedsHalfForSmallObjects) {
+  // §6.3: "the actual boundary is slightly higher, because Halfmoon-read logs twice for each
+  // write, while Halfmoon-write logs once for each read".
+  WorkloadProfile p = Profile(0.5);
+  p.value_bytes = 256;
+  p.meta_bytes = 48;
+  double boundary = StorageBoundaryReadRatio(p);
+  EXPECT_GT(boundary, 0.5);
+  EXPECT_LT(boundary, 0.75);
+}
+
+TEST(AdvisorTest, StorageFormulasMatchEquationsByHand) {
+  WorkloadProfile p;
+  p.read_probability = 0.6;
+  p.write_probability = 0.4;
+  p.arrival_rate = 100.0;
+  p.function_lifetime_s = 0.05;
+  p.gc_delay_s = 10.0;
+  p.meta_bytes = 48;
+  p.value_bytes = 256;
+  AdvisorReport r = AnalyzeWorkload(p);
+  const double window = 100.0 * 10.05;
+  EXPECT_DOUBLE_EQ(r.storage_hm_write, 256 + 0.6 * window * (48 + 256));
+  EXPECT_DOUBLE_EQ(r.storage_hm_read, (1 + 0.4 * window) * (2 * 48 + 256));
+}
+
+TEST(AdvisorTest, AtRuntimeBoundaryChoicesTie) {
+  // P_r = 2 P_w with C_w = 2 C_r: extra costs are equal; recommendation falls back to storage.
+  // Use exactly-representable probabilities so the tie is bit-exact.
+  WorkloadProfile p;
+  p.read_probability = 0.5;
+  p.write_probability = 0.25;
+  AdvisorReport r = AnalyzeWorkload(p);
+  EXPECT_DOUBLE_EQ(r.runtime_hm_read, r.runtime_hm_write);
+  EXPECT_EQ(r.recommendation, r.storage_choice);
+}
+
+TEST(AdvisorTest, GcIntervalDoesNotMoveStorageBoundary) {
+  // §6.3 observes the boundary condition is unaffected by the GC interval.
+  WorkloadProfile fast = Profile(0.5);
+  fast.gc_delay_s = 10.0;
+  WorkloadProfile slow = Profile(0.5);
+  slow.gc_delay_s = 60.0;
+  EXPECT_NEAR(StorageBoundaryReadRatio(fast), StorageBoundaryReadRatio(slow), 0.02);
+}
+
+}  // namespace
+}  // namespace halfmoon::core

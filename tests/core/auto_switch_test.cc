@@ -1,0 +1,137 @@
+// Auto-switching: the §4.6 criterion wired to the §4.7 mechanism.
+
+#include <gtest/gtest.h>
+
+#include "src/core/auto_switch.h"
+#include "tests/testing/test_world.h"
+
+namespace halfmoon {
+namespace {
+
+using core::AutoSwitchConfig;
+using core::AutoSwitchService;
+using core::ProtocolKind;
+using core::SwitchManager;
+using testing::TestWorld;
+using testing::TestWorldOptions;
+
+struct Fixture {
+  explicit Fixture(ProtocolKind initial)
+      : world(MakeOptions(initial)),
+        manager(&world.cluster(), world.runtime().config().switch_scope),
+        service(&world.cluster(), &manager, initial) {
+    world.runtime().PopulateObject("k", "v");
+    world.Register("reads", [](core::SsfContext& ctx) -> sim::Task<Value> {
+      for (int i = 0; i < 10; ++i) co_await ctx.Read("k");
+      co_return "";
+    });
+    world.Register("writes", [](core::SsfContext& ctx) -> sim::Task<Value> {
+      for (int i = 0; i < 10; ++i) co_await ctx.Write("k", "v");
+      co_return "";
+    });
+  }
+
+  static TestWorldOptions MakeOptions(ProtocolKind initial) {
+    TestWorldOptions options;
+    options.protocol = initial;
+    options.enable_switching = true;
+    return options;
+  }
+
+  bool Evaluate() {
+    bool switched = false;
+    bool done = false;
+    world.scheduler().Spawn([](AutoSwitchService* s, bool* out, bool* done)
+                                -> sim::Task<void> {
+      *out = co_await s->EvaluateOnce();
+      *done = true;
+    }(&service, &switched, &done));
+    world.scheduler().Run();
+    HM_CHECK(done);
+    return switched;
+  }
+
+  TestWorld world;
+  SwitchManager manager;
+  AutoSwitchService service;
+};
+
+TEST(AutoSwitchTest, ReadHeavyTrafficSwitchesToHalfmoonRead) {
+  Fixture fx(ProtocolKind::kHalfmoonWrite);
+  for (int i = 0; i < 10; ++i) fx.world.Call("reads");
+  EXPECT_TRUE(fx.Evaluate());
+  EXPECT_EQ(fx.service.current_protocol(), ProtocolKind::kHalfmoonRead);
+  EXPECT_EQ(fx.manager.history().size(), 1u);
+}
+
+TEST(AutoSwitchTest, WriteHeavyTrafficSwitchesToHalfmoonWrite) {
+  Fixture fx(ProtocolKind::kHalfmoonRead);
+  for (int i = 0; i < 10; ++i) fx.world.Call("writes");
+  EXPECT_TRUE(fx.Evaluate());
+  EXPECT_EQ(fx.service.current_protocol(), ProtocolKind::kHalfmoonWrite);
+}
+
+TEST(AutoSwitchTest, MatchingProtocolStaysPut) {
+  Fixture fx(ProtocolKind::kHalfmoonRead);
+  for (int i = 0; i < 10; ++i) fx.world.Call("reads");
+  EXPECT_FALSE(fx.Evaluate());
+  EXPECT_TRUE(fx.manager.history().empty());
+}
+
+TEST(AutoSwitchTest, TooFewOpsIsInconclusive) {
+  Fixture fx(ProtocolKind::kHalfmoonRead);
+  fx.world.Call("writes");  // 10 ops < min_ops (50).
+  EXPECT_FALSE(fx.Evaluate());
+}
+
+TEST(AutoSwitchTest, BorderlineMixWithinMarginDoesNotFlap) {
+  // Near the 2/3 boundary (reads:writes = 2:1) the margin must suppress switching both ways.
+  Fixture fx(ProtocolKind::kHalfmoonWrite);
+  fx.world.Register("mixed", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    for (int i = 0; i < 10; ++i) {
+      co_await ctx.Read("k");
+      co_await ctx.Read("k");
+      co_await ctx.Write("k", "v");
+    }
+    co_return "";
+  });
+  for (int i = 0; i < 4; ++i) fx.world.Call("mixed");
+  EXPECT_FALSE(fx.Evaluate());
+  EXPECT_NEAR(fx.service.stats().last_read_ratio, 2.0 / 3.0, 0.02);
+}
+
+TEST(AutoSwitchTest, StateSurvivesAutoSwitchRoundTrip) {
+  Fixture fx(ProtocolKind::kHalfmoonWrite);
+  fx.world.runtime().PopulateObject("counter", EncodeInt64(0));
+  fx.world.Register("incr", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Value v = co_await ctx.Read("counter");
+    co_await ctx.Write("counter", EncodeInt64(DecodeInt64(v) + 1));
+    co_return "";
+  });
+  fx.world.Register("read_counter", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_return co_await ctx.Read("counter");
+  });
+
+  fx.world.Call("incr");
+  for (int i = 0; i < 10; ++i) fx.world.Call("reads");
+  ASSERT_TRUE(fx.Evaluate());  // -> Halfmoon-read.
+  fx.world.Call("incr");
+  for (int i = 0; i < 10; ++i) fx.world.Call("writes");
+  ASSERT_TRUE(fx.Evaluate());  // -> Halfmoon-write.
+  fx.world.Call("incr");
+  EXPECT_EQ(DecodeInt64(fx.world.Call("read_counter")), 3);
+  EXPECT_EQ(fx.service.stats().switches_triggered, 2);
+}
+
+TEST(AutoSwitchTest, PeriodicLoopEvaluatesOnSchedule) {
+  Fixture fx(ProtocolKind::kHalfmoonWrite);
+  fx.service.Start();
+  for (int i = 0; i < 10; ++i) fx.world.CallAsync("reads");
+  fx.world.scheduler().RunUntil(Seconds(7));  // Window = 2s: ~3 evaluations.
+  fx.service.Stop();
+  EXPECT_GE(fx.service.stats().windows_evaluated, 3);
+  EXPECT_EQ(fx.service.current_protocol(), ProtocolKind::kHalfmoonRead);
+}
+
+}  // namespace
+}  // namespace halfmoon

@@ -1,0 +1,187 @@
+// Scatter-gather invocation (SsfContext::InvokeAll): concurrency, exactly-once under crash
+// sweeps, and peer races over the batched pre/post records.
+
+#include <gtest/gtest.h>
+
+#include "src/core/env.h"
+#include "tests/testing/test_world.h"
+
+namespace halfmoon {
+namespace {
+
+using core::ProtocolKind;
+using testing::TestWorld;
+using testing::TestWorldOptions;
+
+class InvokeAllTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, InvokeAllTest,
+                         ::testing::Values(ProtocolKind::kUnsafe, ProtocolKind::kBoki,
+                                           ProtocolKind::kHalfmoonRead,
+                                           ProtocolKind::kHalfmoonWrite),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+                           std::string name = core::ProtocolName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TestWorldOptions Opts(ProtocolKind kind) {
+  TestWorldOptions options;
+  options.protocol = kind;
+  return options;
+}
+
+void RegisterFanout(TestWorld& world, int fanout) {
+  world.Register("leaf", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Write("leaf:" + ctx.input(), ctx.input());
+    co_return ctx.input() + "!";
+  });
+  world.Register("fan", [fanout](core::SsfContext& ctx) -> sim::Task<Value> {
+    std::vector<std::pair<std::string, Value>> calls;
+    for (int i = 0; i < fanout; ++i) {
+      calls.emplace_back("leaf", "c" + std::to_string(i));
+    }
+    std::vector<Value> results = co_await ctx.InvokeAll(std::move(calls));
+    Value joined;
+    for (const Value& r : results) {
+      if (!joined.empty()) joined.push_back(',');
+      joined += r;
+    }
+    co_return joined;
+  });
+}
+
+TEST_P(InvokeAllTest, ResultsArriveInCallOrder) {
+  TestWorld world(Opts(GetParam()));
+  RegisterFanout(world, 4);
+  EXPECT_EQ(world.Call("fan"), "c0!,c1!,c2!,c3!");
+}
+
+TEST_P(InvokeAllTest, ChildrenActuallyRunConcurrently) {
+  // 5 parallel children must finish in roughly one child's time, not five.
+  TestWorld world(Opts(GetParam()));
+  RegisterFanout(world, 5);
+  SimTime start = world.scheduler().Now();
+  world.Call("fan");
+  double elapsed_ms = ToMillisDouble(world.scheduler().Now() - start);
+
+  TestWorld serial_world(Opts(GetParam()));
+  serial_world.Register("leaf", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Write("leaf:" + ctx.input(), ctx.input());
+    co_return ctx.input() + "!";
+  });
+  serial_world.Register("serial_fan", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    for (int i = 0; i < 5; ++i) {
+      co_await ctx.Invoke("leaf", "c" + std::to_string(i));
+    }
+    co_return "";
+  });
+  SimTime serial_start = serial_world.scheduler().Now();
+  serial_world.Call("serial_fan");
+  double serial_ms = ToMillisDouble(serial_world.scheduler().Now() - serial_start);
+
+  EXPECT_LT(elapsed_ms * 2, serial_ms) << "parallel fan-out not faster than serial chain";
+}
+
+TEST_P(InvokeAllTest, SingleCallGroupBehavesLikeInvoke) {
+  TestWorld world(Opts(GetParam()));
+  RegisterFanout(world, 1);
+  EXPECT_EQ(world.Call("fan"), "c0!");
+}
+
+class InvokeAllFaultTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+INSTANTIATE_TEST_SUITE_P(FaultTolerant, InvokeAllFaultTest,
+                         ::testing::Values(ProtocolKind::kBoki, ProtocolKind::kHalfmoonRead,
+                                           ProtocolKind::kHalfmoonWrite),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+                           std::string name = core::ProtocolName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+void RegisterParallelAdders(TestWorld& world) {
+  world.runtime().PopulateObject("acc:0", EncodeInt64(0));
+  world.runtime().PopulateObject("acc:1", EncodeInt64(0));
+  world.runtime().PopulateObject("acc:2", EncodeInt64(0));
+  world.Register("add_to", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    std::string key = "acc:" + ctx.input();
+    Value v = co_await ctx.Read(key);
+    co_await ctx.Write(key, EncodeInt64(DecodeInt64(v) + 1));
+    co_return "";
+  });
+  world.Register("fanout_add", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    std::vector<std::pair<std::string, Value>> calls;
+    calls.emplace_back("add_to", "0");
+    calls.emplace_back("add_to", "1");
+    calls.emplace_back("add_to", "2");
+    co_await ctx.InvokeAll(std::move(calls));
+    co_return "";
+  });
+  world.Register("read_all", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Value a = co_await ctx.Read("acc:0");
+    Value b = co_await ctx.Read("acc:1");
+    Value c = co_await ctx.Read("acc:2");
+    co_return a + "," + b + "," + c;
+  });
+}
+
+TEST_P(InvokeAllFaultTest, ExactlyOnceUnderCrashSweep) {
+  auto run = [&](int64_t crash_site) -> std::pair<int64_t, Value> {
+    TestWorld world(Opts(GetParam()));
+    RegisterParallelAdders(world);
+    if (crash_site >= 0) {
+      world.cluster().failure_injector().CrashAtSiteHits({crash_site});
+    }
+    world.Call("fanout_add");
+    int64_t sites = world.cluster().failure_injector().site_hits();
+    world.cluster().failure_injector().CrashAtSiteHits({});
+    return {sites, world.Call("read_all")};
+  };
+
+  auto [sites, clean] = run(-1);
+  ASSERT_EQ(clean, "1,1,1");
+  ASSERT_GT(sites, 0);
+  for (int64_t k = 0; k < sites; ++k) {
+    auto [_, state] = run(k);
+    EXPECT_EQ(state, "1,1,1") << "crash at site " << k;
+  }
+}
+
+TEST_P(InvokeAllFaultTest, ExactlyOnceWithPeerRaces) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    TestWorldOptions options;
+    options.protocol = GetParam();
+    options.seed = seed;
+    TestWorld world(options);
+    RegisterParallelAdders(world);
+    world.cluster().failure_injector().SetDuplicateProbability(0.8);
+    world.Call("fanout_add");
+    world.cluster().failure_injector().SetDuplicateProbability(0.0);
+    EXPECT_EQ(world.Call("read_all"), "1,1,1") << "seed " << seed;
+  }
+}
+
+TEST_P(InvokeAllFaultTest, CrashStormsWithPeers) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    TestWorldOptions options;
+    options.protocol = GetParam();
+    options.seed = seed;
+    TestWorld world(options);
+    RegisterParallelAdders(world);
+    world.cluster().failure_injector().SetDuplicateProbability(0.4);
+    world.cluster().failure_injector().SetCrashProbability(0.03);
+    world.Call("fanout_add");
+    world.Call("fanout_add");
+    world.cluster().failure_injector().SetDuplicateProbability(0.0);
+    world.cluster().failure_injector().SetCrashProbability(0.0);
+    EXPECT_EQ(world.Call("read_all"), "2,2,2") << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace halfmoon

@@ -1,0 +1,224 @@
+// Failure-free functional tests for every protocol: reads see writes, workflows compose,
+// per-protocol logging footprints match the §3 table.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/env.h"
+#include "tests/testing/test_world.h"
+
+namespace halfmoon {
+namespace {
+
+using core::ProtocolKind;
+using testing::TestWorld;
+using testing::TestWorldOptions;
+
+class ProtocolBasicTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolBasicTest,
+                         ::testing::Values(ProtocolKind::kUnsafe, ProtocolKind::kBoki,
+                                           ProtocolKind::kHalfmoonRead,
+                                           ProtocolKind::kHalfmoonWrite),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+                           std::string name = core::ProtocolName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TestWorldOptions Opts(ProtocolKind kind) {
+  TestWorldOptions options;
+  options.protocol = kind;
+  return options;
+}
+
+TEST_P(ProtocolBasicTest, WriteThenReadRoundTrip) {
+  TestWorld world(Opts(GetParam()));
+  world.Register("set_get", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Write("x", "hello");
+    co_return co_await ctx.Read("x");
+  });
+  EXPECT_EQ(world.Call("set_get"), "hello");
+}
+
+TEST_P(ProtocolBasicTest, ReadMissingKeyReturnsEmpty) {
+  TestWorld world(Opts(GetParam()));
+  world.Register("read_missing", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_return co_await ctx.Read("never-written");
+  });
+  EXPECT_EQ(world.Call("read_missing"), "");
+}
+
+TEST_P(ProtocolBasicTest, ReadSeesPopulatedObject) {
+  TestWorld world(Opts(GetParam()));
+  world.runtime().PopulateObject("seeded", "seed-value");
+  world.Register("reader", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_return co_await ctx.Read("seeded");
+  });
+  EXPECT_EQ(world.Call("reader"), "seed-value");
+}
+
+TEST_P(ProtocolBasicTest, WritesAreVisibleToLaterInvocations) {
+  // §4.4: operations that finish before an SSF starts are visible to it (the init record
+  // advances cursorTS past them).
+  TestWorld world(Opts(GetParam()));
+  world.Register("writer", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Write("k", ctx.input());
+    co_return "";
+  });
+  world.Register("reader", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_return co_await ctx.Read("k");
+  });
+  world.Call("writer", "v1");
+  EXPECT_EQ(world.Call("reader"), "v1");
+  world.Call("writer", "v2");
+  EXPECT_EQ(world.Call("reader"), "v2");
+}
+
+TEST_P(ProtocolBasicTest, SerialCounterIncrements) {
+  TestWorld world(Opts(GetParam()));
+  world.runtime().PopulateObject("counter", EncodeInt64(0));
+  world.Register("incr", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Value v = co_await ctx.Read("counter");
+    int64_t n = DecodeInt64(v);
+    co_await ctx.Write("counter", EncodeInt64(n + 1));
+    co_return EncodeInt64(n + 1);
+  });
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_EQ(DecodeInt64(world.Call("incr")), i);
+  }
+}
+
+TEST_P(ProtocolBasicTest, InvokeComposesWorkflows) {
+  TestWorld world(Opts(GetParam()));
+  world.runtime().PopulateObject("acc", EncodeInt64(100));
+  world.Register("add", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Value v = co_await ctx.Read("acc");
+    int64_t n = DecodeInt64(v) + DecodeInt64(ctx.input());
+    co_await ctx.Write("acc", EncodeInt64(n));
+    co_return EncodeInt64(n);
+  });
+  world.Register("workflow", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Invoke("add", EncodeInt64(1));
+    Value result = co_await ctx.Invoke("add", EncodeInt64(2));
+    co_return result;
+  });
+  EXPECT_EQ(DecodeInt64(world.Call("workflow")), 103);
+}
+
+TEST_P(ProtocolBasicTest, NestedInvokeThreeLevels) {
+  TestWorld world(Opts(GetParam()));
+  world.Register("leaf", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Write("leaf-key", ctx.input());
+    co_return ctx.input() + "!";
+  });
+  world.Register("mid", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Value r = co_await ctx.Invoke("leaf", ctx.input() + "-mid");
+    co_return r;
+  });
+  world.Register("root", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    Value r = co_await ctx.Invoke("mid", "root");
+    co_return r;
+  });
+  EXPECT_EQ(world.Call("root"), "root-mid!");
+}
+
+TEST_P(ProtocolBasicTest, ComputeAdvancesTime) {
+  TestWorld world(Opts(GetParam()));
+  world.Register("compute", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Compute();
+    co_return "done";
+  });
+  EXPECT_EQ(world.Call("compute"), "done");
+  EXPECT_GT(world.scheduler().Now(), 0);
+}
+
+TEST_P(ProtocolBasicTest, SyncIsHarmless) {
+  TestWorld world(Opts(GetParam()));
+  world.runtime().PopulateObject("s", "v");
+  world.Register("sync_read", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Sync();
+    co_return co_await ctx.Read("s");
+  });
+  EXPECT_EQ(world.Call("sync_read"), "v");
+}
+
+// ---- Logging-footprint assertions (the asymmetry that gives Halfmoon its name) ----
+
+int64_t TotalAppends(TestWorld& world) { return world.cluster().TotalLogAppends(); }
+
+TEST(LoggingFootprintTest, HalfmoonReadLogsNoReads) {
+  TestWorld world(Opts(ProtocolKind::kHalfmoonRead));
+  world.runtime().PopulateObject("x", "v");
+  world.Register("reads", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    for (int i = 0; i < 10; ++i) co_await ctx.Read("x");
+    co_return "";
+  });
+  world.Call("reads");
+  // Only the init record is appended; ten reads add nothing.
+  EXPECT_EQ(TotalAppends(world), 1);
+}
+
+TEST(LoggingFootprintTest, HalfmoonWriteLogsNoWrites) {
+  TestWorld world(Opts(ProtocolKind::kHalfmoonWrite));
+  world.Register("writes", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    for (int i = 0; i < 10; ++i) co_await ctx.Write("x", "v");
+    co_return "";
+  });
+  world.Call("writes");
+  EXPECT_EQ(TotalAppends(world), 1);  // Init only.
+}
+
+TEST(LoggingFootprintTest, HalfmoonWriteLogsEveryRead) {
+  TestWorld world(Opts(ProtocolKind::kHalfmoonWrite));
+  world.runtime().PopulateObject("x", "v");
+  world.Register("reads", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    for (int i = 0; i < 10; ++i) co_await ctx.Read("x");
+    co_return "";
+  });
+  world.Call("reads");
+  EXPECT_EQ(TotalAppends(world), 1 + 10);  // Init + one record per read.
+}
+
+TEST(LoggingFootprintTest, HalfmoonReadLogsWritePairs) {
+  TestWorld world(Opts(ProtocolKind::kHalfmoonRead));
+  world.Register("writes", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    for (int i = 0; i < 10; ++i) co_await ctx.Write("x", "v");
+    co_return "";
+  });
+  world.Call("writes");
+  EXPECT_EQ(TotalAppends(world), 1 + 2 * 10);  // Init + (version, commit) per write.
+}
+
+TEST(LoggingFootprintTest, BokiLogsBothSides) {
+  TestWorld world(Opts(ProtocolKind::kBoki));
+  world.runtime().PopulateObject("x", "v");
+  world.Register("mixed", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    for (int i = 0; i < 5; ++i) {
+      co_await ctx.Read("x");
+      co_await ctx.Write("x", "v");
+    }
+    co_return "";
+  });
+  world.Call("mixed");
+  // Init + 1 per read + 2 per write (version log + async commit marker).
+  EXPECT_EQ(TotalAppends(world), 1 + 5 + 2 * 5);
+}
+
+TEST(LoggingFootprintTest, UnsafeLogsNothing) {
+  TestWorld world(Opts(ProtocolKind::kUnsafe));
+  world.runtime().PopulateObject("x", "v");
+  world.Register("mixed", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Read("x");
+    co_await ctx.Write("x", "w");
+    co_return "";
+  });
+  world.Call("mixed");
+  EXPECT_EQ(TotalAppends(world), 0);
+}
+
+}  // namespace
+}  // namespace halfmoon

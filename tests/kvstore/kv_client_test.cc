@@ -1,0 +1,132 @@
+#include "src/kvstore/kv_client.h"
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/latency_recorder.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/service_station.h"
+
+namespace halfmoon::kvstore {
+namespace {
+
+struct KvFixture {
+  sim::Scheduler scheduler;
+  Rng rng{11};
+  LatencyModels models;
+  KvState state;
+  KvClient client{&scheduler, &rng, &models, &state, nullptr};
+};
+
+TEST(KvClientTest, PutThenGetRoundTrip) {
+  KvFixture fx;
+  fx.scheduler.Spawn([](KvFixture* fx) -> sim::Task<void> {
+    co_await fx->client.Put("k", "v");
+    auto v = co_await fx->client.Get("k");
+    EXPECT_EQ(v.value(), "v");
+  }(&fx));
+  fx.scheduler.Run();
+  EXPECT_EQ(fx.client.stats().plain_writes, 1);
+  EXPECT_EQ(fx.client.stats().reads, 1);
+}
+
+TEST(KvClientTest, CondPutTracksRejects) {
+  KvFixture fx;
+  fx.scheduler.Spawn([](KvFixture* fx) -> sim::Task<void> {
+    EXPECT_TRUE(co_await fx->client.CondPut("k", "a", VersionTuple{2, 0}));
+    EXPECT_FALSE(co_await fx->client.CondPut("k", "b", VersionTuple{1, 0}));
+  }(&fx));
+  fx.scheduler.Run();
+  EXPECT_EQ(fx.client.stats().cond_writes, 2);
+  EXPECT_EQ(fx.client.stats().cond_write_rejects, 1);
+}
+
+TEST(KvClientTest, GetWithVersionReturnsTuple) {
+  KvFixture fx;
+  fx.scheduler.Spawn([](KvFixture* fx) -> sim::Task<void> {
+    co_await fx->client.CondPut("k", "v", VersionTuple{7, 2});
+    auto r = co_await fx->client.GetWithVersion("k");
+    EXPECT_TRUE(r.has_value());
+    if (!r.has_value()) co_return;
+    EXPECT_EQ(r->first, "v");
+    EXPECT_EQ(r->second, (VersionTuple{7, 2}));
+    auto missing = co_await fx->client.GetWithVersion("nope");
+    EXPECT_FALSE(missing.has_value());
+  }(&fx));
+  fx.scheduler.Run();
+}
+
+TEST(KvClientTest, VersionedPathRoundTrip) {
+  KvFixture fx;
+  fx.scheduler.Spawn([](KvFixture* fx) -> sim::Task<void> {
+    co_await fx->client.PutVersioned("k", "v1", "data");
+    auto v = co_await fx->client.GetVersioned("k", "v1");
+    EXPECT_EQ(v.value(), "data");
+    EXPECT_TRUE(co_await fx->client.DeleteVersioned("k", "v1"));
+  }(&fx));
+  fx.scheduler.Run();
+  EXPECT_EQ(fx.client.stats().versioned_writes, 1);
+  EXPECT_EQ(fx.client.stats().versioned_reads, 1);
+  EXPECT_EQ(fx.client.stats().deletes, 1);
+}
+
+TEST(KvClientTest, ReadLatencyMatchesTable1Calibration) {
+  // Statistical check: median read latency ≈ 1.88 ms, p99 ≈ 4.60 ms (Table 1).
+  KvFixture fx;
+  metrics::LatencyRecorder recorder;
+  fx.scheduler.Spawn([](KvFixture* fx, metrics::LatencyRecorder* rec) -> sim::Task<void> {
+    co_await fx->client.Put("k", "v");
+    for (int i = 0; i < 4000; ++i) {
+      SimTime before = fx->scheduler.Now();
+      co_await fx->client.Get("k");
+      rec->Record(fx->scheduler.Now() - before);
+    }
+  }(&fx, &recorder));
+  fx.scheduler.Run();
+  EXPECT_NEAR(recorder.MedianMs(), 1.88, 0.15);
+  EXPECT_NEAR(recorder.P99Ms(), 4.60, 0.80);
+}
+
+TEST(KvClientTest, CondWriteCostlierThanPlainWrite) {
+  // §6.1: conditional updates are more expensive than direct ones.
+  KvFixture fx;
+  metrics::LatencyRecorder plain, cond;
+  fx.scheduler.Spawn([](KvFixture* fx, metrics::LatencyRecorder* plain,
+                        metrics::LatencyRecorder* cond) -> sim::Task<void> {
+    for (int i = 0; i < 3000; ++i) {
+      SimTime before = fx->scheduler.Now();
+      co_await fx->client.Put("k", "v");
+      plain->Record(fx->scheduler.Now() - before);
+      before = fx->scheduler.Now();
+      co_await fx->client.CondPut("k", "v", VersionTuple{static_cast<uint64_t>(i + 1), 0});
+      cond->Record(fx->scheduler.Now() - before);
+    }
+  }(&fx, &plain, &cond));
+  fx.scheduler.Run();
+  EXPECT_LT(plain.MedianMs(), cond.MedianMs());
+}
+
+TEST(KvClientTest, StationQueueingInflatesLatencyUnderLoad) {
+  // With a one-server station and many concurrent reads, queueing delay must appear.
+  sim::Scheduler scheduler;
+  Rng rng(3);
+  LatencyModels models;
+  KvState state;
+  sim::ServiceStation station(&scheduler, 1);
+  KvClient client(&scheduler, &rng, &models, &state, &station);
+
+  metrics::LatencyRecorder recorder;
+  for (int i = 0; i < 50; ++i) {
+    scheduler.Spawn([](KvClient* client, sim::Scheduler* sched,
+                       metrics::LatencyRecorder* rec) -> sim::Task<void> {
+      SimTime before = sched->Now();
+      co_await client->Get("k");
+      rec->Record(sched->Now() - before);
+    }(&client, &scheduler, &recorder));
+  }
+  scheduler.Run();
+  // The last reads waited behind ~49 service times; p99 must far exceed the solo median.
+  EXPECT_GT(recorder.P99Ms(), 3 * 1.88);
+}
+
+}  // namespace
+}  // namespace halfmoon::kvstore

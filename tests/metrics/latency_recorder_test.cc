@@ -1,0 +1,68 @@
+#include "src/metrics/latency_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/time.h"
+
+namespace halfmoon::metrics {
+namespace {
+
+TEST(LatencyRecorderTest, EmptyRecorderReturnsZero) {
+  LatencyRecorder rec;
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.Median(), 0);
+  EXPECT_EQ(rec.P99(), 0);
+}
+
+TEST(LatencyRecorderTest, SingleSampleIsEveryPercentile) {
+  LatencyRecorder rec;
+  rec.Record(Milliseconds(5));
+  EXPECT_EQ(rec.Percentile(0), Milliseconds(5));
+  EXPECT_EQ(rec.Median(), Milliseconds(5));
+  EXPECT_EQ(rec.Percentile(100), Milliseconds(5));
+}
+
+TEST(LatencyRecorderTest, MedianOfKnownSequence) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 101; ++i) rec.Record(Milliseconds(i));
+  EXPECT_EQ(rec.Median(), Milliseconds(51));
+}
+
+TEST(LatencyRecorderTest, P99OfKnownSequence) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 101; ++i) rec.Record(Milliseconds(i));
+  EXPECT_EQ(rec.P99(), Milliseconds(100));
+}
+
+TEST(LatencyRecorderTest, PercentileIsOrderInsensitive) {
+  LatencyRecorder a, b;
+  for (int i = 1; i <= 100; ++i) a.Record(Milliseconds(i));
+  for (int i = 100; i >= 1; --i) b.Record(Milliseconds(i));
+  EXPECT_EQ(a.Median(), b.Median());
+  EXPECT_EQ(a.P99(), b.P99());
+}
+
+TEST(LatencyRecorderTest, MeanMs) {
+  LatencyRecorder rec;
+  rec.Record(Milliseconds(2));
+  rec.Record(Milliseconds(4));
+  EXPECT_DOUBLE_EQ(rec.MeanMs(), 3.0);
+}
+
+TEST(LatencyRecorderTest, ClearResets) {
+  LatencyRecorder rec;
+  rec.Record(Milliseconds(1));
+  rec.Clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.count(), 0u);
+}
+
+TEST(LatencyRecorderTest, MillisecondHelpers) {
+  LatencyRecorder rec;
+  rec.Record(Milliseconds(10));
+  EXPECT_DOUBLE_EQ(rec.MedianMs(), 10.0);
+  EXPECT_DOUBLE_EQ(rec.P99Ms(), 10.0);
+}
+
+}  // namespace
+}  // namespace halfmoon::metrics

@@ -1,0 +1,60 @@
+#include "src/metrics/storage_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/time.h"
+
+namespace halfmoon::metrics {
+namespace {
+
+TEST(StorageGaugeTest, StartsEmpty) {
+  StorageGauge gauge;
+  EXPECT_EQ(gauge.CurrentBytes(), 0);
+}
+
+TEST(StorageGaugeTest, AddAccumulates) {
+  StorageGauge gauge;
+  gauge.Add(0, 100);
+  gauge.Add(Seconds(1), 50);
+  EXPECT_EQ(gauge.CurrentBytes(), 150);
+  gauge.Add(Seconds(2), -150);
+  EXPECT_EQ(gauge.CurrentBytes(), 0);
+}
+
+TEST(StorageGaugeTest, TimeAverageOfConstantGauge) {
+  StorageGauge gauge;
+  gauge.Set(0, 1000);
+  EXPECT_DOUBLE_EQ(gauge.TimeAverageBytes(Seconds(10)), 1000.0);
+}
+
+TEST(StorageGaugeTest, TimeAverageOfStepFunction) {
+  StorageGauge gauge;
+  gauge.Set(0, 0);
+  gauge.Set(Seconds(5), 200);  // 0 bytes for 5s, then 200 bytes for 5s.
+  EXPECT_DOUBLE_EQ(gauge.TimeAverageBytes(Seconds(10)), 100.0);
+}
+
+TEST(StorageGaugeTest, WindowAverageExcludesWarmup) {
+  StorageGauge gauge;
+  gauge.Set(0, 1000000);           // Huge warm-up footprint.
+  gauge.Set(Seconds(10), 100);     // Steady state.
+  gauge.ResetWindow(Seconds(10));
+  EXPECT_DOUBLE_EQ(gauge.WindowAverageBytes(Seconds(20)), 100.0);
+}
+
+TEST(StorageGaugeTest, WindowAverageTracksChangesInsideWindow) {
+  StorageGauge gauge;
+  gauge.ResetWindow(0);
+  gauge.Set(0, 100);
+  gauge.Set(Seconds(2), 300);  // 100 for 2s, 300 for 2s => avg 200.
+  EXPECT_DOUBLE_EQ(gauge.WindowAverageBytes(Seconds(4)), 200.0);
+}
+
+TEST(StorageGaugeTest, AverageAtZeroSpanIsCurrent) {
+  StorageGauge gauge;
+  gauge.Set(0, 42);
+  EXPECT_DOUBLE_EQ(gauge.TimeAverageBytes(0), 42.0);
+}
+
+}  // namespace
+}  // namespace halfmoon::metrics

@@ -1,0 +1,30 @@
+#include "src/metrics/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace halfmoon::metrics {
+namespace {
+
+TEST(TablePrinterTest, FormatDoubleDefaultPrecision) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.234567), "1.23");
+}
+
+TEST(TablePrinterTest, FormatDoubleCustomPrecision) {
+  EXPECT_EQ(TablePrinter::FormatDouble(1.234567, 4), "1.2346");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, PrintDoesNotCrash) {
+  TablePrinter table({"system", "median_ms", "p99_ms"});
+  table.AddRow({"Boki", "3.06", "6.4"});
+  table.AddRow({"Halfmoon-read", "2.01", "5.2"});
+  table.Print();  // Smoke test: output formatting only.
+}
+
+TEST(TablePrinterTest, MismatchedRowAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace halfmoon::metrics

@@ -1,0 +1,141 @@
+#include "src/runtime/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/sync.h"
+
+namespace halfmoon::runtime {
+namespace {
+
+// Built outside coroutine argument lists (GCC 12 miscompiles braced-init-list args there).
+FieldMap OpFields(const std::string& op) {
+  FieldMap f;
+  f.SetStr("op", op);
+  f.SetInt("step", 0);
+  return f;
+}
+
+TEST(ClusterTest, BuildsConfiguredTopology) {
+  ClusterConfig config;
+  config.function_nodes = 8;
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.node_count(), 8);
+  EXPECT_EQ(cluster.scheduler().Now(), 0);
+}
+
+TEST(ClusterTest, PickNodeRoundRobins) {
+  ClusterConfig config;
+  config.function_nodes = 3;
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.PickNode().id(), 0);
+  EXPECT_EQ(cluster.PickNode().id(), 1);
+  EXPECT_EQ(cluster.PickNode().id(), 2);
+  EXPECT_EQ(cluster.PickNode().id(), 0);
+}
+
+TEST(ClusterTest, IndexPropagationReachesAllNodes) {
+  ClusterConfig config;
+  config.function_nodes = 4;
+  Cluster cluster(config);
+  cluster.scheduler().Spawn([](Cluster* c) -> sim::Task<void> {
+    co_await c->node(0).log().Append(sharedlog::OneTag("t"), OpFields("x"));
+  }(&cluster));
+  cluster.scheduler().Run();
+  sharedlog::SeqNum committed = cluster.log_space().next_seqnum() - 1;
+  for (int i = 0; i < cluster.node_count(); ++i) {
+    EXPECT_GE(cluster.node(i).log().indexed_upto(), committed) << "node " << i;
+  }
+}
+
+TEST(ClusterTest, RunningFrontierTracksInitStream) {
+  Cluster cluster(ClusterConfig{});
+  // Empty init stream: the frontier is the next seqnum.
+  EXPECT_EQ(cluster.RunningFrontier(), cluster.log_space().next_seqnum());
+
+  FieldMap init1;
+  init1.SetStr("op", "init");
+  init1.SetInt("step", 0);
+  init1.SetStr("instance", "A");
+  sharedlog::SeqNum a = cluster.log_space().Append(
+      0, sharedlog::TwoTags("A", sharedlog::InitLogTag()), std::move(init1));
+
+  FieldMap init2;
+  init2.SetStr("op", "init");
+  init2.SetInt("step", 0);
+  init2.SetStr("instance", "B");
+  cluster.log_space().Append(0, sharedlog::TwoTags("B", sharedlog::InitLogTag()),
+                             std::move(init2));
+
+  // Both running: the frontier stops at A's init.
+  EXPECT_EQ(cluster.RunningFrontier(), a);
+  cluster.MarkInstanceFinished("A");
+  // A finished, B still running: frontier moves to B's init.
+  EXPECT_EQ(cluster.RunningFrontier(), a + 1);
+  cluster.MarkInstanceFinished("B");
+  EXPECT_EQ(cluster.RunningFrontier(), cluster.log_space().next_seqnum());
+}
+
+TEST(ClusterTest, StepLogTrimQueueDrains) {
+  Cluster cluster(ClusterConfig{});
+  cluster.EnqueueStepLogTrim("a");
+  cluster.EnqueueStepLogTrim("b");
+  std::vector<std::string> drained = cluster.DrainStepLogTrimQueue();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(cluster.DrainStepLogTrimQueue().empty());
+}
+
+TEST(ClusterTest, DeterministicForFixedSeed) {
+  auto run = [](uint64_t seed) {
+    ClusterConfig config;
+    config.seed = seed;
+    Cluster cluster(config);
+    SimTime finish = 0;
+    cluster.scheduler().Spawn([](Cluster* c, SimTime* out) -> sim::Task<void> {
+      for (int i = 0; i < 20; ++i) {
+        co_await c->node(0).log().Append(sharedlog::OneTag("t"), OpFields("x"));
+      }
+      *out = c->scheduler().Now();
+    }(&cluster, &finish));
+    cluster.scheduler().Run();
+    return finish;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(FailureInjectorTest, ScheduledHitsFireExactlyOnce) {
+  FailureInjector injector;
+  Rng rng(1);
+  injector.CrashAtSiteHits({2});
+  EXPECT_FALSE(injector.ShouldCrash(rng, "s0"));
+  EXPECT_FALSE(injector.ShouldCrash(rng, "s1"));
+  EXPECT_TRUE(injector.ShouldCrash(rng, "s2"));
+  EXPECT_FALSE(injector.ShouldCrash(rng, "s3"));
+  EXPECT_EQ(injector.site_hits(), 4);
+}
+
+TEST(FailureInjectorTest, ProbabilityZeroNeverCrashes) {
+  FailureInjector injector;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(injector.ShouldCrash(rng, "s"));
+  }
+}
+
+TEST(FailureInjectorTest, ProbabilityOneAlwaysCrashes) {
+  FailureInjector injector;
+  injector.SetCrashProbability(1.0);
+  Rng rng(1);
+  EXPECT_TRUE(injector.ShouldCrash(rng, "s"));
+}
+
+TEST(FailureInjectorTest, DuplicateProbabilityIsIndependentOfCrashes) {
+  FailureInjector injector;
+  injector.SetDuplicateProbability(1.0);
+  Rng rng(1);
+  EXPECT_TRUE(injector.ShouldDuplicate(rng));
+  EXPECT_FALSE(injector.ShouldCrash(rng, "s"));
+}
+
+}  // namespace
+}  // namespace halfmoon::runtime

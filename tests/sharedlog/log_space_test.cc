@@ -1,0 +1,212 @@
+#include "src/sharedlog/log_space.h"
+
+#include <gtest/gtest.h>
+
+namespace halfmoon::sharedlog {
+namespace {
+
+FieldMap Fields(const std::string& op, int64_t step) {
+  FieldMap f;
+  f.SetStr("op", op);
+  f.SetInt("step", step);
+  return f;
+}
+
+TEST(LogSpaceTest, AppendAssignsMonotonicSeqnums) {
+  LogSpace log;
+  SeqNum a = log.Append(0, OneTag("t"), Fields("x", 0));
+  SeqNum b = log.Append(0, OneTag("t"), Fields("x", 1));
+  SeqNum c = log.Append(0, OneTag("u"), Fields("x", 2));
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(LogSpaceTest, SeqnumsStartAboveZero) {
+  // Seqnum 0 is reserved as "before everything" (fresh objects carry version 0).
+  LogSpace log;
+  EXPECT_GT(log.Append(0, OneTag("t"), Fields("x", 0)), 0u);
+}
+
+TEST(LogSpaceTest, ReadPrevFindsLatestAtOrBefore) {
+  LogSpace log;
+  SeqNum a = log.Append(0, OneTag("t"), Fields("a", 0));
+  SeqNum b = log.Append(0, OneTag("t"), Fields("b", 0));
+  log.Append(0, OneTag("t"), Fields("c", 0));
+
+  auto at_b = log.ReadPrev("t", b);
+  ASSERT_TRUE(at_b.has_value());
+  EXPECT_EQ(at_b->fields.GetStr("op"), "b");
+
+  auto between = log.ReadPrev("t", b - 1);
+  ASSERT_TRUE(between.has_value());
+  EXPECT_EQ(between->seqnum, a);
+
+  EXPECT_FALSE(log.ReadPrev("t", a - 1).has_value());
+  auto latest = log.ReadPrev("t", kMaxSeqNum);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->fields.GetStr("op"), "c");
+}
+
+TEST(LogSpaceTest, ReadPrevRespectsSubStreams) {
+  LogSpace log;
+  log.Append(0, OneTag("t1"), Fields("one", 0));
+  log.Append(0, OneTag("t2"), Fields("two", 0));
+  auto r = log.ReadPrev("t1", kMaxSeqNum);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->fields.GetStr("op"), "one");
+  EXPECT_FALSE(log.ReadPrev("t3", kMaxSeqNum).has_value());
+}
+
+TEST(LogSpaceTest, ReadNextFindsEarliestAtOrAfter) {
+  LogSpace log;
+  log.Append(0, OneTag("t"), Fields("a", 0));
+  SeqNum b = log.Append(0, OneTag("t"), Fields("b", 0));
+  auto r = log.ReadNext("t", b);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->fields.GetStr("op"), "b");
+  EXPECT_FALSE(log.ReadNext("t", b + 1).has_value());
+}
+
+TEST(LogSpaceTest, MultiTagRecordsAppearInAllStreams) {
+  LogSpace log;
+  SeqNum s = log.Append(0, TwoTags("step", "obj"), Fields("w", 1));
+  EXPECT_EQ(log.ReadPrev("step", kMaxSeqNum)->seqnum, s);
+  EXPECT_EQ(log.ReadPrev("obj", kMaxSeqNum)->seqnum, s);
+}
+
+TEST(LogSpaceTest, ReadStreamReturnsRecordsInOrder) {
+  LogSpace log;
+  log.Append(0, OneTag("t"), Fields("a", 0));
+  log.Append(0, OneTag("u"), Fields("skip", 0));
+  log.Append(0, OneTag("t"), Fields("b", 1));
+  std::vector<LogRecord> stream = log.ReadStream("t");
+  ASSERT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream[0].fields.GetStr("op"), "a");
+  EXPECT_EQ(stream[1].fields.GetStr("op"), "b");
+}
+
+TEST(LogSpaceTest, TrimRemovesPrefixOfSubStream) {
+  LogSpace log;
+  SeqNum a = log.Append(0, OneTag("t"), Fields("a", 0));
+  SeqNum b = log.Append(0, OneTag("t"), Fields("b", 1));
+  log.Trim(0, "t", a);
+  EXPECT_FALSE(log.ReadPrev("t", a).has_value());
+  EXPECT_EQ(log.ReadPrev("t", kMaxSeqNum)->seqnum, b);
+  EXPECT_EQ(log.ReadStream("t").size(), 1u);
+}
+
+TEST(LogSpaceTest, TrimFreesStorageOnlyWhenAllTagsTrimmed) {
+  LogSpace log;
+  log.Append(0, TwoTags("a", "b"), Fields("w", 0));
+  int64_t full = log.CurrentBytes();
+  ASSERT_GT(full, 0);
+  log.Trim(0, "a", kMaxSeqNum);
+  EXPECT_EQ(log.CurrentBytes(), full);  // Still referenced by "b".
+  EXPECT_EQ(log.live_records(), 1u);
+  log.Trim(0, "b", kMaxSeqNum);
+  EXPECT_EQ(log.CurrentBytes(), 0);
+  EXPECT_EQ(log.live_records(), 0u);
+}
+
+TEST(LogSpaceTest, StreamLengthCountsTrimmedHistory) {
+  // Logical offsets must be stable across trims (logCondAppend positions).
+  LogSpace log;
+  log.Append(0, OneTag("t"), Fields("a", 0));
+  log.Append(0, OneTag("t"), Fields("b", 1));
+  log.Trim(0, "t", kMaxSeqNum);
+  EXPECT_EQ(log.StreamLength("t"), 2u);
+}
+
+TEST(LogSpaceTest, CondAppendSucceedsAtExpectedOffset) {
+  LogSpace log;
+  CondAppendResult r0 = log.CondAppend(0, OneTag("s"), Fields("init", 0), "s", 0);
+  EXPECT_TRUE(r0.ok);
+  CondAppendResult r1 = log.CondAppend(0, OneTag("s"), Fields("read", 1), "s", 1);
+  EXPECT_TRUE(r1.ok);
+  EXPECT_GT(r1.seqnum, r0.seqnum);
+}
+
+TEST(LogSpaceTest, CondAppendConflictReturnsExistingRecord) {
+  LogSpace log;
+  CondAppendResult winner = log.CondAppend(0, OneTag("s"), Fields("init", 0), "s", 0);
+  CondAppendResult loser = log.CondAppend(0, OneTag("s"), Fields("init", 0), "s", 0);
+  EXPECT_FALSE(loser.ok);
+  EXPECT_EQ(loser.existing_seqnum, winner.seqnum);
+  // The losing append left no trace.
+  EXPECT_EQ(log.StreamLength("s"), 1u);
+}
+
+TEST(LogSpaceTest, CondAppendBatchCommitsConsecutively) {
+  LogSpace log;
+  std::vector<LogSpace::BatchEntry> batch(2);
+  batch[0].tags = OneTag("s");
+  batch[0].fields = Fields("write-pre", 1);
+  batch[1].tags = TwoTags("s", "k:x");
+  batch[1].fields = Fields("write", 1);
+  CondAppendResult r = log.CondAppendBatch(0, std::move(batch), "s", 0);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(log.StreamLength("s"), 2u);
+  auto commit = log.ReadPrev("k:x", kMaxSeqNum);
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->seqnum, r.seqnum + 1);
+}
+
+TEST(LogSpaceTest, CondAppendBatchConflictIsAllOrNothing) {
+  LogSpace log;
+  log.CondAppend(0, OneTag("s"), Fields("init", 0), "s", 0);
+  std::vector<LogSpace::BatchEntry> batch(2);
+  batch[0].tags = OneTag("s");
+  batch[0].fields = Fields("write-pre", 1);
+  batch[1].tags = TwoTags("s", "k:x");
+  batch[1].fields = Fields("write", 1);
+  CondAppendResult r = log.CondAppendBatch(0, std::move(batch), "s", 0);  // Stale offset.
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(log.StreamLength("s"), 1u);
+  EXPECT_FALSE(log.ReadPrev("k:x", kMaxSeqNum).has_value());
+}
+
+TEST(LogSpaceTest, FindFirstByStepHonorsStreamOrder) {
+  LogSpace log;
+  SeqNum first = log.Append(0, OneTag("s"), Fields("read", 3));
+  log.Append(0, OneTag("s"), Fields("read", 3));  // A racing duplicate.
+  auto r = log.FindFirstByStep("s", "read", 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->seqnum, first);
+  EXPECT_FALSE(log.FindFirstByStep("s", "read", 4).has_value());
+}
+
+TEST(LogSpaceTest, StreamTagsWithPrefixEnumeratesLiveStreams) {
+  LogSpace log;
+  log.Append(0, OneTag("k:a"), Fields("w", 0));
+  log.Append(0, OneTag("k:b"), Fields("w", 0));
+  log.Append(0, OneTag("other"), Fields("w", 0));
+  std::vector<Tag> tags = log.StreamTagsWithPrefix("k:");
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0], "k:a");
+  EXPECT_EQ(tags[1], "k:b");
+  log.Trim(0, "k:a", kMaxSeqNum);
+  EXPECT_EQ(log.StreamTagsWithPrefix("k:").size(), 1u);
+}
+
+TEST(LogSpaceTest, CommitListenerFiresPerAppend) {
+  LogSpace log;
+  std::vector<SeqNum> seen;
+  log.SetCommitListener([&](SeqNum s) { seen.push_back(s); });
+  SeqNum a = log.Append(0, OneTag("t"), Fields("a", 0));
+  SeqNum b = log.Append(0, OneTag("t"), Fields("b", 0));
+  EXPECT_EQ(seen, (std::vector<SeqNum>{a, b}));
+}
+
+TEST(LogSpaceTest, ByteAccountingMatchesRecordSizes) {
+  LogSpace log;
+  EXPECT_EQ(log.CurrentBytes(), 0);
+  log.Append(0, OneTag("t"), Fields("a", 0));
+  int64_t one = log.CurrentBytes();
+  log.Append(0, OneTag("t"), Fields("a", 0));
+  EXPECT_EQ(log.CurrentBytes(), 2 * one);
+  log.Trim(0, "t", kMaxSeqNum);
+  EXPECT_EQ(log.CurrentBytes(), 0);
+}
+
+}  // namespace
+}  // namespace halfmoon::sharedlog

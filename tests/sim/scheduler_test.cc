@@ -1,0 +1,108 @@
+#include "src/sim/scheduler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/time.h"
+
+namespace halfmoon::sim {
+namespace {
+
+TEST(SchedulerTest, ClockStartsAtZero) {
+  Scheduler sched;
+  EXPECT_EQ(sched.Now(), 0);
+}
+
+TEST(SchedulerTest, PostedEventsRunInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.Post(Milliseconds(3), [&] { order.push_back(3); });
+  sched.Post(Milliseconds(1), [&] { order.push_back(1); });
+  sched.Post(Milliseconds(2), [&] { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.Now(), Milliseconds(3));
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.Post(Milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
+  Scheduler sched;
+  int fired = 0;
+  sched.Post(Milliseconds(1), [&] {
+    ++fired;
+    sched.Post(Milliseconds(1), [&] { ++fired; });
+  });
+  sched.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.Now(), Milliseconds(2));
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  int fired = 0;
+  sched.Post(Milliseconds(1), [&] { ++fired; });
+  sched.Post(Milliseconds(10), [&] { ++fired; });
+  sched.RunUntil(Milliseconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.Now(), Milliseconds(5));
+  EXPECT_FALSE(sched.empty());
+  sched.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Scheduler sched;
+  sched.RunUntil(Seconds(2));
+  EXPECT_EQ(sched.Now(), Seconds(2));
+}
+
+TEST(SchedulerTest, DelayAwaitableAdvancesClock) {
+  Scheduler sched;
+  SimTime observed = -1;
+  sched.Spawn([](Scheduler* s, SimTime* out) -> Task<void> {
+    co_await s->Delay(Milliseconds(7));
+    *out = s->Now();
+  }(&sched, &observed));
+  sched.Run();
+  EXPECT_EQ(observed, Milliseconds(7));
+}
+
+TEST(SchedulerTest, ConcurrentSpawnsInterleaveByTime) {
+  Scheduler sched;
+  std::vector<int> order;
+  auto worker = [](Scheduler* s, std::vector<int>* order, int id,
+                   SimDuration step) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await s->Delay(step);
+      order->push_back(id);
+    }
+  };
+  sched.Spawn(worker(&sched, &order, 1, Milliseconds(10)));
+  sched.Spawn(worker(&sched, &order, 2, Milliseconds(4)));
+  sched.Run();
+  // Worker 2 fires at t=4, 8, 12; worker 1 at t=10, 20, 30.
+  EXPECT_EQ(order, (std::vector<int>{2, 2, 1, 2, 1, 1}));
+}
+
+TEST(SchedulerTest, ZeroDelayRunsAtCurrentTimeAfterQueuedPeers) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.Post(0, [&] { order.push_back(1); });
+  sched.Post(0, [&] { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sched.Now(), 0);
+}
+
+}  // namespace
+}  // namespace halfmoon::sim

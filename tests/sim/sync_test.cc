@@ -1,0 +1,225 @@
+#include "src/sim/sync.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/time.h"
+#include "src/sim/scheduler.h"
+
+namespace halfmoon::sim {
+namespace {
+
+TEST(EventTest, AwaitOnSetEventCompletesImmediately) {
+  Scheduler sched;
+  Event event(&sched);
+  event.Set();
+  bool done = false;
+  sched.Spawn([](Event* e, bool* done) -> Task<void> {
+    co_await *e;
+    *done = true;
+  }(&event, &done));
+  sched.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(EventTest, SetWakesAllWaiters) {
+  Scheduler sched;
+  Event event(&sched);
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    sched.Spawn([](Event* e, int* woke) -> Task<void> {
+      co_await *e;
+      ++*woke;
+    }(&event, &woke));
+  }
+  sched.Post(Milliseconds(10), [&] { event.Set(); });
+  sched.Run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(EventTest, ResetMakesAwaitBlockAgain) {
+  Scheduler sched;
+  Event event(&sched);
+  event.Set();
+  event.Reset();
+  bool done = false;
+  sched.Spawn([](Event* e, bool* done) -> Task<void> {
+    co_await *e;
+    *done = true;
+  }(&event, &done));
+  sched.Post(Milliseconds(1), [&] { event.Set(); });
+  sched.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Scheduler sched;
+  Semaphore sem(&sched, 2);
+  int concurrent = 0;
+  int max_concurrent = 0;
+  for (int i = 0; i < 6; ++i) {
+    sched.Spawn([](Scheduler* s, Semaphore* sem, int* cur, int* max) -> Task<void> {
+      co_await sem->Acquire();
+      SemaphoreGuard guard(sem);
+      ++*cur;
+      if (*cur > *max) *max = *cur;
+      co_await s->Delay(Milliseconds(5));
+      --*cur;
+    }(&sched, &sem, &concurrent, &max_concurrent));
+  }
+  sched.Run();
+  EXPECT_EQ(max_concurrent, 2);
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(SemaphoreTest, FifoHandOff) {
+  Scheduler sched;
+  Semaphore sem(&sched, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sched.Spawn([](Scheduler* s, Semaphore* sem, std::vector<int>* order, int id) -> Task<void> {
+      co_await sem->Acquire();
+      order->push_back(id);
+      co_await s->Delay(Milliseconds(1));
+      sem->Release();
+    }(&sched, &sem, &order, i));
+  }
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SemaphoreTest, QueueLengthReflectsWaiters) {
+  Scheduler sched;
+  Semaphore sem(&sched, 1);
+  sched.Spawn([](Scheduler* s, Semaphore* sem) -> Task<void> {
+    co_await sem->Acquire();
+    co_await s->Delay(Milliseconds(10));
+    sem->Release();
+  }(&sched, &sem));
+  sched.Spawn([](Scheduler* s, Semaphore* sem) -> Task<void> {
+    co_await s->Delay(Milliseconds(1));
+    co_await sem->Acquire();
+    sem->Release();
+  }(&sched, &sem));
+  sched.RunUntil(Milliseconds(5));
+  EXPECT_EQ(sem.queue_length(), 1u);
+  sched.Run();
+  EXPECT_EQ(sem.queue_length(), 0u);
+}
+
+TEST(WaitGroupTest, WaitCompletesWhenCountDrops) {
+  Scheduler sched;
+  WaitGroup wg(&sched);
+  bool finished = false;
+  wg.Add(3);
+  for (int i = 1; i <= 3; ++i) {
+    sched.Post(Milliseconds(i), [&wg] { wg.Done(); });
+  }
+  sched.Spawn([](WaitGroup* wg, bool* out) -> Task<void> {
+    co_await wg->Wait();
+    *out = true;
+  }(&wg, &finished));
+  sched.RunUntil(Milliseconds(2));
+  EXPECT_FALSE(finished);
+  sched.Run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(WaitGroupTest, WaitOnIdleGroupIsImmediate) {
+  Scheduler sched;
+  WaitGroup wg(&sched);
+  bool finished = false;
+  sched.Spawn([](WaitGroup* wg, bool* out) -> Task<void> {
+    co_await wg->Wait();
+    *out = true;
+  }(&wg, &finished));
+  sched.Run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(JoinHandleTest, AwaitReturnsValue) {
+  Scheduler sched;
+  int result = 0;
+  auto work = [](Scheduler* s) -> Task<int> {
+    co_await s->Delay(Milliseconds(2));
+    co_return 41;
+  };
+  JoinHandle<int> handle = SpawnJoinable(sched, work(&sched));
+  sched.Spawn([](JoinHandle<int> h, int* out) -> Task<void> {
+    *out = co_await h + 1;
+  }(handle, &result));
+  sched.Run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(JoinHandleTest, AwaitAfterCompletionIsImmediate) {
+  Scheduler sched;
+  JoinHandle<int> handle = SpawnJoinable(sched, [](Scheduler* s) -> Task<int> {
+    co_return 9;
+  }(&sched));
+  sched.Run();
+  EXPECT_TRUE(handle.done());
+  int result = 0;
+  sched.Spawn([](JoinHandle<int> h, int* out) -> Task<void> {
+    *out = co_await h;
+  }(handle, &result));
+  sched.Run();
+  EXPECT_EQ(result, 9);
+}
+
+TEST(JoinHandleTest, ExceptionRethrownAtJoin) {
+  Scheduler sched;
+  JoinHandle<int> handle = SpawnJoinable(sched, []() -> Task<int> {
+    throw std::runtime_error("crash");
+    co_return 0;
+  }());
+  bool caught = false;
+  sched.Spawn([](JoinHandle<int> h, bool* caught) -> Task<void> {
+    try {
+      co_await h;
+    } catch (const std::runtime_error&) {
+      *caught = true;
+    }
+  }(handle, &caught));
+  sched.Run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(JoinHandleTest, VoidJoin) {
+  Scheduler sched;
+  int side_effect = 0;
+  JoinHandle<void> handle = SpawnJoinable(sched, [](Scheduler* s, int* out) -> Task<void> {
+    co_await s->Delay(Milliseconds(3));
+    *out = 1;
+  }(&sched, &side_effect));
+  bool joined = false;
+  sched.Spawn([](JoinHandle<void> h, bool* joined) -> Task<void> {
+    co_await h;
+    *joined = true;
+  }(handle, &joined));
+  sched.Run();
+  EXPECT_EQ(side_effect, 1);
+  EXPECT_TRUE(joined);
+}
+
+TEST(JoinHandleTest, ManyParallelJoins) {
+  Scheduler sched;
+  std::vector<JoinHandle<int>> handles;
+  for (int i = 0; i < 50; ++i) {
+    handles.push_back(SpawnJoinable(sched, [](Scheduler* s, int v) -> Task<int> {
+      co_await s->Delay(Milliseconds(v % 7));
+      co_return v;
+    }(&sched, i)));
+  }
+  int total = 0;
+  sched.Spawn([](std::vector<JoinHandle<int>>* handles, int* total) -> Task<void> {
+    for (auto& h : *handles) *total += co_await h;
+  }(&handles, &total));
+  sched.Run();
+  EXPECT_EQ(total, 50 * 49 / 2);
+}
+
+}  // namespace
+}  // namespace halfmoon::sim

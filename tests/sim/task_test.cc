@@ -1,0 +1,115 @@
+#include "src/sim/task.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/scheduler.h"
+
+namespace halfmoon::sim {
+namespace {
+
+Task<int> ReturnInt(int v) { co_return v; }
+
+Task<std::string> ReturnString(std::string s) { co_return s; }
+
+Task<int> AddViaNested(int a, int b) {
+  int x = co_await ReturnInt(a);
+  int y = co_await ReturnInt(b);
+  co_return x + y;
+}
+
+Task<void> SideEffect(int* out, int v) {
+  *out = v;
+  co_return;
+}
+
+Task<int> Throwing() {
+  throw std::runtime_error("boom");
+  co_return 0;  // Unreachable.
+}
+
+Task<int> CatchesNested() {
+  try {
+    co_await Throwing();
+  } catch (const std::runtime_error& e) {
+    co_return 42;
+  }
+  co_return -1;
+}
+
+TEST(TaskTest, LazyTaskDoesNotRunUntilAwaited) {
+  int value = 0;
+  {
+    Task<void> t = SideEffect(&value, 5);
+    EXPECT_EQ(value, 0);  // Not started.
+  }
+  EXPECT_EQ(value, 0);  // Destroyed without running.
+}
+
+TEST(TaskTest, SpawnRunsTaskThroughScheduler) {
+  Scheduler sched;
+  int value = 0;
+  sched.Spawn(SideEffect(&value, 7));
+  EXPECT_EQ(value, 0);  // Not yet: spawn posts to the queue.
+  sched.Run();
+  EXPECT_EQ(value, 7);
+}
+
+TEST(TaskTest, NestedAwaitPropagatesValues) {
+  Scheduler sched;
+  int result = 0;
+  sched.Spawn([](int* out) -> Task<void> {
+    *out = co_await AddViaNested(20, 22);
+  }(&result));
+  sched.Run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(TaskTest, StringResultsMoveThrough) {
+  Scheduler sched;
+  std::string result;
+  sched.Spawn([](std::string* out) -> Task<void> {
+    *out = co_await ReturnString("halfmoon");
+  }(&result));
+  sched.Run();
+  EXPECT_EQ(result, "halfmoon");
+}
+
+TEST(TaskTest, ExceptionsPropagateThroughAwait) {
+  Scheduler sched;
+  int result = 0;
+  sched.Spawn([](int* out) -> Task<void> {
+    *out = co_await CatchesNested();
+  }(&result));
+  sched.Run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(TaskTest, MoveConstructionTransfersOwnership) {
+  Task<int> a = ReturnInt(1);
+  Task<int> b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): explicitly testing moved-from.
+  EXPECT_TRUE(b.valid());
+}
+
+TEST(TaskTest, DeepAwaitChainDoesNotOverflowStack) {
+  // 100k sequential awaits through symmetric transfer; would blow the stack if each nested
+  // resume consumed a frame.
+  Scheduler sched;
+  int64_t total = 0;
+  sched.Spawn([](int64_t* out) -> Task<void> {
+    int64_t acc = 0;
+    for (int i = 0; i < 100000; ++i) {
+      acc += co_await ReturnInt(1);
+    }
+    *out = acc;
+  }(&total));
+  sched.Run();
+  EXPECT_EQ(total, 100000);
+}
+
+}  // namespace
+}  // namespace halfmoon::sim

@@ -1,0 +1,57 @@
+#include "src/workloads/args.h"
+
+#include <gtest/gtest.h>
+
+namespace halfmoon::workloads {
+namespace {
+
+TEST(ArgsTest, EncodeDecodeRoundTrip) {
+  Args args;
+  args.Set("user", "u0001");
+  args.SetInt("hotel", 42);
+  Args parsed = Args::Parse(args.Encode());
+  EXPECT_EQ(parsed.Get("user"), "u0001");
+  EXPECT_EQ(parsed.GetInt("hotel"), 42);
+}
+
+TEST(ArgsTest, EmptyEncodesToEmpty) {
+  Args args;
+  EXPECT_EQ(args.Encode(), "");
+  Args parsed = Args::Parse("");
+  EXPECT_FALSE(parsed.Has("anything"));
+}
+
+TEST(ArgsTest, EncodeIsDeterministicOrder) {
+  Args a;
+  a.Set("b", "2");
+  a.Set("a", "1");
+  EXPECT_EQ(a.Encode(), "a=1&b=2");
+}
+
+TEST(ArgsTest, HasDistinguishesPresence) {
+  Args args = Args::Parse("x=1");
+  EXPECT_TRUE(args.Has("x"));
+  EXPECT_FALSE(args.Has("y"));
+}
+
+TEST(ArgsTest, OverwriteKeepsLastValue) {
+  Args args;
+  args.Set("k", "old");
+  args.Set("k", "new");
+  EXPECT_EQ(args.Get("k"), "new");
+}
+
+TEST(ArgsTest, EmptyValueRoundTrips) {
+  Args args;
+  args.Set("k", "");
+  Args parsed = Args::Parse(args.Encode());
+  EXPECT_TRUE(parsed.Has("k"));
+  EXPECT_EQ(parsed.Get("k"), "");
+}
+
+TEST(ArgsDeathTest, MalformedInputAborts) {
+  EXPECT_DEATH(Args::Parse("novalue"), "malformed");
+}
+
+}  // namespace
+}  // namespace halfmoon::workloads

@@ -1,0 +1,137 @@
+#include "src/workloads/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/loadgen.h"
+#include "tests/testing/test_world.h"
+
+namespace halfmoon::workloads {
+namespace {
+
+using testing::TestWorld;
+using testing::TestWorldOptions;
+
+TEST(SyntheticTest, KeysAreFixedWidth) {
+  TestWorld world;
+  SyntheticConfig config;
+  SyntheticWorkload synthetic(&world.runtime(), config);
+  EXPECT_EQ(synthetic.KeyFor(0).size(), 8u);
+  EXPECT_EQ(synthetic.KeyFor(9999).size(), 8u);
+  EXPECT_NE(synthetic.KeyFor(1), synthetic.KeyFor(2));
+}
+
+TEST(SyntheticTest, SetupPopulatesObjects) {
+  TestWorld world;
+  SyntheticConfig config;
+  config.num_objects = 50;
+  SyntheticWorkload synthetic(&world.runtime(), config);
+  synthetic.Setup();
+  EXPECT_GE(world.cluster().kv_state().key_count() +
+                world.cluster().kv_state().VersionCount(synthetic.KeyFor(0)) * 50,
+            50u);
+}
+
+TEST(SyntheticTest, NextInputRespectsOpCount) {
+  TestWorld world;
+  SyntheticConfig config;
+  config.ops_per_request = 7;
+  SyntheticWorkload synthetic(&world.runtime(), config);
+  Value input = synthetic.NextInput();
+  size_t ops = 1;
+  for (char c : input) {
+    if (c == ';') ++ops;
+  }
+  EXPECT_EQ(ops, 7u);
+}
+
+TEST(SyntheticTest, ReadRatioZeroGeneratesOnlyWrites) {
+  TestWorld world;
+  SyntheticConfig config;
+  config.read_ratio = 0.0;
+  SyntheticWorkload synthetic(&world.runtime(), config);
+  Value input = synthetic.NextInput();
+  EXPECT_EQ(input.find('R'), std::string::npos);
+}
+
+TEST(SyntheticTest, ReadRatioOneGeneratesOnlyReads) {
+  TestWorld world;
+  SyntheticConfig config;
+  config.read_ratio = 1.0;
+  SyntheticWorkload synthetic(&world.runtime(), config);
+  Value input = synthetic.NextInput();
+  EXPECT_EQ(input.find('W'), std::string::npos);
+}
+
+TEST(SyntheticTest, BodyExecutesOpsAndRecordsLatency) {
+  TestWorld world;
+  SyntheticConfig config;
+  config.num_objects = 20;
+  SyntheticWorkload synthetic(&world.runtime(), config);
+  synthetic.Setup();
+  world.Call(SyntheticWorkload::FunctionName(),
+             "R:" + synthetic.KeyFor(3) + ";W:" + synthetic.KeyFor(5));
+  EXPECT_EQ(synthetic.read_latency().count(), 1u);
+  EXPECT_EQ(synthetic.write_latency().count(), 1u);
+  EXPECT_GT(synthetic.read_latency().MedianMs(), 0.5);
+}
+
+TEST(LoadGeneratorTest, OffersApproximatelyTheConfiguredRate) {
+  TestWorld world;
+  world.Register("noop", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Compute();
+    co_return "";
+  });
+  LoadGenConfig load;
+  load.requests_per_second = 200;
+  load.warmup = Seconds(1);
+  load.duration = Seconds(5);
+  LoadGenerator generator(&world.runtime(), load,
+                          []() { return std::make_pair(std::string("noop"), Value{}); });
+  generator.RunToCompletion();
+  EXPECT_NEAR(generator.MeasuredThroughput(), 200.0, 30.0);
+  EXPECT_EQ(generator.offered(), generator.completed());
+}
+
+TEST(LoadGeneratorTest, WarmupSamplesExcluded) {
+  TestWorld world;
+  world.Register("noop", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Compute();
+    co_return "";
+  });
+  LoadGenConfig load;
+  load.requests_per_second = 100;
+  load.warmup = Seconds(2);
+  load.duration = Seconds(2);
+  LoadGenerator generator(&world.runtime(), load,
+                          []() { return std::make_pair(std::string("noop"), Value{}); });
+  generator.RunToCompletion();
+  // Roughly half the offered requests fall in the warm-up and are not measured.
+  EXPECT_LT(generator.latency().count(), static_cast<size_t>(generator.completed()));
+}
+
+TEST(LoadGeneratorTest, SampleCallbackSeesEveryMeasuredCompletion) {
+  TestWorld world;
+  world.Register("noop", [](core::SsfContext& ctx) -> sim::Task<Value> {
+    co_await ctx.Compute();
+    co_return "";
+  });
+  LoadGenConfig load;
+  load.requests_per_second = 100;
+  load.warmup = Seconds(1);
+  load.duration = Seconds(2);
+  LoadGenerator generator(&world.runtime(), load,
+                          []() { return std::make_pair(std::string("noop"), Value{}); });
+  int callbacks = 0;
+  SimTime last_time = 0;
+  generator.SetSampleCallback([&](SimTime when, SimDuration latency) {
+    ++callbacks;
+    EXPECT_GE(when, last_time);
+    EXPECT_GT(latency, 0);
+    last_time = when;
+  });
+  generator.RunToCompletion();
+  EXPECT_EQ(callbacks, static_cast<int>(generator.latency().count()));
+}
+
+}  // namespace
+}  // namespace halfmoon::workloads
