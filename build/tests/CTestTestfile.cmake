@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/core_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/exactly_once_test[1]_include.cmake")
+include("/root/repo/build/tests/peer_race_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/gc_test[1]_include.cmake")
+include("/root/repo/build/tests/switching_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/sharedlog_test[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/invoke_all_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/auto_switch_test[1]_include.cmake")
+include("/root/repo/build/tests/ordered_writes_test[1]_include.cmake")
+include("/root/repo/build/tests/transitional_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
