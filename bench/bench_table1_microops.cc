@@ -38,8 +38,9 @@ FieldMap RecordFields() {
 
 enum class MicroOp { kLogAppend, kLogReadPrevCached, kDbRead, kDbCondWrite, kDbPlainWrite };
 
-// Runs `count` iterations of one primitive, recording per-op simulated latency.
-metrics::LatencyRecorder RunMicroOp(MicroOp op, int count) {
+// Runs `count` iterations of one primitive, recording per-op simulated latency. Log-client
+// stats are accumulated into `stats` (zero-copy audit of the read path).
+metrics::LatencyRecorder RunMicroOp(MicroOp op, int count, sharedlog::LogClientStats* stats) {
   MicroFixture fx;
   metrics::LatencyRecorder recorder;
   fx.scheduler.Spawn([](MicroFixture* fx, MicroOp op, int count,
@@ -70,6 +71,10 @@ metrics::LatencyRecorder RunMicroOp(MicroOp op, int count) {
     }
   }(&fx, op, count, &recorder));
   fx.scheduler.Run();
+  if (stats != nullptr) {
+    stats->read_record_shared += fx.log.stats().read_record_shared;
+    stats->read_record_copies += fx.log.stats().read_record_copies;
+  }
   return recorder;
 }
 
@@ -94,13 +99,17 @@ void PrintTable1() {
 
   metrics::TablePrinter table({"operation", "median_ms", "p99_ms", "paper_median_ms",
                                "paper_p99_ms"});
+  sharedlog::LogClientStats log_stats;
   for (const Row& row : rows) {
     metrics::LatencyRecorder rec =
-        RunMicroOp(row.op, static_cast<int>(kSamples * BenchScale()));
+        RunMicroOp(row.op, static_cast<int>(kSamples * BenchScale()), &log_stats);
     table.AddRow({row.label, Fmt(rec.MedianMs()), Fmt(rec.P99Ms()), Fmt(row.paper_median),
                   Fmt(row.paper_p99)});
   }
   table.Print();
+  std::printf("\nzero-copy audit: read_record_shared=%lld read_record_copies=%lld\n",
+              static_cast<long long>(log_stats.read_record_shared),
+              static_cast<long long>(log_stats.read_record_copies));
   std::printf("\n");
 }
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure (warnings-as-errors), build everything, run the full test
+# suite. This is what CI runs; run it locally before pushing.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-check}"
+
+cmake -B "${BUILD_DIR}" -S . -DHM_WERROR=ON
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure
+
+echo "check.sh: all tests passed"

@@ -1,23 +1,50 @@
 #include "src/common/value.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "src/common/check.h"
 
 namespace halfmoon {
 
+namespace {
+
+// Comparator for the sorted entry vector; heterogeneous so lookups compare against the key
+// without materializing an Entry.
+struct EntryKeyLess {
+  bool operator()(const FieldMap::Entry& entry, const std::string& key) const {
+    return entry.first < key;
+  }
+};
+
+}  // namespace
+
+const Field* FieldMap::Find(const std::string& key) const {
+  auto it = std::lower_bound(fields_.begin(), fields_.end(), key, EntryKeyLess{});
+  if (it == fields_.end() || it->first != key) return nullptr;
+  return &it->second;
+}
+
+Field& FieldMap::Upsert(const std::string& key) {
+  auto it = std::lower_bound(fields_.begin(), fields_.end(), key, EntryKeyLess{});
+  if (it == fields_.end() || it->first != key) {
+    it = fields_.emplace(it, key, Field{});
+  }
+  return it->second;
+}
+
 int64_t FieldMap::GetInt(const std::string& key) const {
-  auto it = fields_.find(key);
-  HM_CHECK_MSG(it != fields_.end(), "FieldMap::GetInt: missing key");
-  const int64_t* v = std::get_if<int64_t>(&it->second);
+  const Field* field = Find(key);
+  HM_CHECK_MSG(field != nullptr, "FieldMap::GetInt: missing key");
+  const int64_t* v = std::get_if<int64_t>(field);
   HM_CHECK_MSG(v != nullptr, "FieldMap::GetInt: field is not an integer");
   return *v;
 }
 
 const std::string& FieldMap::GetStr(const std::string& key) const {
-  auto it = fields_.find(key);
-  HM_CHECK_MSG(it != fields_.end(), "FieldMap::GetStr: missing key");
-  const std::string* v = std::get_if<std::string>(&it->second);
+  const Field* field = Find(key);
+  HM_CHECK_MSG(field != nullptr, "FieldMap::GetStr: missing key");
+  const std::string* v = std::get_if<std::string>(field);
   HM_CHECK_MSG(v != nullptr, "FieldMap::GetStr: field is not a string");
   return *v;
 }

@@ -51,10 +51,11 @@ struct Env {
   int64_t step = 0;                      // Operation counter (annotation in log records).
   int64_t consecutive_writes = 0;        // Tie-breaker counter of Halfmoon-write (§4.2).
 
-  // Recovery state: the instance's step-log records in stream order, and the logical position
-  // the next logged record will occupy. During re-execution, positions < step_logs.size() are
-  // replayed from the log instead of re-executed.
-  std::vector<sharedlog::LogRecord> step_logs;
+  // Recovery state: shared views of the instance's step-log records in stream order, and the
+  // logical position the next logged record will occupy. During re-execution, positions <
+  // step_logs.size() are replayed from the log instead of re-executed. The views alias the
+  // records held by LogSpace — fetching a step log never copies record payloads.
+  std::vector<sharedlog::LogRecordPtr> step_logs;
   size_t log_pos = 0;
 
   // Cached result of the transition-log lookup (one per SSF, first state access; §4.7).

@@ -8,6 +8,7 @@
 namespace halfmoon::core {
 
 using sharedlog::LogRecord;
+using sharedlog::LogRecordPtr;
 using sharedlog::SeqNum;
 using sharedlog::Tag;
 
@@ -33,22 +34,22 @@ void GcService::RunOnce() {
 
   // (2) Per-object write logs and their versions.
   for (const Tag& tag : log.StreamTagsWithPrefix("k:")) {
-    std::vector<LogRecord> records = log.ReadStream(tag);
+    std::vector<LogRecordPtr> records = log.ReadStream(tag);
     // Mark the latest record below the frontier; everything before it is superseded.
     const LogRecord* marked = nullptr;
-    for (const LogRecord& record : records) {
-      if (record.seqnum < frontier) {
-        marked = &record;
+    for (const LogRecordPtr& record : records) {
+      if (record->seqnum < frontier) {
+        marked = record.get();
       } else {
         break;
       }
     }
     if (marked == nullptr) continue;
     std::string key = tag.substr(2);  // Strip the "k:" prefix.
-    for (const LogRecord& record : records) {
-      if (record.seqnum >= marked->seqnum) break;
-      if (record.fields.Has("version") &&
-          kv.DeleteVersioned(now, key, record.fields.GetStr("version"))) {
+    for (const LogRecordPtr& record : records) {
+      if (record->seqnum >= marked->seqnum) break;
+      if (record->fields.Has("version") &&
+          kv.DeleteVersioned(now, key, record->fields.GetStr("version"))) {
         ++stats_.versions_deleted;
       }
       ++stats_.write_records_trimmed;

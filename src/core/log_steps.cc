@@ -1,5 +1,6 @@
 #include "src/core/log_steps.h"
 
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
@@ -8,36 +9,37 @@ namespace halfmoon::core {
 
 using sharedlog::CondAppendResult;
 using sharedlog::LogRecord;
+using sharedlog::LogRecordPtr;
 using sharedlog::LogSpace;
 using sharedlog::SeqNum;
 using sharedlog::Tag;
 
 const LogRecord* PeekNextLog(Env& env) {
   if (env.log_pos < env.step_logs.size()) {
-    return &env.step_logs[env.log_pos];
+    return env.step_logs[env.log_pos].get();
   }
   return nullptr;
 }
 
-sim::Task<LogRecord> FetchExisting(Env& env, SeqNum seqnum) {
-  std::optional<LogRecord> record =
+sim::Task<LogRecordPtr> FetchExisting(Env& env, SeqNum seqnum) {
+  LogRecordPtr record =
       co_await env.log().ReadPrev(sharedlog::StepLogTag(env.instance_id), seqnum);
-  HM_CHECK_MSG(record.has_value() && record->seqnum == seqnum,
+  HM_CHECK_MSG(record != nullptr && record->seqnum == seqnum,
                "lost-race record vanished from the step log");
-  co_return std::move(*record);
+  co_return record;
 }
 
 namespace {
 
-// Consumes the record at the current position: caches it (if fetched), advances the position
-// pointer and the cursor.
-void AdoptRecord(Env& env, const LogRecord& record) {
+// Consumes the record at the current position: caches the shared view (if fetched), advances
+// the position pointer and the cursor.
+void AdoptRecord(Env& env, LogRecordPtr record) {
   if (env.log_pos == env.step_logs.size()) {
-    env.step_logs.push_back(record);
+    env.step_logs.push_back(std::move(record));
   }
   HM_CHECK(env.log_pos < env.step_logs.size());
+  env.cursor_ts = env.step_logs[env.log_pos]->seqnum;
   ++env.log_pos;
-  env.cursor_ts = record.seqnum;
 }
 
 }  // namespace
@@ -47,7 +49,7 @@ sim::Task<StepLogResult> LogStep(Env& env, std::vector<Tag> extra_tags, FieldMap
   if (const LogRecord* cached = PeekNextLog(env)) {
     HM_CHECK_MSG(cached->fields.GetStr("op") == fields.GetStr("op"),
                  "replayed a different operation at this log position (non-determinism?)");
-    LogRecord record = *cached;
+    LogRecordPtr record = env.step_logs[env.log_pos];
     AdoptRecord(env, record);
     co_return StepLogResult{std::move(record), /*recovered=*/true};
   }
@@ -57,21 +59,18 @@ sim::Task<StepLogResult> LogStep(Env& env, std::vector<Tag> extra_tags, FieldMap
   tags.push_back(sharedlog::StepLogTag(env.instance_id));
   for (Tag& tag : extra_tags) tags.push_back(std::move(tag));
 
-  FieldMap fields_copy = fields;
+  // Only the op name survives the move below; it is all the lost-race check needs.
+  std::string op = fields.GetStr("op");
   CondAppendResult result = co_await env.log().CondAppend(
-      tags, std::move(fields), sharedlog::StepLogTag(env.instance_id), pos);
+      std::move(tags), std::move(fields), sharedlog::StepLogTag(env.instance_id), pos);
   if (result.ok) {
-    LogRecord record;
-    record.seqnum = result.seqnum;
-    record.tags = std::move(tags);
-    record.fields = std::move(fields_copy);
-    AdoptRecord(env, record);
-    co_return StepLogResult{std::move(record), /*recovered=*/false};
+    AdoptRecord(env, result.record);
+    co_return StepLogResult{std::move(result.record), /*recovered=*/false};
   }
 
   // A peer instance logged this step first: adopt its record and treat the step as done.
-  LogRecord record = co_await FetchExisting(env, result.existing_seqnum);
-  HM_CHECK_MSG(record.fields.GetStr("op") == fields_copy.GetStr("op"),
+  LogRecordPtr record = co_await FetchExisting(env, result.existing_seqnum);
+  HM_CHECK_MSG(record->fields.GetStr("op") == op,
                "peer logged a different operation at this position (non-determinism?)");
   AdoptRecord(env, record);
   co_return StepLogResult{std::move(record), /*recovered=*/true};
@@ -88,31 +87,33 @@ sim::Task<BatchLogResult> LogStepBatch(Env& env, std::vector<FieldMap> fields) {
     HM_CHECK_MSG(pos + n <= env.step_logs.size(), "batched group is partially missing");
     result.recovered = true;
     for (size_t i = 0; i < n; ++i) {
-      const LogRecord& cached = env.step_logs[env.log_pos];
-      HM_CHECK_MSG(cached.fields.GetStr("op") == fields[i].GetStr("op"),
+      LogRecordPtr cached = env.step_logs[env.log_pos];
+      HM_CHECK_MSG(cached->fields.GetStr("op") == fields[i].GetStr("op"),
                    "replayed a different operation at this log position (non-determinism?)");
       result.records.push_back(cached);
-      AdoptRecord(env, cached);
+      AdoptRecord(env, std::move(cached));
     }
     co_return result;
   }
 
   Tag step_tag = sharedlog::StepLogTag(env.instance_id);
+  std::vector<std::string> ops;  // Survives the moves; feeds the lost-race sanity checks.
+  ops.reserve(n);
   std::vector<LogSpace::BatchEntry> batch(n);
-  std::vector<FieldMap> copies = fields;
   for (size_t i = 0; i < n; ++i) {
+    ops.push_back(fields[i].GetStr("op"));
     batch[i].tags = sharedlog::OneTag(step_tag);
     batch[i].fields = std::move(fields[i]);
   }
   CondAppendResult append = co_await env.log().CondAppendBatch(std::move(batch), step_tag, pos);
   if (append.ok) {
+    // Consecutive seqnums within a batch; the append reply carries the committed group, so
+    // the views come straight from the record store without extra rounds or copies.
     for (size_t i = 0; i < n; ++i) {
-      LogRecord record;
-      record.seqnum = append.seqnum + i;  // Consecutive seqnums within a batch.
-      record.tags = sharedlog::OneTag(step_tag);
-      record.fields = std::move(copies[i]);
+      LogRecordPtr record = env.cluster->log_space().Get(append.seqnum + i);
+      HM_CHECK_MSG(record != nullptr, "freshly committed batch record missing");
       result.records.push_back(record);
-      AdoptRecord(env, result.records.back());
+      AdoptRecord(env, std::move(record));
     }
     co_return result;
   }
@@ -121,13 +122,12 @@ sim::Task<BatchLogResult> LogStepBatch(Env& env, std::vector<FieldMap> fields) {
   result.recovered = true;
   SeqNum seqnum = append.existing_seqnum;
   for (size_t i = 0; i < n; ++i) {
-    std::optional<LogRecord> record =
-        co_await env.log().ReadNext(step_tag, i == 0 ? seqnum : result.records.back().seqnum + 1);
-    HM_CHECK_MSG(record.has_value() &&
-                     record->fields.GetStr("op") == copies[i].GetStr("op"),
+    LogRecordPtr record = co_await env.log().ReadNext(
+        step_tag, i == 0 ? seqnum : result.records.back()->seqnum + 1);
+    HM_CHECK_MSG(record != nullptr && record->fields.GetStr("op") == ops[i],
                  "peer's batched group is incomplete");
-    result.records.push_back(std::move(*record));
-    AdoptRecord(env, result.records.back());
+    result.records.push_back(record);
+    AdoptRecord(env, std::move(record));
   }
   co_return result;
 }
@@ -145,7 +145,7 @@ sim::Task<void> InitSsf(Env& env, const Value& input) {
   fields.SetStr("instance", env.instance_id);
   StepLogResult init =
       co_await LogStep(env, sharedlog::OneTag(sharedlog::InitLogTag()), std::move(fields));
-  env.init_cursor_ts = init.record.seqnum;
+  env.init_cursor_ts = init.record->seqnum;
 }
 
 sim::Task<void> InitChildSsf(Env& env, SeqNum inherited_cursor) {

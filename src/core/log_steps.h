@@ -21,7 +21,8 @@
 namespace halfmoon::core {
 
 struct StepLogResult {
-  sharedlog::LogRecord record;
+  // Shared view of the committed (or adopted) record — aliases LogSpace's copy.
+  sharedlog::LogRecordPtr record;
   // True when the record pre-existed (replay or lost race): the operation's side effect has
   // already happened (or is owned by a peer) and must be skipped.
   bool recovered = false;
@@ -40,7 +41,7 @@ sim::Task<StepLogResult> LogStep(Env& env, std::vector<sharedlog::Tag> extra_tag
 // the pre/post records of parallel invocations). The batch commits atomically: either all
 // records land with consecutive seqnums or the group is recovered from a peer's batch.
 struct BatchLogResult {
-  std::vector<sharedlog::LogRecord> records;
+  std::vector<sharedlog::LogRecordPtr> records;
   bool recovered = false;
 };
 sim::Task<BatchLogResult> LogStepBatch(Env& env, std::vector<FieldMap> fields);
@@ -58,7 +59,7 @@ sim::Task<void> InitSsf(Env& env, const Value& input);
 sim::Task<void> InitChildSsf(Env& env, sharedlog::SeqNum inherited_cursor);
 
 // Fetches the record of a lost logCondAppend race (the peer's record at the expected offset).
-sim::Task<sharedlog::LogRecord> FetchExisting(Env& env, sharedlog::SeqNum seqnum);
+sim::Task<sharedlog::LogRecordPtr> FetchExisting(Env& env, sharedlog::SeqNum seqnum);
 
 }  // namespace halfmoon::core
 

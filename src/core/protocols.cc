@@ -12,6 +12,7 @@ namespace halfmoon::core::protocols {
 
 using kvstore::VersionTuple;
 using sharedlog::LogRecord;
+using sharedlog::LogRecordPtr;
 using sharedlog::SeqNum;
 using sharedlog::Tag;
 using sharedlog::WriteLogTag;
@@ -22,9 +23,9 @@ namespace {
 // lookup (keyed by step, not by position, because Boki's commit markers are asynchronous and
 // may interleave arbitrarily with other records in the stream).
 const LogRecord* FindBokiStep(const Env& env, const std::string& op, int64_t step) {
-  for (const LogRecord& record : env.step_logs) {
-    if (record.fields.GetInt("step") == step && record.fields.GetStr("op") == op) {
-      return &record;
+  for (const sharedlog::LogRecordPtr& record : env.step_logs) {
+    if (record->fields.GetInt("step") == step && record->fields.GetStr("op") == op) {
+      return record.get();
     }
   }
   return nullptr;
@@ -45,9 +46,8 @@ sim::Task<Value> HalfmoonReadRead(Env& env, const std::string& key, bool post_sw
   }
   // Log-free read: locate the latest write at or before this SSF's cursorTS (Figure 5,
   // line 28). No log record is ever created here.
-  std::optional<LogRecord> write_log =
-      co_await env.log().ReadPrev(WriteLogTag(key), env.cursor_ts);
-  if (!write_log.has_value()) {
+  LogRecordPtr write_log = co_await env.log().ReadPrev(WriteLogTag(key), env.cursor_ts);
+  if (write_log == nullptr) {
     // No committed write precedes the cursor: fall back to the LATEST slot (§5.2 treats it as
     // one more version); for objects never written at all this returns empty.
     std::optional<Value> latest = co_await env.kv().Get(key);
@@ -75,7 +75,7 @@ sim::Task<void> HalfmoonReadWrite(Env& env, const std::string& key, Value value)
   pre_fields.SetInt("step", env.step);
   pre_fields.SetStr("version", env.RandomId());
   StepLogResult pre = co_await LogStep(env, sharedlog::NoTags(), std::move(pre_fields));
-  const std::string& version = pre.record.fields.GetStr("version");
+  const std::string& version = pre.record->fields.GetStr("version");
 
   // If the commit record already exists the write fully applied in a previous attempt
   // (Figure 5, lines 16-18): adopt it and skip the store update.
@@ -114,7 +114,7 @@ sim::Task<Value> HalfmoonWriteRead(Env& env, const std::string& key, bool post_s
   if (const LogRecord* cached = PeekNextLog(env); cached != nullptr) {
     // Replay: recover the previous result from the step log (Figure 7, lines 10-12).
     StepLogResult replayed = co_await LogStep(env, sharedlog::NoTags(), std::move(fields));
-    co_return replayed.record.fields.GetStr("data");
+    co_return replayed.record->fields.GetStr("data");
   }
 
   env.MaybeCrash("hmw.read.before");
@@ -131,7 +131,7 @@ sim::Task<Value> HalfmoonWriteRead(Env& env, const std::string& key, bool post_s
   StepLogResult logged = co_await LogStep(env, sharedlog::NoTags(), std::move(fields));
   if (logged.recovered) {
     // A peer logged this read first; adopt its result so all instances agree (§5.1).
-    value = logged.record.fields.GetStr("data");
+    value = logged.record->fields.GetStr("data");
   }
   env.MaybeCrash("hmw.read.after_log");
   co_return value;
@@ -185,9 +185,9 @@ sim::Task<Value> BokiRead(Env& env, const std::string& key) {
                                             std::move(fields));
   // Boki's peer-race resolution: honor the first record logged for this step (§5.1). The
   // check rides on the append reply (auxiliary data), so it costs no extra round.
-  std::optional<LogRecord> first = env.cluster->log_space().FindFirstByStep(
+  LogRecordPtr first = env.cluster->log_space().FindFirstByStep(
       sharedlog::StepLogTag(env.instance_id), "read", env.step);
-  if (first.has_value() && first->seqnum != seqnum) {
+  if (first != nullptr && first->seqnum != seqnum) {
     value = first->fields.GetStr("data");
   }
   env.MaybeCrash("boki.read.after_log");
@@ -208,9 +208,9 @@ sim::Task<void> BokiWrite(Env& env, const std::string& key, Value value) {
     pre_fields.SetInt("step", env.step);
     version_seq = co_await env.log().Append(sharedlog::OneTag(sharedlog::StepLogTag(env.instance_id)),
                                             std::move(pre_fields));
-    std::optional<LogRecord> first = env.cluster->log_space().FindFirstByStep(
+    LogRecordPtr first = env.cluster->log_space().FindFirstByStep(
         sharedlog::StepLogTag(env.instance_id), "write-pre", env.step);
-    if (first.has_value()) version_seq = first->seqnum;
+    if (first != nullptr) version_seq = first->seqnum;
   }
 
   if (FindBokiStep(env, "write", env.step) != nullptr) {
@@ -257,11 +257,10 @@ sim::Task<Value> DualRead(Env& env, const std::string& key) {
   auto latest_handle =
       sim::SpawnJoinable(env.cluster->scheduler(), env.kv().GetWithVersion(key));
 
-  std::optional<LogRecord> write_log =
-      co_await env.log().ReadPrev(WriteLogTag(key), env.cursor_ts);
+  LogRecordPtr write_log = co_await env.log().ReadPrev(WriteLogTag(key), env.cursor_ts);
   std::optional<Value> versioned;
   SeqNum write_seq = 0;
-  if (write_log.has_value()) {
+  if (write_log != nullptr) {
     versioned = co_await env.kv().GetVersioned(key, write_log->fields.GetStr("version"));
     HM_CHECK_MSG(versioned.has_value(), "DualRead: committed version missing from the store");
     write_seq = write_log->seqnum;
@@ -289,7 +288,7 @@ sim::Task<Value> TransitionalRead(Env& env, const std::string& key) {
 
   if (const LogRecord* cached = PeekNextLog(env); cached != nullptr) {
     StepLogResult replayed = co_await LogStep(env, sharedlog::NoTags(), std::move(fields));
-    co_return replayed.record.fields.GetStr("data");
+    co_return replayed.record->fields.GetStr("data");
   }
 
   env.MaybeCrash("trans.read.before");
@@ -299,7 +298,7 @@ sim::Task<Value> TransitionalRead(Env& env, const std::string& key) {
   fields.SetStr("data", value);
   StepLogResult logged = co_await LogStep(env, sharedlog::NoTags(), std::move(fields));
   if (logged.recovered) {
-    value = logged.record.fields.GetStr("data");
+    value = logged.record->fields.GetStr("data");
   }
   co_return value;
 }

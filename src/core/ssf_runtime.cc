@@ -10,6 +10,7 @@
 namespace halfmoon::core {
 
 using sharedlog::LogRecord;
+using sharedlog::LogRecordPtr;
 using sharedlog::SeqNum;
 
 namespace {
@@ -183,9 +184,9 @@ class ContextImpl final : public SsfContext {
     std::vector<SeqNum> cursors;
     callees.reserve(n);
     cursors.reserve(n);
-    for (const sharedlog::LogRecord& record : pres.records) {
-      callees.push_back(record.fields.GetStr("callee"));
-      cursors.push_back(record.seqnum);
+    for (const LogRecordPtr& record : pres.records) {
+      callees.push_back(record->fields.GetStr("callee"));
+      cursors.push_back(record->seqnum);
     }
 
     // If the post batch is already in the step log, skip the calls entirely.
@@ -197,8 +198,8 @@ class ContextImpl final : public SsfContext {
         post_fields[i].SetStr("op", "invoke");
       }
       BatchLogResult posts = co_await LogStepBatch(env, std::move(post_fields));
-      for (const sharedlog::LogRecord& record : posts.records) {
-        results.push_back(record.fields.GetStr("result"));
+      for (const LogRecordPtr& record : posts.records) {
+        results.push_back(record->fields.GetStr("result"));
       }
       co_return results;
     }
@@ -210,14 +211,14 @@ class ContextImpl final : public SsfContext {
     std::vector<FieldMap> post_fields(n);
     for (size_t i = 0; i < n; ++i) {
       post_fields[i].SetStr("op", "invoke");
-      post_fields[i].SetInt("step", pres.records[i].fields.GetInt("step"));
+      post_fields[i].SetInt("step", pres.records[i]->fields.GetInt("step"));
       post_fields[i].SetStr("result", results[i]);
     }
     BatchLogResult posts = co_await LogStepBatch(env, std::move(post_fields));
     if (posts.recovered) {
       results.clear();
-      for (const sharedlog::LogRecord& record : posts.records) {
-        results.push_back(record.fields.GetStr("result"));
+      for (const LogRecordPtr& record : posts.records) {
+        results.push_back(record->fields.GetStr("result"));
       }
     }
     env.MaybeCrash("invoke_all.after_postlog");
@@ -241,13 +242,13 @@ class ContextImpl final : public SsfContext {
     for (size_t i = 0; i < n; ++i) {
       env.step += 1;
       steps[i] = env.step;
-      for (const LogRecord& record : env.step_logs) {
-        if (record.fields.GetInt("step") != steps[i]) continue;
-        if (record.fields.GetStr("op") == "invoke-pre") {
-          callees[i] = record.fields.GetStr("callee");
-          pre_seqs[i] = record.seqnum;
-        } else if (record.fields.GetStr("op") == "invoke") {
-          results[i] = record.fields.GetStr("result");
+      for (const LogRecordPtr& record : env.step_logs) {
+        if (record->fields.GetInt("step") != steps[i]) continue;
+        if (record->fields.GetStr("op") == "invoke-pre") {
+          callees[i] = record->fields.GetStr("callee");
+          pre_seqs[i] = record->seqnum;
+        } else if (record->fields.GetStr("op") == "invoke") {
+          results[i] = record->fields.GetStr("result");
           have_result[i] = true;
         }
       }
@@ -268,9 +269,9 @@ class ContextImpl final : public SsfContext {
     if (!pre_batch.empty()) {
       co_await env.log().AppendBatch(std::move(pre_batch));
       for (size_t i = 0; i < n; ++i) {
-        std::optional<LogRecord> first = env.cluster->log_space().FindFirstByStep(
+        LogRecordPtr first = env.cluster->log_space().FindFirstByStep(
             step_tag, "invoke-pre", steps[i]);
-        if (first.has_value()) {
+        if (first != nullptr) {
           callees[i] = first->fields.GetStr("callee");
           pre_seqs[i] = first->seqnum;
         }
@@ -307,9 +308,9 @@ class ContextImpl final : public SsfContext {
       }
       co_await env.log().AppendBatch(std::move(post_batch));
       for (size_t i = 0; i < n; ++i) {
-        std::optional<LogRecord> first =
+        LogRecordPtr first =
             env.cluster->log_space().FindFirstByStep(step_tag, "invoke", steps[i]);
-        if (first.has_value()) results[i] = first->fields.GetStr("result");
+        if (first != nullptr) results[i] = first->fields.GetStr("result");
       }
     }
     co_return results;
@@ -325,9 +326,9 @@ class ContextImpl final : public SsfContext {
         config.default_protocol == ProtocolKind::kBoki) {
       res.kind = config.default_protocol;
     } else {
-      std::optional<LogRecord> record = co_await env_->log().ReadPrev(
+      LogRecordPtr record = co_await env_->log().ReadPrev(
           sharedlog::TransitionLogTag(config.switch_scope), env_->init_cursor_ts);
-      if (!record.has_value()) {
+      if (record == nullptr) {
         res.kind = config.default_protocol;
       } else if (record->fields.GetStr("op") == "END") {
         res.kind = KindFromInt(record->fields.GetInt("target"));
@@ -354,7 +355,7 @@ class ContextImpl final : public SsfContext {
     pre_fields.SetStr("callee", env.instance_id + "/" + env.RandomId());
     env.MaybeCrash("invoke.before");
     StepLogResult pre = co_await LogStep(env, sharedlog::NoTags(), std::move(pre_fields));
-    std::string callee = pre.record.fields.GetStr("callee");
+    std::string callee = pre.record->fields.GetStr("callee");
 
     // Skip the call entirely if the result was already logged (Figure 5, lines 33-36).
     if (const LogRecord* cached = PeekNextLog(env);
@@ -363,12 +364,12 @@ class ContextImpl final : public SsfContext {
       post_fields.SetStr("op", "invoke");
       post_fields.SetInt("step", env.step);
       StepLogResult post = co_await LogStep(env, sharedlog::NoTags(), std::move(post_fields));
-      co_return post.record.fields.GetStr("result");
+      co_return post.record->fields.GetStr("result");
     }
 
     env.MaybeCrash("invoke.after_prelog");
     Value result = co_await CallChild(callee, std::move(function), std::move(input),
-                                      pre.record.seqnum);
+                                      pre.record->seqnum);
     env.MaybeCrash("invoke.after_call");
 
     FieldMap post_fields;
@@ -377,7 +378,7 @@ class ContextImpl final : public SsfContext {
     post_fields.SetStr("result", result);
     StepLogResult post = co_await LogStep(env, sharedlog::NoTags(), std::move(post_fields));
     if (post.recovered) {
-      result = post.record.fields.GetStr("result");
+      result = post.record->fields.GetStr("result");
     }
     env.MaybeCrash("invoke.after_postlog");
     co_return result;
@@ -392,13 +393,13 @@ class ContextImpl final : public SsfContext {
 
     std::string callee;
     SeqNum pre_seq = sharedlog::kInvalidSeqNum;
-    for (const LogRecord& record : env.step_logs) {
-      if (record.fields.GetInt("step") == env.step) {
-        if (record.fields.GetStr("op") == "invoke-pre") {
-          callee = record.fields.GetStr("callee");
-          pre_seq = record.seqnum;
-        } else if (record.fields.GetStr("op") == "invoke") {
-          co_return record.fields.GetStr("result");
+    for (const LogRecordPtr& record : env.step_logs) {
+      if (record->fields.GetInt("step") == env.step) {
+        if (record->fields.GetStr("op") == "invoke-pre") {
+          callee = record->fields.GetStr("callee");
+          pre_seq = record->seqnum;
+        } else if (record->fields.GetStr("op") == "invoke") {
+          co_return record->fields.GetStr("result");
         }
       }
     }
@@ -409,9 +410,9 @@ class ContextImpl final : public SsfContext {
       pre_fields.SetInt("step", env.step);
       pre_fields.SetStr("callee", env.instance_id + "/" + env.RandomId());
       co_await env.log().Append(sharedlog::OneTag(step_tag), std::move(pre_fields));
-      std::optional<LogRecord> first =
+      LogRecordPtr first =
           env.cluster->log_space().FindFirstByStep(step_tag, "invoke-pre", env.step);
-      HM_CHECK(first.has_value());
+      HM_CHECK(first != nullptr);
       callee = first->fields.GetStr("callee");
       pre_seq = first->seqnum;
     }
@@ -425,9 +426,9 @@ class ContextImpl final : public SsfContext {
     post_fields.SetInt("step", env.step);
     post_fields.SetStr("result", result);
     co_await env.log().Append(sharedlog::OneTag(step_tag), std::move(post_fields));
-    std::optional<LogRecord> first =
+    LogRecordPtr first =
         env.cluster->log_space().FindFirstByStep(step_tag, "invoke", env.step);
-    if (first.has_value()) result = first->fields.GetStr("result");
+    if (first != nullptr) result = first->fields.GetStr("result");
     co_return result;
   }
 

@@ -36,11 +36,11 @@ Cluster::Cluster(const ClusterConfig& config)
 sharedlog::SeqNum Cluster::RunningFrontier() const {
   // Scan the (prefix-trimmed) global init stream: the first init record belonging to an
   // instance that has not finished bounds the frontier.
-  std::vector<sharedlog::LogRecord> inits = log_space_.ReadStream(sharedlog::InitLogTag());
-  for (const sharedlog::LogRecord& record : inits) {
-    const std::string& instance_id = record.fields.GetStr("instance");
+  std::vector<sharedlog::LogRecordPtr> inits = log_space_.ReadStream(sharedlog::InitLogTag());
+  for (const sharedlog::LogRecordPtr& record : inits) {
+    const std::string& instance_id = record->fields.GetStr("instance");
     if (finished_instances_.count(instance_id) == 0) {
-      return record.seqnum;
+      return record->seqnum;
     }
   }
   return log_space_.next_seqnum();

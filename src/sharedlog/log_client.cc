@@ -93,18 +93,21 @@ sim::Task<SeqNum> LogClient::AppendBatch(std::vector<LogSpace::BatchEntry> batch
   co_return first;
 }
 
-sim::Task<std::optional<LogRecord>> LogClient::FindFirstByStep(Tag tag, std::string op,
-                                                               int64_t step) {
+sim::Task<LogRecordPtr> LogClient::FindFirstByStep(Tag tag, std::string op, int64_t step) {
   co_await scheduler_->Delay(models_->log_read_cached.Sample(*rng_));
-  co_return space_->FindFirstByStep(tag, op, step);
+  LogRecordPtr record = space_->FindFirstByStep(tag, op, step);
+  if (record != nullptr) ++stats_.read_record_shared;
+  co_return record;
 }
 
-sim::Task<std::optional<LogRecord>> LogClient::ReadPrev(Tag tag, SeqNum max_seqnum) {
+sim::Task<LogRecordPtr> LogClient::ReadPrev(Tag tag, SeqNum max_seqnum) {
   if (indexed_upto_ >= max_seqnum) {
     // The local index replica provably covers the requested prefix: serve locally.
     ++stats_.read_prev_cached;
     co_await scheduler_->Delay(models_->log_read_cached.Sample(*rng_));
-    co_return space_->ReadPrev(tag, max_seqnum);
+    LogRecordPtr record = space_->ReadPrev(tag, max_seqnum);
+    if (record != nullptr) ++stats_.read_record_shared;
+    co_return record;
   }
   // Sync with a storage node; afterwards the replica covers max_seqnum.
   ++stats_.read_prev_uncached;
@@ -112,31 +115,35 @@ sim::Task<std::optional<LogRecord>> LogClient::ReadPrev(Tag tag, SeqNum max_seqn
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
   co_await scheduler_->Delay(leg);
   co_await StorageRound(total);
-  std::optional<LogRecord> record = space_->ReadPrev(tag, max_seqnum);
+  LogRecordPtr record = space_->ReadPrev(tag, max_seqnum);
+  if (record != nullptr) ++stats_.read_record_shared;
   AdvanceIndex(max_seqnum);
   co_await scheduler_->Delay(leg);
   co_return record;
 }
 
-sim::Task<std::optional<LogRecord>> LogClient::ReadNext(Tag tag, SeqNum min_seqnum) {
+sim::Task<LogRecordPtr> LogClient::ReadNext(Tag tag, SeqNum min_seqnum) {
   ++stats_.read_next;
   SimDuration total = models_->log_read_uncached.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
   co_await scheduler_->Delay(leg);
   co_await StorageRound(total);
-  std::optional<LogRecord> record = space_->ReadNext(tag, min_seqnum);
+  LogRecordPtr record = space_->ReadNext(tag, min_seqnum);
+  if (record != nullptr) ++stats_.read_record_shared;
   co_await scheduler_->Delay(leg);
   co_return record;
 }
 
-sim::Task<std::vector<LogRecord>> LogClient::ReadStream(Tag tag) {
+sim::Task<std::vector<LogRecordPtr>> LogClient::ReadStream(Tag tag) {
   ++stats_.stream_reads;
   // Served from the node-local index replica, which is complete up to indexed_upto_ (Boki
   // replicates the index to every function node; only record payloads live on storage).
   // Records beyond the replica's horizon may be missed — harmless, because every logged step
   // is re-validated through logCondAppend and a conflict adopts the existing record.
   co_await scheduler_->Delay(models_->log_read_cached.Sample(*rng_));
-  co_return space_->ReadStreamUpTo(tag, indexed_upto_);
+  std::vector<LogRecordPtr> records = space_->ReadStreamUpTo(tag, indexed_upto_);
+  stats_.read_record_shared += static_cast<int64_t>(records.size());
+  co_return records;
 }
 
 sim::Task<void> LogClient::Trim(Tag tag, SeqNum upto) {

@@ -11,7 +11,6 @@
 #define HALFMOON_SHAREDLOG_LOG_CLIENT_H_
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "src/common/latency_model.h"
@@ -35,6 +34,12 @@ struct LogClientStats {
   int64_t read_next = 0;
   int64_t stream_reads = 0;
   int64_t trims = 0;
+  // Zero-copy audit: every record a read returns is counted either as a shared view
+  // (refcount bump on the committed record) or as a deep copy. The read path is copy-free by
+  // construction, so read_record_copies must stay 0; the counter exists so benchmarks and
+  // tests can observe the claim instead of trusting it.
+  int64_t read_record_shared = 0;
+  int64_t read_record_copies = 0;
 };
 
 class LogClient {
@@ -68,14 +73,15 @@ class LogClient {
   // Boki-style conflict resolution: the first record logged for (op, step) in `tag` wins.
   // Served against the local index replica at cache cost; used immediately after an append,
   // when the replica provably covers the appended seqnum.
-  sim::Task<std::optional<LogRecord>> FindFirstByStep(Tag tag, std::string op, int64_t step);
+  sim::Task<LogRecordPtr> FindFirstByStep(Tag tag, std::string op, int64_t step);
 
-  // logReadPrev / logReadNext.
-  sim::Task<std::optional<LogRecord>> ReadPrev(Tag tag, SeqNum max_seqnum);
-  sim::Task<std::optional<LogRecord>> ReadNext(Tag tag, SeqNum min_seqnum);
+  // logReadPrev / logReadNext. Return shared views of the committed records (null when no
+  // record qualifies); the log's copy is never duplicated.
+  sim::Task<LogRecordPtr> ReadPrev(Tag tag, SeqNum max_seqnum);
+  sim::Task<LogRecordPtr> ReadNext(Tag tag, SeqNum min_seqnum);
 
-  // Fetches a whole sub-stream (step-log retrieval in Init).
-  sim::Task<std::vector<LogRecord>> ReadStream(Tag tag);
+  // Fetches a whole sub-stream as shared views (step-log retrieval in Init).
+  sim::Task<std::vector<LogRecordPtr>> ReadStream(Tag tag);
 
   // logTrim.
   sim::Task<void> Trim(Tag tag, SeqNum upto);

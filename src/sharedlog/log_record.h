@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,13 +65,21 @@ struct LogRecord {
   }
 };
 
-// Result of logCondAppend (§5.1). On success, `seqnum` is the new record's position. On
-// conflict the append is undone and `existing_seqnum` points to the record already occupying
-// the expected offset of the conditional stream.
+// Records are immutable once committed, so every reader shares one copy: LogSpace stores each
+// record behind a shared_ptr-to-const and the whole read path (LogSpace, LogClient, the
+// protocols' step-log caches) passes these views around instead of deep-copying. A null
+// pointer means "no such record" where the old API returned an empty optional.
+using LogRecordPtr = std::shared_ptr<const LogRecord>;
+
+// Result of logCondAppend (§5.1). On success, `seqnum` is the new record's position and
+// `record` is a shared view of the committed record (of the *first* record for batched
+// appends). On conflict the append is undone and `existing_seqnum` points to the record
+// already occupying the expected offset of the conditional stream.
 struct CondAppendResult {
   bool ok = false;
   SeqNum seqnum = kInvalidSeqNum;
   SeqNum existing_seqnum = kInvalidSeqNum;
+  LogRecordPtr record;
 };
 
 }  // namespace halfmoon::sharedlog

@@ -1,6 +1,8 @@
 #include "src/sharedlog/log_space.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "src/common/check.h"
 
@@ -10,16 +12,18 @@ SeqNum LogSpace::Append(SimTime now, std::vector<Tag> tags, FieldMap fields) {
   HM_CHECK_MSG(!tags.empty(), "log records must carry at least one tag");
   SeqNum seqnum = next_seqnum_++;
 
-  LogRecord record;
-  record.seqnum = seqnum;
-  record.tags = std::move(tags);
-  record.fields = std::move(fields);
+  auto record = std::make_shared<LogRecord>();
+  record->seqnum = seqnum;
+  record->tags = std::move(tags);
+  record->fields = std::move(fields);
 
   StoredRecord stored;
-  stored.live_tag_refs = static_cast<int>(record.tags.size());
-  gauge_.Add(now, static_cast<int64_t>(record.ByteSize()));
-  for (const Tag& tag : record.tags) {
-    streams_[tag].seqnums.push_back(seqnum);
+  stored.live_tag_refs = static_cast<int>(record->tags.size());
+  gauge_.Add(now, static_cast<int64_t>(record->ByteSize()));
+  for (const Tag& tag : record->tags) {
+    TagStream& stream = streams_[tag];
+    if (stream.seqnums.empty()) live_tags_.insert(tag);
+    stream.seqnums.push_back(seqnum);
   }
   stored.record = std::move(record);
   records_.emplace(seqnum, std::move(stored));
@@ -37,21 +41,27 @@ CondAppendResult LogSpace::CondAppend(SimTime now, std::vector<Tag> tags, FieldM
 
   CondAppendResult result;
   TagStream& stream = streams_[cond_tag];
-  if (stream.seqnums.size() != cond_pos) {
+  if (stream.length() != cond_pos) {
     // Conflict: some peer already appended at (or past) the expected offset. Report the record
     // occupying that offset so the caller can recover its peer's state. Unlike the description
     // in §5.1 we can check *before* physically appending because LogSpace is the linearization
     // point itself; the observable behaviour (append undone, existing seqnum returned) is
     // identical.
-    HM_CHECK_MSG(cond_pos < stream.seqnums.size(),
+    HM_CHECK_MSG(cond_pos < stream.length(),
                  "logCondAppend: expected offset beyond stream end (missed a step?)");
+    // A conflict below the compacted prefix would mean the occupying record was already
+    // GC-trimmed — impossible while the losing instance still runs (§4.5 keeps every record
+    // a live SSF may seek), so the offset must fall in the retained suffix.
+    HM_CHECK_MSG(cond_pos >= stream.base,
+                 "logCondAppend: conflicting offset was already trimmed");
     result.ok = false;
-    result.existing_seqnum = stream.seqnums[cond_pos];
+    result.existing_seqnum = stream.seqnums[cond_pos - stream.base];
     return result;
   }
 
   result.ok = true;
   result.seqnum = Append(now, std::move(tags), std::move(fields));
+  result.record = LookupLive(result.seqnum);
   return result;
 }
 
@@ -60,15 +70,18 @@ CondAppendResult LogSpace::CondAppendBatch(SimTime now, std::vector<BatchEntry> 
   HM_CHECK(!batch.empty());
   CondAppendResult result;
   TagStream& stream = streams_[cond_tag];
-  if (stream.seqnums.size() != cond_pos) {
-    HM_CHECK_MSG(cond_pos < stream.seqnums.size(),
+  if (stream.length() != cond_pos) {
+    HM_CHECK_MSG(cond_pos < stream.length(),
                  "CondAppendBatch: expected offset beyond stream end (missed a step?)");
+    HM_CHECK_MSG(cond_pos >= stream.base,
+                 "CondAppendBatch: conflicting offset was already trimmed");
     result.ok = false;
-    result.existing_seqnum = stream.seqnums[cond_pos];
+    result.existing_seqnum = stream.seqnums[cond_pos - stream.base];
     return result;
   }
   result.ok = true;
   result.seqnum = AppendBatch(now, std::move(batch));
+  result.record = LookupLive(result.seqnum);
   return result;
 }
 
@@ -90,74 +103,72 @@ SeqNum LogSpace::AppendBatch(SimTime now, std::vector<BatchEntry> batch) {
   return first;
 }
 
-std::optional<LogRecord> LogSpace::FindFirstByStep(const Tag& tag, const std::string& op,
-                                                   int64_t step) const {
+LogRecordPtr LogSpace::Get(SeqNum seqnum) const { return LookupLive(seqnum); }
+
+LogRecordPtr LogSpace::FindFirstByStep(const Tag& tag, const std::string& op,
+                                       int64_t step) const {
   auto it = streams_.find(tag);
-  if (it == streams_.end()) return std::nullopt;
-  const TagStream& stream = it->second;
-  for (size_t i = stream.trimmed; i < stream.seqnums.size(); ++i) {
-    std::optional<LogRecord> record = LookupLive(stream.seqnums[i]);
-    if (!record.has_value()) continue;
+  if (it == streams_.end()) return nullptr;
+  for (SeqNum seqnum : it->second.seqnums) {
+    LogRecordPtr record = LookupLive(seqnum);
+    if (record == nullptr) continue;
     if (record->fields.GetStr("op") == op && record->fields.GetInt("step") == step) {
       return record;
     }
   }
-  return std::nullopt;
+  return nullptr;
 }
 
 std::vector<Tag> LogSpace::StreamTagsWithPrefix(const std::string& prefix) const {
   std::vector<Tag> tags;
-  for (const auto& [tag, stream] : streams_) {
-    if (tag.size() >= prefix.size() && tag.compare(0, prefix.size(), prefix) == 0 &&
-        stream.trimmed < stream.seqnums.size()) {
-      tags.push_back(tag);
-    }
+  // live_tags_ is ordered, so all matches form one contiguous range starting at the first
+  // tag >= prefix; results come out sorted for free.
+  for (auto it = live_tags_.lower_bound(prefix); it != live_tags_.end(); ++it) {
+    if (it->compare(0, prefix.size(), prefix) != 0) break;
+    tags.push_back(*it);
   }
-  std::sort(tags.begin(), tags.end());
   return tags;
 }
 
-std::optional<LogRecord> LogSpace::LookupLive(SeqNum seqnum) const {
+LogRecordPtr LogSpace::LookupLive(SeqNum seqnum) const {
   auto it = records_.find(seqnum);
-  if (it == records_.end()) return std::nullopt;
+  if (it == records_.end()) return nullptr;
   return it->second.record;
 }
 
-std::optional<LogRecord> LogSpace::ReadPrev(const Tag& tag, SeqNum max_seqnum) const {
+LogRecordPtr LogSpace::ReadPrev(const Tag& tag, SeqNum max_seqnum) const {
   auto it = streams_.find(tag);
-  if (it == streams_.end()) return std::nullopt;
+  if (it == streams_.end()) return nullptr;
   const TagStream& stream = it->second;
-  // Last seqnum <= max_seqnum within the live window [trimmed, size).
-  auto begin = stream.seqnums.begin() + static_cast<ptrdiff_t>(stream.trimmed);
-  auto upper = std::upper_bound(begin, stream.seqnums.end(), max_seqnum);
-  if (upper == begin) return std::nullopt;
+  // Last seqnum <= max_seqnum within the live (untrimmed) suffix.
+  auto upper = std::upper_bound(stream.seqnums.begin(), stream.seqnums.end(), max_seqnum);
+  if (upper == stream.seqnums.begin()) return nullptr;
   return LookupLive(*(upper - 1));
 }
 
-std::optional<LogRecord> LogSpace::ReadNext(const Tag& tag, SeqNum min_seqnum) const {
+LogRecordPtr LogSpace::ReadNext(const Tag& tag, SeqNum min_seqnum) const {
   auto it = streams_.find(tag);
-  if (it == streams_.end()) return std::nullopt;
+  if (it == streams_.end()) return nullptr;
   const TagStream& stream = it->second;
-  auto begin = stream.seqnums.begin() + static_cast<ptrdiff_t>(stream.trimmed);
-  auto lower = std::lower_bound(begin, stream.seqnums.end(), min_seqnum);
-  if (lower == stream.seqnums.end()) return std::nullopt;
+  auto lower = std::lower_bound(stream.seqnums.begin(), stream.seqnums.end(), min_seqnum);
+  if (lower == stream.seqnums.end()) return nullptr;
   return LookupLive(*lower);
 }
 
-std::vector<LogRecord> LogSpace::ReadStream(const Tag& tag) const {
+std::vector<LogRecordPtr> LogSpace::ReadStream(const Tag& tag) const {
   return ReadStreamUpTo(tag, kMaxSeqNum);
 }
 
-std::vector<LogRecord> LogSpace::ReadStreamUpTo(const Tag& tag, SeqNum max_seqnum) const {
-  std::vector<LogRecord> out;
+std::vector<LogRecordPtr> LogSpace::ReadStreamUpTo(const Tag& tag, SeqNum max_seqnum) const {
+  std::vector<LogRecordPtr> out;
   auto it = streams_.find(tag);
   if (it == streams_.end()) return out;
   const TagStream& stream = it->second;
-  out.reserve(stream.seqnums.size() - stream.trimmed);
-  for (size_t i = stream.trimmed; i < stream.seqnums.size(); ++i) {
-    if (stream.seqnums[i] > max_seqnum) break;
-    std::optional<LogRecord> record = LookupLive(stream.seqnums[i]);
-    if (record.has_value()) out.push_back(std::move(*record));
+  out.reserve(stream.seqnums.size());
+  for (SeqNum seqnum : stream.seqnums) {
+    if (seqnum > max_seqnum) break;
+    LogRecordPtr record = LookupLive(seqnum);
+    if (record != nullptr) out.push_back(std::move(record));
   }
   return out;
 }
@@ -166,7 +177,7 @@ void LogSpace::ReleaseRef(SimTime now, SeqNum seqnum) {
   auto it = records_.find(seqnum);
   HM_CHECK_MSG(it != records_.end(), "ReleaseRef on missing record");
   if (--it->second.live_tag_refs == 0) {
-    gauge_.Add(now, -static_cast<int64_t>(it->second.record.ByteSize()));
+    gauge_.Add(now, -static_cast<int64_t>(it->second.record->ByteSize()));
     records_.erase(it);
   }
 }
@@ -175,15 +186,25 @@ void LogSpace::Trim(SimTime now, const Tag& tag, SeqNum upto) {
   auto it = streams_.find(tag);
   if (it == streams_.end()) return;
   TagStream& stream = it->second;
-  while (stream.trimmed < stream.seqnums.size() && stream.seqnums[stream.trimmed] <= upto) {
-    ReleaseRef(now, stream.seqnums[stream.trimmed]);
-    ++stream.trimmed;
+  while (!stream.seqnums.empty() && stream.seqnums.front() <= upto) {
+    ReleaseRef(now, stream.seqnums.front());
+    stream.seqnums.pop_front();
+    ++stream.base;
   }
+  if (stream.seqnums.empty()) live_tags_.erase(tag);
 }
 
 size_t LogSpace::StreamLength(const Tag& tag) const {
   auto it = streams_.find(tag);
-  return it == streams_.end() ? 0 : it->second.seqnums.size();
+  return it == streams_.end() ? 0 : it->second.length();
+}
+
+size_t LogSpace::IndexEntries() const {
+  size_t total = 0;
+  for (const auto& [tag, stream] : streams_) {
+    total += stream.seqnums.size();
+  }
+  return total;
 }
 
 }  // namespace halfmoon::sharedlog

@@ -4,14 +4,22 @@
 // LogSpace is pure state — all latency, caching, and queueing live in LogClient. This split
 // mirrors Boki: a metalog/sequencer that orders records, storage nodes that hold them, and
 // per-function-node index replicas that trail the authoritative index by a propagation delay.
+//
+// Performance notes (see DESIGN.md "Performance architecture"):
+//   * Records are immutable after commit and stored behind shared_ptr-to-const; every read
+//     API returns a shared view (LogRecordPtr), never a copy.
+//   * A sub-stream keeps only its untrimmed seqnum suffix (deque + base offset), so trimmed
+//     history costs no memory while logical logCondAppend offsets stay stable.
+//   * Live stream tags are mirrored in an ordered index, so prefix scans (the GC's
+//     per-object write-log enumeration) are range scans instead of full-table scans.
 
 #ifndef HALFMOON_SHAREDLOG_LOG_SPACE_H_
 #define HALFMOON_SHAREDLOG_LOG_SPACE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
-#include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -53,29 +61,33 @@ class LogSpace {
   // consecutive ones). Index replicas learn about the batch as a unit.
   SeqNum AppendBatch(SimTime now, std::vector<BatchEntry> batch);
 
+  // Shared view of the live record at `seqnum`; null if absent or fully trimmed.
+  LogRecordPtr Get(SeqNum seqnum) const;
+
   // First live record in `tag`'s sub-stream whose "op" and "step" fields match. Boki resolves
   // peer races by honoring the first record logged for a step (§5.1).
-  std::optional<LogRecord> FindFirstByStep(const Tag& tag, const std::string& op,
-                                           int64_t step) const;
+  LogRecordPtr FindFirstByStep(const Tag& tag, const std::string& op, int64_t step) const;
 
-  // Tags of all streams whose name starts with `prefix` (GC scan over per-object write logs).
+  // Tags of all live streams whose name starts with `prefix` (GC scan over per-object write
+  // logs). Served by an ordered range scan over the live-tag index: O(log streams + matches).
   std::vector<Tag> StreamTagsWithPrefix(const std::string& prefix) const;
 
   // Latest record in `tag`'s sub-stream with seqnum <= max (logReadPrev).
-  std::optional<LogRecord> ReadPrev(const Tag& tag, SeqNum max_seqnum) const;
+  LogRecordPtr ReadPrev(const Tag& tag, SeqNum max_seqnum) const;
 
   // Earliest record in `tag`'s sub-stream with seqnum >= min (logReadNext).
-  std::optional<LogRecord> ReadNext(const Tag& tag, SeqNum min_seqnum) const;
+  LogRecordPtr ReadNext(const Tag& tag, SeqNum min_seqnum) const;
 
   // All live records of a sub-stream, in seqnum order (used to fetch step logs in Init).
-  std::vector<LogRecord> ReadStream(const Tag& tag) const;
+  std::vector<LogRecordPtr> ReadStream(const Tag& tag) const;
 
   // Live records of a sub-stream with seqnum <= max_seqnum: the view of an index replica
   // that has caught up to max_seqnum.
-  std::vector<LogRecord> ReadStreamUpTo(const Tag& tag, SeqNum max_seqnum) const;
+  std::vector<LogRecordPtr> ReadStreamUpTo(const Tag& tag, SeqNum max_seqnum) const;
 
-  // Garbage-collects a sub-stream: logically deletes records with seqnum <= upto from `tag`.
-  // A record's storage is freed once every one of its tags has trimmed past it.
+  // Garbage-collects a sub-stream: logically deletes records with seqnum <= upto from `tag`,
+  // and frees the trimmed prefix of the stream's seqnum index. A record's storage is freed
+  // once every one of its tags has trimmed past it.
   void Trim(SimTime now, const Tag& tag, SeqNum upto);
 
   // Logical offset (position since the beginning of time) that the *next* record appended to
@@ -88,6 +100,12 @@ class LogSpace {
   // Number of records currently held (not yet trimmed from all their tags).
   size_t live_records() const { return records_.size(); }
 
+  // Total seqnum entries retained across all sub-stream indices. Bounded by the number of
+  // live (tag, record) pairs: trimmed prefixes are compacted away, so a fully trimmed stream
+  // holds zero entries no matter how long its history (regression guard for the old
+  // keep-forever index).
+  size_t IndexEntries() const;
+
   int64_t CurrentBytes() const { return gauge_.CurrentBytes(); }
   metrics::StorageGauge& gauge() { return gauge_; }
 
@@ -99,25 +117,31 @@ class LogSpace {
 
  private:
   struct TagStream {
-    // Seqnums ever appended under this tag, in order. Never shrinks: logical offsets for
-    // logCondAppend are stable positions in the stream's full history.
-    std::vector<SeqNum> seqnums;
-    // Entries before this index are trimmed (logically deleted).
-    size_t trimmed = 0;
+    // Untrimmed seqnums appended under this tag, in order. The logical offset of seqnums[i]
+    // in the stream's full history is base + i: logical offsets for logCondAppend are stable
+    // positions even after the trimmed prefix is compacted away.
+    std::deque<SeqNum> seqnums;
+    // Number of entries trimmed (and freed) from the front of the stream's history.
+    size_t base = 0;
+
+    size_t length() const { return base + seqnums.size(); }
   };
 
   struct StoredRecord {
-    LogRecord record;
+    LogRecordPtr record;
     // Number of tags that still reference this record (not yet trimmed past it).
     int live_tag_refs = 0;
   };
 
-  std::optional<LogRecord> LookupLive(SeqNum seqnum) const;
+  LogRecordPtr LookupLive(SeqNum seqnum) const;
   void ReleaseRef(SimTime now, SeqNum seqnum);
 
   SeqNum next_seqnum_ = 1;  // Seqnum 0 is reserved as "before everything".
   std::unordered_map<SeqNum, StoredRecord> records_;
   std::unordered_map<Tag, TagStream> streams_;
+  // Ordered mirror of the tags whose stream currently holds live records; maintained on the
+  // empty<->non-empty transitions of each stream.
+  std::set<Tag> live_tags_;
   metrics::StorageGauge gauge_;
   std::function<void(SeqNum)> commit_listener_;
 };

@@ -4,14 +4,23 @@
 // semaphores, events) suspends the coroutine and registers a wake-up in the queue. Ties in
 // time are broken by insertion order, which makes whole simulations deterministic for a fixed
 // RNG seed.
+//
+// The queue is the hottest loop of the whole simulator, so events never touch the heap: an
+// event is either a raw coroutine handle (PostResume, the dominant case — every Delay and
+// station hop) or a small callable stored inline in the event itself (Post). Callables larger
+// than the inline buffer fail to compile; shrink the capture list or move the state behind a
+// pointer instead of regressing the hot loop with type-erased heap allocations.
 
 #ifndef HALFMOON_SIM_SCHEDULER_H_
 #define HALFMOON_SIM_SCHEDULER_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"
@@ -19,6 +28,85 @@
 #include "src/sim/task.h"
 
 namespace halfmoon::sim {
+
+// A move-only type-erased callable with fixed inline storage and no heap fallback.
+class InlineCallback {
+ public:
+  static constexpr size_t kInlineSize = 48;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineSize,
+                  "scheduler callback exceeds the inline event buffer; shrink its captures");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "scheduler callback is over-aligned for the inline event buffer");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "scheduler callbacks must be nothrow-movable (the event queue relocates)");
+    new (storage_) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::value;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  ~InlineCallback() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs into `dst` from `src`, then destroys `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void Relocate(void* dst, void* src) {
+      Fn* from = static_cast<Fn*>(src);
+      new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops value{&Invoke, &Relocate, &Destroy};
+  };
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
 
 class Scheduler {
  public:
@@ -28,15 +116,18 @@ class Scheduler {
 
   SimTime Now() const { return now_; }
 
-  // Registers `fn` to run at Now() + delay.
-  void Post(SimDuration delay, std::function<void()> fn) {
+  // Registers `fn` to run at Now() + delay. The callable is stored inline in the event.
+  template <typename F>
+  void Post(SimDuration delay, F&& fn) {
     HM_CHECK(delay >= 0);
-    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+    queue_.push(Event{now_ + delay, next_seq_++, {}, InlineCallback(std::forward<F>(fn))});
   }
 
-  // Schedules a coroutine resume at Now() + delay.
+  // Schedules a coroutine resume at Now() + delay. Stores the raw handle — no callable, no
+  // type erasure, no allocation.
   void PostResume(SimDuration delay, std::coroutine_handle<> handle) {
-    Post(delay, [handle] { handle.resume(); });
+    HM_CHECK(delay >= 0);
+    queue_.push(Event{now_ + delay, next_seq_++, handle, {}});
   }
 
   // Runs events until the queue drains. Returns the final simulated time.
@@ -62,6 +153,9 @@ class Scheduler {
   bool empty() const { return queue_.empty(); }
   size_t pending_events() const { return queue_.size(); }
 
+  // Total events fired since construction (throughput accounting for the hot-path bench).
+  uint64_t events_processed() const { return events_processed_; }
+
   // Awaitable virtual-time sleep: `co_await scheduler.Delay(Milliseconds(2));`
   struct DelayAwaiter {
     Scheduler* scheduler;
@@ -82,10 +176,20 @@ class Scheduler {
   void Spawn(Task<void> task);
 
  private:
+  // Two-variant event: a coroutine resume (handle set) or an inline callable (fn set).
   struct Event {
     SimTime time;
     uint64_t seq;
-    std::function<void()> fn;
+    std::coroutine_handle<> handle;
+    InlineCallback fn;
+
+    void Fire() {
+      if (handle) {
+        handle.resume();
+      } else {
+        fn();
+      }
+    }
 
     bool operator>(const Event& other) const {
       if (time != other.time) return time > other.time;
@@ -100,11 +204,13 @@ class Scheduler {
     queue_.pop();
     HM_CHECK(event.time >= now_);
     now_ = event.time;
-    event.fn();
+    ++events_processed_;
+    event.Fire();
   }
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 };
 

@@ -53,6 +53,33 @@ TEST(FieldMapTest, OverwriteReplacesValue) {
   EXPECT_EQ(m.size(), 1u);
 }
 
+TEST(FieldMapTest, IterationIsSortedByKeyRegardlessOfInsertionOrder) {
+  // The flat map iterates in key order, so record encodings and replay comparisons are
+  // deterministic no matter how the fields were built up.
+  FieldMap forward;
+  forward.SetStr("a", "1");
+  forward.SetInt("m", 2);
+  forward.SetStr("z", "3");
+  FieldMap reverse;
+  reverse.SetStr("z", "3");
+  reverse.SetInt("m", 2);
+  reverse.SetStr("a", "1");
+  EXPECT_EQ(forward, reverse);
+  std::vector<std::string> keys;
+  for (const auto& [key, field] : forward) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "m", "z"}));
+}
+
+TEST(FieldMapTest, ManyKeysStayConsistent) {
+  FieldMap m;
+  for (int i = 99; i >= 0; --i) m.SetInt("k" + std::to_string(i), i);
+  EXPECT_EQ(m.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(m.Has("k" + std::to_string(i)));
+    EXPECT_EQ(m.GetInt("k" + std::to_string(i)), i);
+  }
+}
+
 TEST(ValueCodecTest, Int64RoundTrip) {
   EXPECT_EQ(DecodeInt64(EncodeInt64(0)), 0);
   EXPECT_EQ(DecodeInt64(EncodeInt64(-17)), -17);

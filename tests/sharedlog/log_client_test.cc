@@ -57,8 +57,8 @@ TEST(LogClientTest, CachedReadPrevIsFast) {
     SimTime before = fx->scheduler.Now();
     auto rec = co_await fx->client.ReadPrev("t", seq);
     SimTime elapsed = fx->scheduler.Now() - before;
-    EXPECT_TRUE(rec.has_value());
-    if (!rec.has_value()) co_return;
+    EXPECT_TRUE(rec != nullptr);
+    if (rec == nullptr) co_return;
     EXPECT_LT(elapsed, Milliseconds(2));  // Cached path, ~0.12 ms median.
   }(&fx));
   fx.scheduler.Run();
@@ -72,8 +72,8 @@ TEST(LogClientTest, StaleReplicaTakesUncachedPathAndSyncs) {
     SeqNum seq = co_await fx->client.Append(OneTag("t"), Fields("a"));
     // `other` has not heard about the record: its read must sync.
     auto rec = co_await fx->other.ReadPrev("t", seq);
-    EXPECT_TRUE(rec.has_value());
-    if (!rec.has_value()) co_return;
+    EXPECT_TRUE(rec != nullptr);
+    if (rec == nullptr) co_return;
     EXPECT_EQ(rec->seqnum, seq);
     EXPECT_GE(fx->other.indexed_upto(), seq);
     // Second read of the same prefix is now cached.
@@ -123,14 +123,14 @@ TEST(LogClientTest, ReadStreamServesLocalIndexReplicaView) {
     co_await fx->client.Append(OneTag("s"), Fields("a"));
     co_await fx->client.Append(OneTag("s"), Fields("b"));
     // The appender's replica covers its own records.
-    std::vector<LogRecord> own = co_await fx->client.ReadStream("s");
+    std::vector<LogRecordPtr> own = co_await fx->client.ReadStream("s");
     EXPECT_EQ(own.size(), 2u);
     // A node whose replica has not caught up sees a (safe) prefix — here, nothing.
-    std::vector<LogRecord> stale = co_await fx->other.ReadStream("s");
+    std::vector<LogRecordPtr> stale = co_await fx->other.ReadStream("s");
     EXPECT_TRUE(stale.empty());
     // After the index propagates (modeled by AdvanceIndex), the stream is visible.
     fx->other.AdvanceIndex(fx->client.indexed_upto());
-    std::vector<LogRecord> fresh = co_await fx->other.ReadStream("s");
+    std::vector<LogRecordPtr> fresh = co_await fx->other.ReadStream("s");
     EXPECT_EQ(fresh.size(), 2u);
   }(&fx));
   fx.scheduler.Run();
@@ -141,7 +141,7 @@ TEST(LogClientTest, TrimRemovesRecords) {
   fx.scheduler.Spawn([](ClientFixture* fx) -> sim::Task<void> {
     co_await fx->client.Append(OneTag("s"), Fields("a"));
     co_await fx->client.Trim("s", kMaxSeqNum);
-    std::vector<LogRecord> stream = co_await fx->client.ReadStream("s");
+    std::vector<LogRecordPtr> stream = co_await fx->client.ReadStream("s");
     EXPECT_TRUE(stream.empty());
   }(&fx));
   fx.scheduler.Run();

@@ -34,16 +34,16 @@ TEST(LogSpaceTest, ReadPrevFindsLatestAtOrBefore) {
   log.Append(0, OneTag("t"), Fields("c", 0));
 
   auto at_b = log.ReadPrev("t", b);
-  ASSERT_TRUE(at_b.has_value());
+  ASSERT_TRUE(at_b != nullptr);
   EXPECT_EQ(at_b->fields.GetStr("op"), "b");
 
   auto between = log.ReadPrev("t", b - 1);
-  ASSERT_TRUE(between.has_value());
+  ASSERT_TRUE(between != nullptr);
   EXPECT_EQ(between->seqnum, a);
 
-  EXPECT_FALSE(log.ReadPrev("t", a - 1).has_value());
+  EXPECT_EQ(log.ReadPrev("t", a - 1), nullptr);
   auto latest = log.ReadPrev("t", kMaxSeqNum);
-  ASSERT_TRUE(latest.has_value());
+  ASSERT_TRUE(latest != nullptr);
   EXPECT_EQ(latest->fields.GetStr("op"), "c");
 }
 
@@ -52,9 +52,9 @@ TEST(LogSpaceTest, ReadPrevRespectsSubStreams) {
   log.Append(0, OneTag("t1"), Fields("one", 0));
   log.Append(0, OneTag("t2"), Fields("two", 0));
   auto r = log.ReadPrev("t1", kMaxSeqNum);
-  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(r != nullptr);
   EXPECT_EQ(r->fields.GetStr("op"), "one");
-  EXPECT_FALSE(log.ReadPrev("t3", kMaxSeqNum).has_value());
+  EXPECT_EQ(log.ReadPrev("t3", kMaxSeqNum), nullptr);
 }
 
 TEST(LogSpaceTest, ReadNextFindsEarliestAtOrAfter) {
@@ -62,9 +62,9 @@ TEST(LogSpaceTest, ReadNextFindsEarliestAtOrAfter) {
   log.Append(0, OneTag("t"), Fields("a", 0));
   SeqNum b = log.Append(0, OneTag("t"), Fields("b", 0));
   auto r = log.ReadNext("t", b);
-  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(r != nullptr);
   EXPECT_EQ(r->fields.GetStr("op"), "b");
-  EXPECT_FALSE(log.ReadNext("t", b + 1).has_value());
+  EXPECT_EQ(log.ReadNext("t", b + 1), nullptr);
 }
 
 TEST(LogSpaceTest, MultiTagRecordsAppearInAllStreams) {
@@ -79,10 +79,10 @@ TEST(LogSpaceTest, ReadStreamReturnsRecordsInOrder) {
   log.Append(0, OneTag("t"), Fields("a", 0));
   log.Append(0, OneTag("u"), Fields("skip", 0));
   log.Append(0, OneTag("t"), Fields("b", 1));
-  std::vector<LogRecord> stream = log.ReadStream("t");
+  std::vector<LogRecordPtr> stream = log.ReadStream("t");
   ASSERT_EQ(stream.size(), 2u);
-  EXPECT_EQ(stream[0].fields.GetStr("op"), "a");
-  EXPECT_EQ(stream[1].fields.GetStr("op"), "b");
+  EXPECT_EQ(stream[0]->fields.GetStr("op"), "a");
+  EXPECT_EQ(stream[1]->fields.GetStr("op"), "b");
 }
 
 TEST(LogSpaceTest, TrimRemovesPrefixOfSubStream) {
@@ -90,7 +90,7 @@ TEST(LogSpaceTest, TrimRemovesPrefixOfSubStream) {
   SeqNum a = log.Append(0, OneTag("t"), Fields("a", 0));
   SeqNum b = log.Append(0, OneTag("t"), Fields("b", 1));
   log.Trim(0, "t", a);
-  EXPECT_FALSE(log.ReadPrev("t", a).has_value());
+  EXPECT_EQ(log.ReadPrev("t", a), nullptr);
   EXPECT_EQ(log.ReadPrev("t", kMaxSeqNum)->seqnum, b);
   EXPECT_EQ(log.ReadStream("t").size(), 1u);
 }
@@ -147,7 +147,7 @@ TEST(LogSpaceTest, CondAppendBatchCommitsConsecutively) {
   ASSERT_TRUE(r.ok);
   EXPECT_EQ(log.StreamLength("s"), 2u);
   auto commit = log.ReadPrev("k:x", kMaxSeqNum);
-  ASSERT_TRUE(commit.has_value());
+  ASSERT_TRUE(commit != nullptr);
   EXPECT_EQ(commit->seqnum, r.seqnum + 1);
 }
 
@@ -162,7 +162,7 @@ TEST(LogSpaceTest, CondAppendBatchConflictIsAllOrNothing) {
   CondAppendResult r = log.CondAppendBatch(0, std::move(batch), "s", 0);  // Stale offset.
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(log.StreamLength("s"), 1u);
-  EXPECT_FALSE(log.ReadPrev("k:x", kMaxSeqNum).has_value());
+  EXPECT_EQ(log.ReadPrev("k:x", kMaxSeqNum), nullptr);
 }
 
 TEST(LogSpaceTest, FindFirstByStepHonorsStreamOrder) {
@@ -170,9 +170,9 @@ TEST(LogSpaceTest, FindFirstByStepHonorsStreamOrder) {
   SeqNum first = log.Append(0, OneTag("s"), Fields("read", 3));
   log.Append(0, OneTag("s"), Fields("read", 3));  // A racing duplicate.
   auto r = log.FindFirstByStep("s", "read", 3);
-  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(r != nullptr);
   EXPECT_EQ(r->seqnum, first);
-  EXPECT_FALSE(log.FindFirstByStep("s", "read", 4).has_value());
+  EXPECT_EQ(log.FindFirstByStep("s", "read", 4), nullptr);
 }
 
 TEST(LogSpaceTest, StreamTagsWithPrefixEnumeratesLiveStreams) {
@@ -186,6 +186,95 @@ TEST(LogSpaceTest, StreamTagsWithPrefixEnumeratesLiveStreams) {
   EXPECT_EQ(tags[1], "k:b");
   log.Trim(0, "k:a", kMaxSeqNum);
   EXPECT_EQ(log.StreamTagsWithPrefix("k:").size(), 1u);
+}
+
+TEST(LogSpaceTest, ReadsAliasTheStoredRecordWithoutCopying) {
+  // Every read API must return a view of the one committed record, not a duplicate.
+  LogSpace log;
+  SeqNum s = log.Append(0, TwoTags("t", "u"), Fields("read", 5));
+  LogRecordPtr stored = log.Get(s);
+  ASSERT_TRUE(stored != nullptr);
+  EXPECT_EQ(log.ReadPrev("t", kMaxSeqNum).get(), stored.get());
+  EXPECT_EQ(log.ReadNext("u", 0).get(), stored.get());
+  EXPECT_EQ(log.FindFirstByStep("t", "read", 5).get(), stored.get());
+  std::vector<LogRecordPtr> stream = log.ReadStream("t");
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0].get(), stored.get());
+}
+
+TEST(LogSpaceTest, TrimCompactsStreamIndexMemory) {
+  // Regression: the old index kept every trimmed seqnum forever, so a long-lived stream's
+  // index grew without bound. The compacted index must stay bounded by the live suffix.
+  LogSpace log;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 10; ++i) {
+      log.Append(0, OneTag("t"), Fields("w", cycle * 10 + i));
+    }
+    log.Trim(0, "t", kMaxSeqNum);
+    EXPECT_EQ(log.IndexEntries(), 0u);
+    EXPECT_EQ(log.live_records(), 0u);
+    EXPECT_EQ(log.CurrentBytes(), 0);
+  }
+  // Logical offsets keep counting the full (trimmed) history.
+  EXPECT_EQ(log.StreamLength("t"), 1000u);
+}
+
+TEST(LogSpaceTest, FullyTrimmedStreamsLeaveNoResidue) {
+  // Regression for the fully-trimmed-stream leak: after every stream of a batch of objects
+  // is trimmed, neither the record store, the per-tag indices, nor the live-tag set may
+  // retain anything.
+  LogSpace log;
+  for (int i = 0; i < 50; ++i) {
+    log.Append(0, OneTag("k:obj" + std::to_string(i)), Fields("w", i));
+  }
+  EXPECT_EQ(log.StreamTagsWithPrefix("k:").size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    log.Trim(0, "k:obj" + std::to_string(i), kMaxSeqNum);
+  }
+  EXPECT_EQ(log.live_records(), 0u);
+  EXPECT_EQ(log.IndexEntries(), 0u);
+  EXPECT_TRUE(log.StreamTagsWithPrefix("k:").empty());
+}
+
+TEST(LogSpaceTest, CondAppendOffsetsStayStableAfterCompaction) {
+  // A trimmed prefix must not shift logCondAppend positions: the next logical offset is the
+  // full-history length, and appends at stale offsets still conflict.
+  LogSpace log;
+  ASSERT_TRUE(log.CondAppend(0, OneTag("s"), Fields("a", 0), "s", 0).ok);
+  ASSERT_TRUE(log.CondAppend(0, OneTag("s"), Fields("b", 1), "s", 1).ok);
+  log.Trim(0, "s", kMaxSeqNum);
+  ASSERT_EQ(log.StreamLength("s"), 2u);
+  CondAppendResult next = log.CondAppend(0, OneTag("s"), Fields("c", 2), "s", 2);
+  EXPECT_TRUE(next.ok);
+  EXPECT_EQ(log.StreamLength("s"), 3u);
+}
+
+TEST(LogSpaceTest, CondAppendBatchThenPartialTrimReleasesRefs) {
+  LogSpace log;
+  std::vector<LogSpace::BatchEntry> batch(3);
+  for (int i = 0; i < 3; ++i) {
+    batch[static_cast<size_t>(i)].tags = OneTag("s");
+    batch[static_cast<size_t>(i)].fields = Fields("w", i);
+  }
+  CondAppendResult r = log.CondAppendBatch(0, std::move(batch), "s", 0);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(log.live_records(), 3u);
+
+  // Trim past the first two records of the batch: their storage is released, the survivor
+  // stays readable, and FindFirstByStep only sees live records.
+  log.Trim(0, "s", r.seqnum + 1);
+  EXPECT_EQ(log.live_records(), 1u);
+  EXPECT_EQ(log.IndexEntries(), 1u);
+  EXPECT_EQ(log.FindFirstByStep("s", "w", 0), nullptr);
+  EXPECT_EQ(log.FindFirstByStep("s", "w", 1), nullptr);
+  LogRecordPtr survivor = log.FindFirstByStep("s", "w", 2);
+  ASSERT_TRUE(survivor != nullptr);
+  EXPECT_EQ(survivor->seqnum, r.seqnum + 2);
+  // A view handed out before the trim keeps the record alive independently of the store.
+  LogRecordPtr held = log.Get(r.seqnum + 2);
+  log.Trim(0, "s", kMaxSeqNum);
+  EXPECT_EQ(log.live_records(), 0u);
+  EXPECT_EQ(held->fields.GetInt("step"), 2);
 }
 
 TEST(LogSpaceTest, CommitListenerFiresPerAppend) {

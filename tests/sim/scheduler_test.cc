@@ -1,5 +1,7 @@
 #include "src/sim/scheduler.h"
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -102,6 +104,56 @@ TEST(SchedulerTest, ZeroDelayRunsAtCurrentTimeAfterQueuedPeers) {
   sched.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
   EXPECT_EQ(sched.Now(), 0);
+}
+
+TEST(SchedulerTest, EventsProcessedCountsBothEventVariants) {
+  Scheduler sched;
+  EXPECT_EQ(sched.events_processed(), 0u);
+  int fired = 0;
+  sched.Post(Milliseconds(1), [&] { ++fired; });      // Callback variant.
+  sched.Spawn([](Scheduler* s) -> Task<void> {        // Coroutine-resume variant.
+    co_await s->Delay(Milliseconds(2));
+  }(&sched));
+  sched.Run();
+  EXPECT_EQ(fired, 1);
+  // Spawn resumes the root once immediately plus once after the delay; the callback adds one.
+  EXPECT_EQ(sched.events_processed(), 3u);
+}
+
+TEST(SchedulerTest, PostAcceptsMoveOnlyCallables) {
+  Scheduler sched;
+  int value = 0;
+  auto token = std::make_unique<int>(42);  // Makes the lambda move-only.
+  sched.Post(Milliseconds(1), [&value, owned = std::move(token)] { value = *owned; });
+  sched.Run();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnership) {
+  int calls = 0;
+  InlineCallback a([&calls] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(a));
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+  InlineCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineCallbackTest, DestroysCapturesExactlyOnce) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineCallback cb([held = std::move(token)] { (void)held; });
+    EXPECT_FALSE(watch.expired());
+    InlineCallback moved(std::move(cb));
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
 }
 
 }  // namespace
