@@ -46,6 +46,9 @@ struct Env {
   int attempt = 0;
 
   // ---- Protocol state (Figures 5 and 7) ----
+  // Interned id of this instance's step-log tag, resolved once in InitSsf/InitChildSsf; every
+  // subsequent logged step reuses the id instead of re-hashing the instance-id string.
+  sharedlog::TagId step_tag = sharedlog::kInvalidTagId;
   sharedlog::SeqNum init_cursor_ts = 0;  // cursorTS acquired by Init; stable across attempts.
   sharedlog::SeqNum cursor_ts = 0;       // Advances with every logged operation.
   int64_t step = 0;                      // Operation counter (annotation in log records).
@@ -73,6 +76,14 @@ struct Env {
 
   sharedlog::LogClient& log() { return node->log(); }
   kvstore::KvClient& kv() { return node->kv(); }
+
+  // Interned id of `key`'s write-log tag ("k:<key>"). The two-part intern hashes the logical
+  // concatenation without building a string, so the steady state costs one hash of the key
+  // bytes and zero allocations. The id doubles as the object's handle in the versioned KV
+  // store (kvstore::ObjectId).
+  sharedlog::TagId WriteTag(const std::string& key) {
+    return log().tags().InternPrefixed(sharedlog::kWriteLogPrefix, key);
+  }
 
   // Crash site: throws SsfCrashed when the failure injector decides this attempt dies here.
   void MaybeCrash(const char* site) {

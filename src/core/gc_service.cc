@@ -10,7 +10,7 @@ namespace halfmoon::core {
 using sharedlog::LogRecord;
 using sharedlog::LogRecordPtr;
 using sharedlog::SeqNum;
-using sharedlog::Tag;
+using sharedlog::TagId;
 
 void GcService::Start() {
   cluster_->scheduler().Spawn(Loop());
@@ -32,8 +32,9 @@ void GcService::RunOnce() {
 
   SeqNum frontier = cluster_->RunningFrontier();
 
-  // (2) Per-object write logs and their versions.
-  for (const Tag& tag : log.StreamTagsWithPrefix("k:")) {
+  // (2) Per-object write logs and their versions. The write-log tag id doubles as the
+  // object's handle in the versioned store, so no key string is ever rebuilt here.
+  for (TagId tag : log.LiveTagsWithPrefix(sharedlog::kWriteLogPrefix)) {
     std::vector<LogRecordPtr> records = log.ReadStream(tag);
     // Mark the latest record below the frontier; everything before it is superseded.
     const LogRecord* marked = nullptr;
@@ -45,11 +46,10 @@ void GcService::RunOnce() {
       }
     }
     if (marked == nullptr) continue;
-    std::string key = tag.substr(2);  // Strip the "k:" prefix.
     for (const LogRecordPtr& record : records) {
       if (record->seqnum >= marked->seqnum) break;
       if (record->fields.Has("version") &&
-          kv.DeleteVersioned(now, key, record->fields.GetStr("version"))) {
+          kv.DeleteVersioned(now, tag, record->fields.GetStr("version"))) {
         ++stats_.versions_deleted;
       }
       ++stats_.write_records_trimmed;
@@ -59,17 +59,23 @@ void GcService::RunOnce() {
     }
   }
 
-  // (3) Step logs of finished workflows.
+  // (3) Step logs of finished workflows. Resolve without interning: an instance that never
+  // logged (e.g. unsafe protocol) has no step stream and no registry entry to create.
   for (const std::string& instance_id : cluster_->DrainStepLogTrimQueue()) {
-    log.Trim(now, sharedlog::StepLogTag(instance_id), sharedlog::kMaxSeqNum);
+    TagId step_tag = log.tags().Find(instance_id);
+    if (step_tag != sharedlog::kInvalidTagId) {
+      log.Trim(now, step_tag, sharedlog::kMaxSeqNum);
+    }
     ++stats_.step_logs_trimmed;
   }
 
-  // (4) The global init stream: records below the frontier belong to finished SSFs.
+  // (4) The global init stream: records below the frontier belong to finished SSFs. The
+  // completion bookkeeping of those SSFs is pruned with it, keeping tracking memory bounded.
   if (frontier > 0) {
-    log.Trim(now, sharedlog::InitLogTag(), frontier - 1);
+    log.Trim(now, sharedlog::kInitTagId, frontier - 1);
     ++stats_.init_records_trimmed;
   }
+  cluster_->PruneFinishedTracking();
 }
 
 }  // namespace halfmoon::core

@@ -12,7 +12,7 @@ using sharedlog::LogRecord;
 using sharedlog::LogRecordPtr;
 using sharedlog::LogSpace;
 using sharedlog::SeqNum;
-using sharedlog::Tag;
+using sharedlog::TagId;
 
 const LogRecord* PeekNextLog(Env& env) {
   if (env.log_pos < env.step_logs.size()) {
@@ -22,8 +22,7 @@ const LogRecord* PeekNextLog(Env& env) {
 }
 
 sim::Task<LogRecordPtr> FetchExisting(Env& env, SeqNum seqnum) {
-  LogRecordPtr record =
-      co_await env.log().ReadPrev(sharedlog::StepLogTag(env.instance_id), seqnum);
+  LogRecordPtr record = co_await env.log().ReadPrev(env.step_tag, seqnum);
   HM_CHECK_MSG(record != nullptr && record->seqnum == seqnum,
                "lost-race record vanished from the step log");
   co_return record;
@@ -44,7 +43,7 @@ void AdoptRecord(Env& env, LogRecordPtr record) {
 
 }  // namespace
 
-sim::Task<StepLogResult> LogStep(Env& env, std::vector<Tag> extra_tags, FieldMap fields) {
+sim::Task<StepLogResult> LogStep(Env& env, std::vector<TagId> extra_tags, FieldMap fields) {
   size_t pos = env.log_pos;
   if (const LogRecord* cached = PeekNextLog(env)) {
     HM_CHECK_MSG(cached->fields.GetStr("op") == fields.GetStr("op"),
@@ -54,15 +53,15 @@ sim::Task<StepLogResult> LogStep(Env& env, std::vector<Tag> extra_tags, FieldMap
     co_return StepLogResult{std::move(record), /*recovered=*/true};
   }
 
-  std::vector<Tag> tags;
+  std::vector<TagId> tags;
   tags.reserve(1 + extra_tags.size());
-  tags.push_back(sharedlog::StepLogTag(env.instance_id));
-  for (Tag& tag : extra_tags) tags.push_back(std::move(tag));
+  tags.push_back(env.step_tag);
+  for (TagId tag : extra_tags) tags.push_back(tag);
 
   // Only the op name survives the move below; it is all the lost-race check needs.
   std::string op = fields.GetStr("op");
-  CondAppendResult result = co_await env.log().CondAppend(
-      std::move(tags), std::move(fields), sharedlog::StepLogTag(env.instance_id), pos);
+  CondAppendResult result = co_await env.log().CondAppend(std::move(tags), std::move(fields),
+                                                          env.step_tag, pos);
   if (result.ok) {
     AdoptRecord(env, result.record);
     co_return StepLogResult{std::move(result.record), /*recovered=*/false};
@@ -96,7 +95,7 @@ sim::Task<BatchLogResult> LogStepBatch(Env& env, std::vector<FieldMap> fields) {
     co_return result;
   }
 
-  Tag step_tag = sharedlog::StepLogTag(env.instance_id);
+  TagId step_tag = env.step_tag;
   std::vector<std::string> ops;  // Survives the moves; feeds the lost-race sanity checks.
   ops.reserve(n);
   std::vector<LogSpace::BatchEntry> batch(n);
@@ -133,8 +132,10 @@ sim::Task<BatchLogResult> LogStepBatch(Env& env, std::vector<FieldMap> fields) {
 }
 
 sim::Task<void> InitSsf(Env& env, const Value& input) {
+  // Intern this instance's step-log tag once; every logged step reuses the id.
+  env.step_tag = env.log().tags().Intern(env.instance_id);
   // Retrieve the execution history (Figure 5, line 3).
-  env.step_logs = co_await env.log().ReadStream(sharedlog::StepLogTag(env.instance_id));
+  env.step_logs = co_await env.log().ReadStream(env.step_tag);
   env.log_pos = 0;
   env.step = 0;
   env.consecutive_writes = 0;
@@ -144,13 +145,17 @@ sim::Task<void> InitSsf(Env& env, const Value& input) {
   fields.SetInt("step", 0);
   fields.SetStr("instance", env.instance_id);
   StepLogResult init =
-      co_await LogStep(env, sharedlog::OneTag(sharedlog::InitLogTag()), std::move(fields));
+      co_await LogStep(env, sharedlog::OneTag(sharedlog::kInitTagId), std::move(fields));
   env.init_cursor_ts = init.record->seqnum;
+  // Feed the incremental GC/switch frontier. Idempotent across replays and peers: every
+  // attempt recovers the same init record, hence registers the same seqnum.
+  env.cluster->RegisterInitRecord(env.instance_id, init.record->seqnum);
 }
 
 sim::Task<void> InitChildSsf(Env& env, SeqNum inherited_cursor) {
   HM_CHECK(inherited_cursor != sharedlog::kInvalidSeqNum);
-  env.step_logs = co_await env.log().ReadStream(sharedlog::StepLogTag(env.instance_id));
+  env.step_tag = env.log().tags().Intern(env.instance_id);
+  env.step_logs = co_await env.log().ReadStream(env.step_tag);
   env.log_pos = 0;
   env.step = 0;
   env.consecutive_writes = 0;

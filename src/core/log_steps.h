@@ -34,7 +34,7 @@ const sharedlog::LogRecord* PeekNextLog(Env& env);
 
 // Logs one record at the next position (see file comment). `extra_tags` are added on top of
 // the instance's step-log tag.
-sim::Task<StepLogResult> LogStep(Env& env, std::vector<sharedlog::Tag> extra_tags,
+sim::Task<StepLogResult> LogStep(Env& env, std::vector<sharedlog::TagId> extra_tags,
                                  FieldMap fields);
 
 // Logs N records in one sequencer round at consecutive positions (scatter-gather workflows:

@@ -14,8 +14,7 @@ using kvstore::VersionTuple;
 using sharedlog::LogRecord;
 using sharedlog::LogRecordPtr;
 using sharedlog::SeqNum;
-using sharedlog::Tag;
-using sharedlog::WriteLogTag;
+using sharedlog::TagId;
 
 namespace {
 
@@ -46,7 +45,8 @@ sim::Task<Value> HalfmoonReadRead(Env& env, const std::string& key, bool post_sw
   }
   // Log-free read: locate the latest write at or before this SSF's cursorTS (Figure 5,
   // line 28). No log record is ever created here.
-  LogRecordPtr write_log = co_await env.log().ReadPrev(WriteLogTag(key), env.cursor_ts);
+  TagId write_tag = env.WriteTag(key);
+  LogRecordPtr write_log = co_await env.log().ReadPrev(write_tag, env.cursor_ts);
   if (write_log == nullptr) {
     // No committed write precedes the cursor: fall back to the LATEST slot (§5.2 treats it as
     // one more version); for objects never written at all this returns empty.
@@ -55,7 +55,7 @@ sim::Task<Value> HalfmoonReadRead(Env& env, const std::string& key, bool post_sw
     co_return latest.value_or(Value{});
   }
   std::optional<Value> value =
-      co_await env.kv().GetVersioned(key, write_log->fields.GetStr("version"));
+      co_await env.kv().GetVersioned(write_tag, write_log->fields.GetStr("version"));
   // Commit records are only visible after the version exists, and GC keeps every version a
   // running SSF might still read (§4.5) — a miss here is a protocol bug.
   HM_CHECK_MSG(value.has_value(), "Halfmoon-read: committed version missing from the store");
@@ -83,18 +83,19 @@ sim::Task<void> HalfmoonReadWrite(Env& env, const std::string& key, Value value)
   post_fields.SetStr("op", "write");
   post_fields.SetInt("step", env.step);
   post_fields.SetStr("version", version);
+  TagId write_tag = env.WriteTag(key);
   if (const LogRecord* cached = PeekNextLog(env);
       cached != nullptr && cached->fields.GetStr("op") == "write") {
-    co_await LogStep(env, sharedlog::OneTag(WriteLogTag(key)), std::move(post_fields));
+    co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
     co_return;
   }
 
   env.MaybeCrash("hmr.write.after_prelog");
   // Install (or idempotently re-install) the version pinned by the pre record.
-  co_await env.kv().PutVersioned(key, version, std::move(value));
+  co_await env.kv().PutVersioned(write_tag, version, std::move(value));
   env.MaybeCrash("hmr.write.after_db");
   // Commit: the record appears in the step log and in the object's write log.
-  co_await LogStep(env, sharedlog::OneTag(WriteLogTag(key)), std::move(post_fields));
+  co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
   env.MaybeCrash("hmr.write.after_log");
 }
 
@@ -181,12 +182,11 @@ sim::Task<Value> BokiRead(Env& env, const std::string& key) {
   fields.SetStr("op", "read");
   fields.SetInt("step", env.step);
   fields.SetStr("data", value);
-  SeqNum seqnum = co_await env.log().Append(sharedlog::OneTag(sharedlog::StepLogTag(env.instance_id)),
-                                            std::move(fields));
+  SeqNum seqnum = co_await env.log().Append(sharedlog::OneTag(env.step_tag), std::move(fields));
   // Boki's peer-race resolution: honor the first record logged for this step (§5.1). The
   // check rides on the append reply (auxiliary data), so it costs no extra round.
-  LogRecordPtr first = env.cluster->log_space().FindFirstByStep(
-      sharedlog::StepLogTag(env.instance_id), "read", env.step);
+  LogRecordPtr first =
+      env.cluster->log_space().FindFirstByStep(env.step_tag, "read", env.step);
   if (first != nullptr && first->seqnum != seqnum) {
     value = first->fields.GetStr("data");
   }
@@ -206,10 +206,10 @@ sim::Task<void> BokiWrite(Env& env, const std::string& key, Value value) {
     FieldMap pre_fields;
     pre_fields.SetStr("op", "write-pre");
     pre_fields.SetInt("step", env.step);
-    version_seq = co_await env.log().Append(sharedlog::OneTag(sharedlog::StepLogTag(env.instance_id)),
-                                            std::move(pre_fields));
-    LogRecordPtr first = env.cluster->log_space().FindFirstByStep(
-        sharedlog::StepLogTag(env.instance_id), "write-pre", env.step);
+    version_seq =
+        co_await env.log().Append(sharedlog::OneTag(env.step_tag), std::move(pre_fields));
+    LogRecordPtr first =
+        env.cluster->log_space().FindFirstByStep(env.step_tag, "write-pre", env.step);
     if (first != nullptr) version_seq = first->seqnum;
   }
 
@@ -226,8 +226,7 @@ sim::Task<void> BokiWrite(Env& env, const std::string& key, Value value) {
   FieldMap post_fields;
   post_fields.SetStr("op", "write");
   post_fields.SetInt("step", env.step);
-  co_await env.log().Append(sharedlog::OneTag(sharedlog::StepLogTag(env.instance_id)),
-                            std::move(post_fields));
+  co_await env.log().Append(sharedlog::OneTag(env.step_tag), std::move(post_fields));
   env.MaybeCrash("boki.write.after_log");
 }
 
@@ -257,11 +256,12 @@ sim::Task<Value> DualRead(Env& env, const std::string& key) {
   auto latest_handle =
       sim::SpawnJoinable(env.cluster->scheduler(), env.kv().GetWithVersion(key));
 
-  LogRecordPtr write_log = co_await env.log().ReadPrev(WriteLogTag(key), env.cursor_ts);
+  TagId write_tag = env.WriteTag(key);
+  LogRecordPtr write_log = co_await env.log().ReadPrev(write_tag, env.cursor_ts);
   std::optional<Value> versioned;
   SeqNum write_seq = 0;
   if (write_log != nullptr) {
-    versioned = co_await env.kv().GetVersioned(key, write_log->fields.GetStr("version"));
+    versioned = co_await env.kv().GetVersioned(write_tag, write_log->fields.GetStr("version"));
     HM_CHECK_MSG(versioned.has_value(), "DualRead: committed version missing from the store");
     write_seq = write_log->seqnum;
   }
@@ -323,20 +323,21 @@ sim::Task<void> TransitionalWrite(Env& env, const std::string& key, Value value)
   env.MaybeCrash("trans.write.before");
   co_await LogStep(env, sharedlog::NoTags(), std::move(pre_fields));
 
+  TagId write_tag = env.WriteTag(key);
   if (const LogRecord* cached = PeekNextLog(env);
       cached != nullptr && cached->fields.GetStr("op") == "write") {
     // Replay: both external effects (the version and the LATEST slot) already applied.
-    co_await LogStep(env, sharedlog::OneTag(WriteLogTag(key)), std::move(post_fields));
+    co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
     co_return;
   }
 
   // The write must be visible to SSFs on either protocol (§5.2, Figure 9): install the
   // multi-version copy and update the LATEST slot.
-  co_await env.kv().PutVersioned(key, version, value);
+  co_await env.kv().PutVersioned(write_tag, version, value);
   env.MaybeCrash("trans.write.after_version");
   co_await env.kv().CondPut(key, std::move(value), latest_version);
   env.MaybeCrash("trans.write.after_latest");
-  co_await LogStep(env, sharedlog::OneTag(WriteLogTag(key)), std::move(post_fields));
+  co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
   env.MaybeCrash("trans.write.after_log");
 }
 

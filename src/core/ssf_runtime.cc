@@ -231,7 +231,7 @@ class ContextImpl final : public SsfContext {
       std::vector<std::pair<std::string, Value>> calls) {
     Env& env = *env_;
     const size_t n = calls.size();
-    const sharedlog::Tag step_tag = sharedlog::StepLogTag(env.instance_id);
+    const sharedlog::TagId step_tag = env.step_tag;
 
     env.MaybeCrash("invoke_all.before");
     std::vector<int64_t> steps(n);
@@ -326,8 +326,8 @@ class ContextImpl final : public SsfContext {
         config.default_protocol == ProtocolKind::kBoki) {
       res.kind = config.default_protocol;
     } else {
-      LogRecordPtr record = co_await env_->log().ReadPrev(
-          sharedlog::TransitionLogTag(config.switch_scope), env_->init_cursor_ts);
+      LogRecordPtr record =
+          co_await env_->log().ReadPrev(runtime_->transition_tag(), env_->init_cursor_ts);
       if (record == nullptr) {
         res.kind = config.default_protocol;
       } else if (record->fields.GetStr("op") == "END") {
@@ -389,7 +389,7 @@ class ContextImpl final : public SsfContext {
   sim::Task<Value> InvokeBoki(std::string function, Value input) {
     Env& env = *env_;
     env.step += 1;
-    const sharedlog::Tag step_tag = sharedlog::StepLogTag(env.instance_id);
+    const sharedlog::TagId step_tag = env.step_tag;
 
     std::string callee;
     SeqNum pre_seq = sharedlog::kInvalidSeqNum;
@@ -602,12 +602,14 @@ void SsfRuntime::PopulateObject(const std::string& key, const Value& value) {
   if (!multi_version) return;
   // One multi-version copy plus its write-log commit record (Halfmoon-read path).
   std::string version = "seed:" + key;
-  cluster_->kv_state().PutVersioned(now, key, version, value);
+  sharedlog::TagId write_tag =
+      cluster_->log_space().tags().InternPrefixed(sharedlog::kWriteLogPrefix, key);
+  cluster_->kv_state().PutVersioned(now, write_tag, version, value);
   FieldMap fields;
   fields.SetStr("op", "write");
   fields.SetInt("step", 0);
   fields.SetStr("version", version);
-  cluster_->log_space().Append(now, {sharedlog::WriteLogTag(key)}, std::move(fields));
+  cluster_->log_space().Append(now, sharedlog::OneTag(write_tag), std::move(fields));
 }
 
 }  // namespace halfmoon::core

@@ -78,6 +78,16 @@ class SsfRuntime {
 
   runtime::Cluster& cluster() { return *cluster_; }
   const RuntimeConfig& config() const { return config_; }
+
+  // Interned id of the transition-log tag for the configured switch scope; resolved once per
+  // runtime so per-SSF protocol resolution never rebuilds the "switch:<scope>" string.
+  sharedlog::TagId transition_tag() {
+    if (transition_tag_ == sharedlog::kInvalidTagId) {
+      transition_tag_ = cluster_->log_space().tags().Intern(
+          sharedlog::TransitionLogTag(config_.switch_scope));
+    }
+    return transition_tag_;
+  }
   const RuntimeStats& stats() const { return stats_; }
 
   // Outstanding top-level invocations; benchmarks drain this before reading metrics.
@@ -121,6 +131,7 @@ class SsfRuntime {
   RuntimeStats stats_;
   sim::WaitGroup inflight_;
   uint64_t next_invocation_ = 0;
+  sharedlog::TagId transition_tag_ = sharedlog::kInvalidTagId;
 };
 
 }  // namespace halfmoon::core

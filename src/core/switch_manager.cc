@@ -15,13 +15,16 @@ sim::Task<SwitchReport> SwitchManager::SwitchTo(ProtocolKind target) {
 
   // The manager runs on node 0 (any node works; the transition log is globally visible).
   sharedlog::LogClient& log = cluster_->node(0).log();
+  if (transition_tag_ == sharedlog::kInvalidTagId) {
+    transition_tag_ = log.tags().Intern(sharedlog::TransitionLogTag(scope_));
+  }
 
   FieldMap begin_fields;
   begin_fields.SetStr("op", "BEGIN");
   begin_fields.SetInt("step", 0);
   begin_fields.SetInt("target", static_cast<int64_t>(target));
   report.begin_seqnum =
-      co_await log.Append(sharedlog::OneTag(sharedlog::TransitionLogTag(scope_)), std::move(begin_fields));
+      co_await log.Append(sharedlog::OneTag(transition_tag_), std::move(begin_fields));
   report.begin_time = cluster_->scheduler().Now();
 
   // Wait for every SSF that started before the BEGIN (initial cursorTS < begin_seqnum) to
@@ -36,7 +39,7 @@ sim::Task<SwitchReport> SwitchManager::SwitchTo(ProtocolKind target) {
   end_fields.SetInt("step", 0);
   end_fields.SetInt("target", static_cast<int64_t>(target));
   report.end_seqnum =
-      co_await log.Append(sharedlog::OneTag(sharedlog::TransitionLogTag(scope_)), std::move(end_fields));
+      co_await log.Append(sharedlog::OneTag(transition_tag_), std::move(end_fields));
   report.end_time = cluster_->scheduler().Now();
 
   history_.push_back(report);

@@ -42,6 +42,8 @@ class SwitchManager {
  private:
   runtime::Cluster* cluster_;
   std::string scope_;
+  // Interned id of the scope's transition-log tag; resolved on first switch.
+  sharedlog::TagId transition_tag_ = sharedlog::kInvalidTagId;
   bool in_progress_ = false;
   std::vector<SwitchReport> history_;
 };

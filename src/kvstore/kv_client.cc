@@ -92,7 +92,7 @@ sim::Task<bool> KvClient::CondPut(std::string key, Value value, VersionTuple ver
   co_return applied;
 }
 
-sim::Task<void> KvClient::PutVersioned(std::string key, std::string version_id, Value value) {
+sim::Task<void> KvClient::PutVersioned(ObjectId object, std::string version_id, Value value) {
   ++stats_.versioned_writes;
   SimDuration total = models_->db_plain_write.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
@@ -103,12 +103,11 @@ sim::Task<void> KvClient::PutVersioned(std::string key, std::string version_id, 
   } else {
     co_await scheduler_->Delay(service);
   }
-  state_->PutVersioned(scheduler_->Now(), std::move(key), std::move(version_id),
-                       std::move(value));
+  state_->PutVersioned(scheduler_->Now(), object, std::move(version_id), std::move(value));
   co_await scheduler_->Delay(leg);
 }
 
-sim::Task<std::optional<Value>> KvClient::GetVersioned(std::string key,
+sim::Task<std::optional<Value>> KvClient::GetVersioned(ObjectId object,
                                                        std::string version_id) {
   ++stats_.versioned_reads;
   SimDuration total = models_->db_read.Sample(*rng_);
@@ -120,16 +119,16 @@ sim::Task<std::optional<Value>> KvClient::GetVersioned(std::string key,
   } else {
     co_await scheduler_->Delay(service);
   }
-  std::optional<Value> value = state_->GetVersioned(key, version_id);
+  std::optional<Value> value = state_->GetVersioned(object, version_id);
   co_await scheduler_->Delay(leg);
   co_return value;
 }
 
-sim::Task<bool> KvClient::DeleteVersioned(std::string key, std::string version_id) {
+sim::Task<bool> KvClient::DeleteVersioned(ObjectId object, std::string version_id) {
   ++stats_.deletes;
   SimDuration total = models_->db_plain_write.Sample(*rng_);
   co_await Round(total);
-  co_return state_->DeleteVersioned(scheduler_->Now(), std::move(key), std::move(version_id));
+  co_return state_->DeleteVersioned(scheduler_->Now(), object, std::move(version_id));
 }
 
 }  // namespace halfmoon::kvstore

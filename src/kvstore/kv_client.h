@@ -44,9 +44,9 @@ class KvClient {
   sim::Task<void> Put(std::string key, Value value);
   sim::Task<bool> CondPut(std::string key, Value value, VersionTuple version);
 
-  sim::Task<void> PutVersioned(std::string key, std::string version_id, Value value);
-  sim::Task<std::optional<Value>> GetVersioned(std::string key, std::string version_id);
-  sim::Task<bool> DeleteVersioned(std::string key, std::string version_id);
+  sim::Task<void> PutVersioned(ObjectId object, std::string version_id, Value value);
+  sim::Task<std::optional<Value>> GetVersioned(ObjectId object, std::string version_id);
+  sim::Task<bool> DeleteVersioned(ObjectId object, std::string version_id);
 
   const KvClientStats& stats() const { return stats_; }
 

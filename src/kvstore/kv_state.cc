@@ -40,43 +40,43 @@ std::optional<VersionTuple> KvState::GetVersion(const std::string& key) const {
   return it->second.version;
 }
 
-void KvState::PutVersioned(SimTime now, const std::string& key, const std::string& version_id,
+void KvState::PutVersioned(SimTime now, ObjectId object, const std::string& version_id,
                            Value value) {
-  auto& versions = versioned_[key];
+  if (object >= versioned_.size()) versioned_.resize(object + 1);
+  auto& versions = versioned_[object];
+  if (versions.empty()) ++versioned_objects_;
   auto [it, inserted] = versions.try_emplace(version_id);
   if (!inserted) {
     // Idempotent re-write of the same version (a retried SSF re-creating the version it
     // already wrote): replace without double-accounting.
-    gauge_.Add(now, -VersionedEntryBytes(key, version_id, it->second));
+    gauge_.Add(now, -VersionedEntryBytes(version_id, it->second));
   }
-  gauge_.Add(now, VersionedEntryBytes(key, version_id, value));
+  gauge_.Add(now, VersionedEntryBytes(version_id, value));
   it->second = std::move(value);
 }
 
-std::optional<Value> KvState::GetVersioned(const std::string& key,
+std::optional<Value> KvState::GetVersioned(ObjectId object,
                                            const std::string& version_id) const {
-  auto it = versioned_.find(key);
-  if (it == versioned_.end()) return std::nullopt;
-  auto vit = it->second.find(version_id);
-  if (vit == it->second.end()) return std::nullopt;
+  if (object >= versioned_.size()) return std::nullopt;
+  const auto& versions = versioned_[object];
+  auto vit = versions.find(version_id);
+  if (vit == versions.end()) return std::nullopt;
   return vit->second;
 }
 
-bool KvState::DeleteVersioned(SimTime now, const std::string& key,
-                              const std::string& version_id) {
-  auto it = versioned_.find(key);
-  if (it == versioned_.end()) return false;
-  auto vit = it->second.find(version_id);
-  if (vit == it->second.end()) return false;
-  gauge_.Add(now, -VersionedEntryBytes(key, version_id, vit->second));
-  it->second.erase(vit);
-  if (it->second.empty()) versioned_.erase(it);
+bool KvState::DeleteVersioned(SimTime now, ObjectId object, const std::string& version_id) {
+  if (object >= versioned_.size()) return false;
+  auto& versions = versioned_[object];
+  auto vit = versions.find(version_id);
+  if (vit == versions.end()) return false;
+  gauge_.Add(now, -VersionedEntryBytes(version_id, vit->second));
+  versions.erase(vit);
+  if (versions.empty()) --versioned_objects_;
   return true;
 }
 
-size_t KvState::VersionCount(const std::string& key) const {
-  auto it = versioned_.find(key);
-  return it == versioned_.end() ? 0 : it->second.size();
+size_t KvState::VersionCount(ObjectId object) const {
+  return object < versioned_.size() ? versioned_[object].size() : 0;
 }
 
 }  // namespace halfmoon::kvstore

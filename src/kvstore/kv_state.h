@@ -19,12 +19,17 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/time.h"
 #include "src/common/value.h"
 #include "src/metrics/storage_sampler.h"
 
 namespace halfmoon::kvstore {
+
+// Handle of a multi-version object: the interned id of its write-log tag ("k:<key>").
+// Kept as a plain integer alias so the KV layer stays independent of the shared log.
+using ObjectId = uint64_t;
 
 // Version tuple for conditional updates: (cursorTS, consecutive-write counter), compared
 // lexicographically (§4.2). Fresh objects carry the zero version, smaller than any write.
@@ -55,18 +60,24 @@ class KvState {
   std::optional<VersionTuple> GetVersion(const std::string& key) const;
 
   // ---- Multi-version objects ----
+  //
+  // Versioned storage is keyed by the object's interned write-log tag id rather than its
+  // string key: the protocols already hold the TagId for "k:<key>" (they append the commit
+  // record under it), so the version index costs an integer hash per access and never
+  // re-hashes the key string.
 
-  void PutVersioned(SimTime now, const std::string& key, const std::string& version_id,
-                    Value value);
-  std::optional<Value> GetVersioned(const std::string& key,
-                                    const std::string& version_id) const;
-  bool DeleteVersioned(SimTime now, const std::string& key, const std::string& version_id);
-  size_t VersionCount(const std::string& key) const;
+  void PutVersioned(SimTime now, ObjectId object, const std::string& version_id, Value value);
+  std::optional<Value> GetVersioned(ObjectId object, const std::string& version_id) const;
+  bool DeleteVersioned(SimTime now, ObjectId object, const std::string& version_id);
+  size_t VersionCount(ObjectId object) const;
 
   int64_t CurrentBytes() const { return gauge_.CurrentBytes(); }
   metrics::StorageGauge& gauge() { return gauge_; }
 
   size_t key_count() const { return latest_.size(); }
+
+  // Objects currently holding at least one version (the flat index can be longer).
+  size_t versioned_object_count() const { return versioned_objects_; }
 
  private:
   struct LatestSlot {
@@ -77,14 +88,17 @@ class KvState {
   static int64_t LatestEntryBytes(const std::string& key, const Value& value) {
     return static_cast<int64_t>(key.size() + value.size() + sizeof(VersionTuple));
   }
-  static int64_t VersionedEntryBytes(const std::string& key, const std::string& version_id,
-                                     const Value& value) {
-    return static_cast<int64_t>(key.size() + version_id.size() + value.size());
+  static int64_t VersionedEntryBytes(const std::string& version_id, const Value& value) {
+    return static_cast<int64_t>(sizeof(ObjectId) + version_id.size() + value.size());
   }
 
   std::unordered_map<std::string, LatestSlot> latest_;
-  // key -> version_id -> value. Ordered inner map for deterministic iteration in tests/GC.
-  std::unordered_map<std::string, std::map<std::string, Value>> versioned_;
+  // object -> version_id -> value, indexed by ObjectId. Interned tag ids are dense, so the
+  // outer level is a flat vector (grown on first write to an object) instead of a hash map:
+  // a versioned access costs one bounds-checked index, no hashing at either level's outer
+  // step. Ordered inner map for deterministic iteration in tests/GC.
+  std::vector<std::map<std::string, Value>> versioned_;
+  size_t versioned_objects_ = 0;  // Objects currently holding at least one version.
   metrics::StorageGauge gauge_;
 };
 

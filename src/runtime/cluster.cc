@@ -1,5 +1,7 @@
 #include "src/runtime/cluster.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace halfmoon::runtime {
@@ -23,27 +25,102 @@ Cluster::Cluster(const ClusterConfig& config)
 
   // Index propagation: every committed seqnum reaches each function node's index replica
   // after a sampled delay, enabling the cheap local logReadPrev path (§4.1).
-  log_space_.SetCommitListener([this](sharedlog::SeqNum seqnum) {
-    SimDuration delay = models_.index_propagation.Sample(rng_);
+  log_space_.SetCommitListener([this](sharedlog::SeqNum seqnum) { OnCommit(seqnum); });
+}
+
+void Cluster::OnCommit(sharedlog::SeqNum seqnum) {
+  ++index_propagation_commits_;
+  // The delay is sampled before branching on the mode, so coalesced and per-commit runs draw
+  // the identical rng sequence — a prerequisite for bit-identical simulations.
+  SimDuration delay = models_.index_propagation.Sample(rng_);
+  if (!config_.coalesce_index_propagation) {
+    // Reference mode: one scheduler event per committed seqnum.
+    ++index_propagation_ticks_;
     scheduler_.Post(delay, [this, seqnum] {
       for (auto& node : nodes_) {
         node->log().AdvanceIndex(seqnum);
       }
     });
-  });
+    return;
+  }
+  SimTime arrival = scheduler_.Now() + delay;
+  // This commit carries the largest seqnum so far (commits arrive in seqnum order). Any
+  // pending arrival at or after `arrival` is now redundant: by the time it would fire, every
+  // replica already sits at this larger seqnum, and AdvanceIndex is a monotonic max. Dropping
+  // the dominated suffix keeps the deque strictly increasing in (arrival, seqnum) and is
+  // where the coalescing happens — a burst of commits whose arrivals land out of order
+  // collapses to a single surviving delivery.
+  while (!pending_index_.empty() && pending_index_.back().first >= arrival) {
+    pending_index_.pop_back();
+  }
+  pending_index_.emplace_back(arrival, seqnum);
+  // Keep the invariant: a wake-up exists at exactly the earliest pending arrival. Only
+  // schedule when this arrival becomes the new earliest; otherwise the existing wake-up
+  // covers it (the tick re-arms for whatever remains).
+  if (arrival < index_wakeup_) {
+    index_wakeup_ = arrival;
+    scheduler_.Post(delay, [this] { IndexPropagationTick(); });
+  }
 }
 
-sharedlog::SeqNum Cluster::RunningFrontier() const {
-  // Scan the (prefix-trimmed) global init stream: the first init record belonging to an
-  // instance that has not finished bounds the frontier.
-  std::vector<sharedlog::LogRecordPtr> inits = log_space_.ReadStream(sharedlog::InitLogTag());
-  for (const sharedlog::LogRecordPtr& record : inits) {
-    const std::string& instance_id = record->fields.GetStr("instance");
-    if (finished_instances_.count(instance_id) == 0) {
-      return record->seqnum;
+void Cluster::IndexPropagationTick() {
+  SimTime now = scheduler_.Now();
+  sharedlog::SeqNum advance = 0;
+  // The deque is increasing in both fields, so the due prefix's last seqnum is its largest.
+  while (!pending_index_.empty() && pending_index_.front().first <= now) {
+    advance = pending_index_.front().second;
+    pending_index_.pop_front();
+  }
+  if (advance > 0) {
+    // One pass over the nodes no matter how many commits arrived in this window: AdvanceIndex
+    // is a monotonic max, so advancing straight to the largest arrived seqnum is equivalent
+    // to replaying the arrivals one by one.
+    ++index_propagation_ticks_;
+    for (auto& node : nodes_) {
+      node->log().AdvanceIndex(advance);
     }
   }
-  return log_space_.next_seqnum();
+  if (index_wakeup_ <= now) index_wakeup_ = kNoWakeup;  // This was the armed wake-up.
+  if (pending_index_.empty()) return;
+  SimTime next = pending_index_.front().first;
+  if (next < index_wakeup_) {
+    index_wakeup_ = next;
+    scheduler_.Post(next - now, [this] { IndexPropagationTick(); });
+  }
+}
+
+void Cluster::RegisterInitRecord(const std::string& instance_id,
+                                 sharedlog::SeqNum init_seqnum) {
+  // A replayed Init (or a peer recovering the same init record) re-registers after the
+  // instance finished only if the finish marker still exists; post-prune the workflow can
+  // have no live attempts left, so a registration after pruning cannot occur.
+  if (finished_instances_.count(instance_id) > 0) return;
+  auto [it, inserted] = init_seqnums_.emplace(instance_id, init_seqnum);
+  if (!inserted) return;  // First registration wins; replays see the same seqnum anyway.
+  unfinished_inits_.insert(init_seqnum);
+}
+
+void Cluster::MarkInstanceFinished(const std::string& instance_id) {
+  if (!finished_instances_.insert(instance_id).second) return;
+  auto it = init_seqnums_.find(instance_id);
+  if (it != init_seqnums_.end()) {
+    unfinished_inits_.erase(it->second);
+    finished_by_init_.emplace(it->second, instance_id);
+  } else {
+    // No init record tracked (e.g. protocols that never append one): prunable immediately —
+    // keyed at seqnum 0, below every possible frontier.
+    finished_by_init_.emplace(0, instance_id);
+  }
+}
+
+void Cluster::PruneFinishedTracking() {
+  sharedlog::SeqNum frontier = RunningFrontier();
+  while (!finished_by_init_.empty() && finished_by_init_.begin()->first < frontier) {
+    const std::string& instance_id = finished_by_init_.begin()->second;
+    init_seqnums_.erase(instance_id);
+    finished_instances_.erase(instance_id);
+    finished_by_init_.erase(finished_by_init_.begin());
+  }
 }
 
 int64_t Cluster::TotalLogAppends() const {

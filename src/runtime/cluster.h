@@ -9,9 +9,15 @@
 #define HALFMOON_RUNTIME_CLUSTER_H_
 
 #include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/latency_model.h"
@@ -41,6 +47,13 @@ struct ClusterConfig {
 
   // Disable to run microbenchmarks without queueing effects.
   bool model_queueing = true;
+
+  // Coalesce index propagation: commit arrivals within a propagation window are drained by a
+  // single wake-up event that advances every node's index replica to the largest arrived
+  // seqnum, instead of one scheduler event per committed record. Each node still observes
+  // every propagated seqnum at exactly its sampled arrival time, so simulation results are
+  // bit-identical to the per-commit reference mode (kept for the determinism tests).
+  bool coalesce_index_propagation = true;
 
   uint64_t seed = 1;
   LatencyCalibration calibration;
@@ -97,14 +110,32 @@ class Cluster {
 
   // ---- Completion bookkeeping (feeds GC condition (b) of §4.5 and the §4.7 switch wait) ----
 
+  // Records that `instance_id`'s Init record landed at `init_seqnum` on the global init
+  // stream. Called by InitSsf at init-append time (idempotent across replays: the first
+  // registration wins, and peers recovering the same init record register the same seqnum).
+  // This feeds the incremental frontier: the set of *unfinished* init seqnums is maintained
+  // here and shrunk in MarkInstanceFinished, so RunningFrontier() is O(1).
+  void RegisterInitRecord(const std::string& instance_id, sharedlog::SeqNum init_seqnum);
+
   // Marks an invocation (instance ID) as fully finished: result delivered and no live peers.
   // Feeds the running-SSF frontier used by GC and switching.
-  void MarkInstanceFinished(const std::string& instance_id) {
-    finished_instances_.insert(instance_id);
-  }
+  void MarkInstanceFinished(const std::string& instance_id);
 
   bool IsInstanceFinished(const std::string& instance_id) const {
     return finished_instances_.count(instance_id) > 0;
+  }
+
+  // Drops tracking state (finished marker + init seqnum) of every finished instance whose
+  // init record lies strictly below the frontier: nothing can query it anymore — the GC trims
+  // its init record in the same pass, and no new attempt of a finished workflow is ever
+  // started. Called by the GC scan; keeps completion bookkeeping bounded by the set of
+  // instances that started or finished since the previous scan instead of growing forever.
+  void PruneFinishedTracking();
+
+  // Instances currently tracked by the completion bookkeeping (unfinished + finished but not
+  // yet pruned). Tests assert this stays bounded under churn.
+  size_t live_tracking_entries() const {
+    return init_seqnums_.size() + finished_instances_.size();
   }
 
   // Queues an instance's step log for trimming. Called only once the instance's *workflow
@@ -121,8 +152,17 @@ class Cluster {
   }
 
   // The GC/switch frontier: the largest seqnum t such that every SSF whose init record has
-  // seqnum < t has finished. Derived by scanning the global init stream, as in §4.7.
-  sharedlog::SeqNum RunningFrontier() const;
+  // seqnum < t has finished (§4.7). O(1): the smallest unfinished init seqnum is maintained
+  // incrementally at init-append and instance-finish time instead of scanning the init stream.
+  sharedlog::SeqNum RunningFrontier() const {
+    return unfinished_inits_.empty() ? log_space_.next_seqnum() : *unfinished_inits_.begin();
+  }
+
+  // Number of index-propagation wake-up events that performed an advance, and the number of
+  // commit notifications they covered. Their ratio measures how much event-queue pressure
+  // propagation coalescing removes (the reference mode schedules one event per commit).
+  int64_t index_propagation_ticks() const { return index_propagation_ticks_; }
+  int64_t index_propagation_commits() const { return index_propagation_commits_; }
 
   // Aggregate logging statistics across all function nodes.
   int64_t TotalLogAppends() const;
@@ -150,9 +190,35 @@ class Cluster {
   std::vector<std::unique_ptr<FunctionNode>> nodes_;
   size_t next_node_ = 0;
 
+  void OnCommit(sharedlog::SeqNum seqnum);
+  void IndexPropagationTick();
+
+  static constexpr SimTime kNoWakeup = std::numeric_limits<SimTime>::max();
+
   FailureInjector injector_;
-  std::set<std::string> finished_instances_;
+
+  // Completion bookkeeping. All four containers are pruned together in
+  // PruneFinishedTracking once the frontier passes an instance's init record.
+  std::unordered_set<std::string> finished_instances_;
+  std::unordered_map<std::string, sharedlog::SeqNum> init_seqnums_;
+  std::set<sharedlog::SeqNum> unfinished_inits_;  // Ordered: begin() is the frontier bound.
+  // Finished instances awaiting prune, keyed by init seqnum (0 = no init record tracked).
+  std::multimap<sharedlog::SeqNum, std::string> finished_by_init_;
+
   std::vector<std::string> trim_queue_;
+
+  // Pending index-propagation arrivals (arrival time, committed seqnum), strictly increasing
+  // in both fields. Commits enter in seqnum order; an older commit whose sampled arrival is
+  // not earlier than a newer commit's arrival is dropped on entry — the newer, larger seqnum
+  // reaches every replica first and AdvanceIndex is a monotonic max, so delivering the older
+  // one later would be a no-op. What survives is the Pareto frontier of (arrival, seqnum),
+  // which is why one wake-up can cover a whole burst of commits. Invariant: whenever the
+  // deque is non-empty, a wake-up is scheduled at exactly the front arrival time, so every
+  // surviving arrival is processed at its sampled time — never early, never late.
+  std::deque<std::pair<SimTime, sharedlog::SeqNum>> pending_index_;
+  SimTime index_wakeup_ = kNoWakeup;
+  int64_t index_propagation_ticks_ = 0;
+  int64_t index_propagation_commits_ = 0;
 };
 
 }  // namespace halfmoon::runtime

@@ -31,7 +31,7 @@ sim::Task<void> LogClient::StorageRound(SimDuration total_latency) {
   }
 }
 
-sim::Task<SeqNum> LogClient::Append(std::vector<Tag> tags, FieldMap fields) {
+sim::Task<SeqNum> LogClient::Append(std::vector<TagId> tags, FieldMap fields) {
   ++stats_.appends;
   SimDuration total = models_->log_append.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
@@ -43,8 +43,8 @@ sim::Task<SeqNum> LogClient::Append(std::vector<Tag> tags, FieldMap fields) {
   co_return seqnum;
 }
 
-sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<Tag> tags, FieldMap fields,
-                                                  Tag cond_tag, size_t cond_pos) {
+sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<TagId> tags, FieldMap fields,
+                                                  TagId cond_tag, size_t cond_pos) {
   ++stats_.cond_appends;
   SimDuration total = models_->log_append.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
@@ -63,7 +63,7 @@ sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<Tag> tags, FieldMa
 }
 
 sim::Task<CondAppendResult> LogClient::CondAppendBatch(std::vector<LogSpace::BatchEntry> batch,
-                                                       Tag cond_tag, size_t cond_pos) {
+                                                       TagId cond_tag, size_t cond_pos) {
   stats_.cond_appends += static_cast<int64_t>(batch.size());
   SimDuration total = models_->log_append.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
@@ -93,14 +93,14 @@ sim::Task<SeqNum> LogClient::AppendBatch(std::vector<LogSpace::BatchEntry> batch
   co_return first;
 }
 
-sim::Task<LogRecordPtr> LogClient::FindFirstByStep(Tag tag, std::string op, int64_t step) {
+sim::Task<LogRecordPtr> LogClient::FindFirstByStep(TagId tag, std::string op, int64_t step) {
   co_await scheduler_->Delay(models_->log_read_cached.Sample(*rng_));
   LogRecordPtr record = space_->FindFirstByStep(tag, op, step);
   if (record != nullptr) ++stats_.read_record_shared;
   co_return record;
 }
 
-sim::Task<LogRecordPtr> LogClient::ReadPrev(Tag tag, SeqNum max_seqnum) {
+sim::Task<LogRecordPtr> LogClient::ReadPrev(TagId tag, SeqNum max_seqnum) {
   if (indexed_upto_ >= max_seqnum) {
     // The local index replica provably covers the requested prefix: serve locally.
     ++stats_.read_prev_cached;
@@ -122,7 +122,7 @@ sim::Task<LogRecordPtr> LogClient::ReadPrev(Tag tag, SeqNum max_seqnum) {
   co_return record;
 }
 
-sim::Task<LogRecordPtr> LogClient::ReadNext(Tag tag, SeqNum min_seqnum) {
+sim::Task<LogRecordPtr> LogClient::ReadNext(TagId tag, SeqNum min_seqnum) {
   ++stats_.read_next;
   SimDuration total = models_->log_read_uncached.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
@@ -134,7 +134,7 @@ sim::Task<LogRecordPtr> LogClient::ReadNext(Tag tag, SeqNum min_seqnum) {
   co_return record;
 }
 
-sim::Task<std::vector<LogRecordPtr>> LogClient::ReadStream(Tag tag) {
+sim::Task<std::vector<LogRecordPtr>> LogClient::ReadStream(TagId tag) {
   ++stats_.stream_reads;
   // Served from the node-local index replica, which is complete up to indexed_upto_ (Boki
   // replicates the index to every function node; only record payloads live on storage).
@@ -146,7 +146,7 @@ sim::Task<std::vector<LogRecordPtr>> LogClient::ReadStream(Tag tag) {
   co_return records;
 }
 
-sim::Task<void> LogClient::Trim(Tag tag, SeqNum upto) {
+sim::Task<void> LogClient::Trim(TagId tag, SeqNum upto) {
   ++stats_.trims;
   SimDuration total = models_->log_read_uncached.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);

@@ -11,6 +11,8 @@
 #define HALFMOON_SHAREDLOG_LOG_CLIENT_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/latency_model.h"
@@ -54,18 +56,21 @@ class LogClient {
         sequencer_station_(sequencer_station),
         storage_station_(storage_station) {}
 
+  // The log's tag interner (shared across all clients of the same LogSpace).
+  TagRegistry& tags() { return space_->tags(); }
+
   // logAppend: returns the record's seqnum. The record commits mid-flight (after the request
   // leg), so other nodes can observe it before the reply reaches the caller.
-  sim::Task<SeqNum> Append(std::vector<Tag> tags, FieldMap fields);
+  sim::Task<SeqNum> Append(std::vector<TagId> tags, FieldMap fields);
 
   // logCondAppend (§5.1).
-  sim::Task<CondAppendResult> CondAppend(std::vector<Tag> tags, FieldMap fields, Tag cond_tag,
-                                         size_t cond_pos);
+  sim::Task<CondAppendResult> CondAppend(std::vector<TagId> tags, FieldMap fields,
+                                         TagId cond_tag, size_t cond_pos);
 
   // Conditionally appends several records in one sequencer round (Boki's batched append).
   // Costs a single append latency; the records receive consecutive seqnums.
   sim::Task<CondAppendResult> CondAppendBatch(std::vector<LogSpace::BatchEntry> batch,
-                                              Tag cond_tag, size_t cond_pos);
+                                              TagId cond_tag, size_t cond_pos);
 
   // Unconditional batched append (one round, consecutive seqnums); returns the first seqnum.
   sim::Task<SeqNum> AppendBatch(std::vector<LogSpace::BatchEntry> batch);
@@ -73,18 +78,45 @@ class LogClient {
   // Boki-style conflict resolution: the first record logged for (op, step) in `tag` wins.
   // Served against the local index replica at cache cost; used immediately after an append,
   // when the replica provably covers the appended seqnum.
-  sim::Task<LogRecordPtr> FindFirstByStep(Tag tag, std::string op, int64_t step);
+  sim::Task<LogRecordPtr> FindFirstByStep(TagId tag, std::string op, int64_t step);
 
   // logReadPrev / logReadNext. Return shared views of the committed records (null when no
   // record qualifies); the log's copy is never duplicated.
-  sim::Task<LogRecordPtr> ReadPrev(Tag tag, SeqNum max_seqnum);
-  sim::Task<LogRecordPtr> ReadNext(Tag tag, SeqNum min_seqnum);
+  sim::Task<LogRecordPtr> ReadPrev(TagId tag, SeqNum max_seqnum);
+  sim::Task<LogRecordPtr> ReadNext(TagId tag, SeqNum min_seqnum);
 
   // Fetches a whole sub-stream as shared views (step-log retrieval in Init).
-  sim::Task<std::vector<LogRecordPtr>> ReadStream(Tag tag);
+  sim::Task<std::vector<LogRecordPtr>> ReadStream(TagId tag);
 
   // logTrim.
-  sim::Task<void> Trim(Tag tag, SeqNum upto);
+  sim::Task<void> Trim(TagId tag, SeqNum upto);
+
+  // ---- Name-based convenience entry points (tests, microbenches) ----
+  // Writes intern the names; reads resolve without interning. These are thin forwarders,
+  // so latency modelling and stats are identical to the TagId path.
+  sim::Task<SeqNum> Append(std::vector<std::string> tag_names, FieldMap fields) {
+    return Append(InternAll(std::move(tag_names)), std::move(fields));
+  }
+  sim::Task<CondAppendResult> CondAppend(std::vector<std::string> tag_names, FieldMap fields,
+                                         std::string_view cond_tag, size_t cond_pos) {
+    return CondAppend(InternAll(std::move(tag_names)), std::move(fields),
+                      tags().Intern(cond_tag), cond_pos);
+  }
+  sim::Task<LogRecordPtr> FindFirstByStep(std::string_view tag, std::string op, int64_t step) {
+    return FindFirstByStep(tags().Find(tag), std::move(op), step);
+  }
+  sim::Task<LogRecordPtr> ReadPrev(std::string_view tag, SeqNum max_seqnum) {
+    return ReadPrev(tags().Find(tag), max_seqnum);
+  }
+  sim::Task<LogRecordPtr> ReadNext(std::string_view tag, SeqNum min_seqnum) {
+    return ReadNext(tags().Find(tag), min_seqnum);
+  }
+  sim::Task<std::vector<LogRecordPtr>> ReadStream(std::string_view tag) {
+    return ReadStream(tags().Find(tag));
+  }
+  sim::Task<void> Trim(std::string_view tag, SeqNum upto) {
+    return Trim(tags().Find(tag), upto);
+  }
 
   // Called by the cluster's propagation machinery when this node's index replica catches up
   // to `seqnum`.
@@ -97,6 +129,13 @@ class LogClient {
   LogClientStats& mutable_stats() { return stats_; }
 
  private:
+  std::vector<TagId> InternAll(std::vector<std::string> names) {
+    std::vector<TagId> ids;
+    ids.reserve(names.size());
+    for (const std::string& name : names) ids.push_back(tags().Intern(name));
+    return ids;
+  }
+
   sim::Task<void> SequencerRound(SimDuration total_latency);
   sim::Task<void> StorageRound(SimDuration total_latency);
 

@@ -6,6 +6,11 @@
 //   * step logs      — tag = the SSF's instance ID; the function's execution history,
 //   * write logs     — tag = "k:<key>"; per-object commit points under Halfmoon-read,
 //   * transition log — tag = "switch:<scope>"; protocol switching history (§4.7).
+//
+// Tags are interned: the string name of a sub-stream is resolved to a dense 64-bit TagId
+// exactly once (see tag_registry.h), and everything on the append/read/trim path — records,
+// stream indices, KV version-index keys — carries the integer id. String names survive only
+// at the edges: interning, prefix scans, and human-readable output.
 
 #ifndef HALFMOON_SHAREDLOG_LOG_RECORD_H_
 #define HALFMOON_SHAREDLOG_LOG_RECORD_H_
@@ -14,38 +19,62 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/value.h"
 
 namespace halfmoon::sharedlog {
 
-using Tag = std::string;
+// Dense interned id of a tag name; assigned by TagRegistry in interning order.
+using TagId = uint64_t;
 using SeqNum = uint64_t;
+
+inline constexpr TagId kInvalidTagId = std::numeric_limits<TagId>::max();
+// LogSpace pre-interns the two global streams so their ids are fixed constants.
+inline constexpr TagId kInitTagId = 0;    // "ssf.init" (§4.7 "scans the init log records")
+inline constexpr TagId kFinishTagId = 1;  // "ssf.finish" (GC condition (b) of §4.5)
 
 inline constexpr SeqNum kInvalidSeqNum = std::numeric_limits<SeqNum>::max();
 inline constexpr SeqNum kMaxSeqNum = std::numeric_limits<SeqNum>::max() - 1;
 
-// Tag constructors, so all modules agree on sub-stream naming.
-inline Tag StepLogTag(const std::string& instance_id) { return instance_id; }
-inline Tag WriteLogTag(const std::string& key) { return "k:" + key; }
-inline Tag TransitionLogTag(const std::string& scope) { return "switch:" + scope; }
+// Tag *name* constructors, so all modules agree on sub-stream naming. These build strings and
+// belong on cold paths only (interning, tests, display); steady-state code caches the TagId or
+// uses TagRegistry::InternPrefixed to avoid the concatenation.
+inline std::string StepLogTag(const std::string& instance_id) { return instance_id; }
+inline std::string WriteLogTag(const std::string& key) { return "k:" + key; }
+inline std::string TransitionLogTag(const std::string& scope) { return "switch:" + scope; }
+inline constexpr std::string_view kWriteLogPrefix = "k:";
+inline constexpr std::string_view kTransitionLogPrefix = "switch:";
 // Every Init record is also tagged into one global stream so the switch manager and the GC can
 // enumerate running SSFs (§4.7 "scans the init log records").
-inline Tag InitLogTag() { return "ssf.init"; }
+inline std::string InitLogTag() { return "ssf.init"; }
 // Global stream of SSF completion markers, used by GC condition (b) of §4.5.
-inline Tag FinishLogTag() { return "ssf.finish"; }
+inline std::string FinishLogTag() { return "ssf.finish"; }
 
 // Tag-vector helpers. Braced-init-list arguments to coroutines miscompile on GCC 12
 // (PR c++/102489 family), so call sites build tag vectors through these instead.
-inline std::vector<Tag> NoTags() { return {}; }
-inline std::vector<Tag> OneTag(Tag t) {
-  std::vector<Tag> v;
-  v.push_back(std::move(t));
+// The TagId overloads are the hot-path spelling; the string overloads feed the name-based
+// convenience entry points of LogSpace/LogClient (tests and cold bootstrap code).
+inline std::vector<TagId> NoTags() { return {}; }
+inline std::vector<TagId> OneTag(TagId t) {
+  std::vector<TagId> v;
+  v.push_back(t);
   return v;
 }
-inline std::vector<Tag> TwoTags(Tag a, Tag b) {
-  std::vector<Tag> v;
+inline std::vector<TagId> TwoTags(TagId a, TagId b) {
+  std::vector<TagId> v;
+  v.push_back(a);
+  v.push_back(b);
+  return v;
+}
+inline std::vector<std::string> OneTag(std::string name) {
+  std::vector<std::string> v;
+  v.push_back(std::move(name));
+  return v;
+}
+inline std::vector<std::string> TwoTags(std::string a, std::string b) {
+  std::vector<std::string> v;
   v.push_back(std::move(a));
   v.push_back(std::move(b));
   return v;
@@ -53,13 +82,21 @@ inline std::vector<Tag> TwoTags(Tag a, Tag b) {
 
 struct LogRecord {
   SeqNum seqnum = kInvalidSeqNum;
-  std::vector<Tag> tags;
+  std::vector<TagId> tags;
   FieldMap fields;
 
-  // Approximate serialized size: header + tags + payload.
+  bool HasTag(TagId t) const {
+    for (TagId tag : tags) {
+      if (tag == t) return true;
+    }
+    return false;
+  }
+
+  // Approximate serialized size: header + tags + payload. Interned tags serialize as fixed
+  // 64-bit ids rather than variable-length names.
   size_t ByteSize() const {
     size_t total = sizeof(SeqNum) + 8;  // Header overhead.
-    for (const Tag& tag : tags) total += tag.size();
+    total += tags.size() * sizeof(TagId);
     total += fields.ByteSize();
     return total;
   }

@@ -8,7 +8,19 @@
 
 namespace halfmoon::sharedlog {
 
-SeqNum LogSpace::Append(SimTime now, std::vector<Tag> tags, FieldMap fields) {
+LogSpace::LogSpace() {
+  // Pre-intern the two global streams so their ids are compile-time constants everywhere.
+  HM_CHECK(tags_.Intern(InitLogTag()) == kInitTagId);
+  HM_CHECK(tags_.Intern(FinishLogTag()) == kFinishTagId);
+}
+
+LogSpace::TagStream& LogSpace::StreamFor(TagId tag) {
+  HM_CHECK_MSG(tags_.Contains(tag), "LogSpace: tag id was never interned");
+  if (tag >= streams_.size()) streams_.resize(tag + 1);
+  return streams_[tag];
+}
+
+SeqNum LogSpace::Append(SimTime now, std::vector<TagId> tags, FieldMap fields) {
   HM_CHECK_MSG(!tags.empty(), "log records must carry at least one tag");
   SeqNum seqnum = next_seqnum_++;
 
@@ -20,9 +32,9 @@ SeqNum LogSpace::Append(SimTime now, std::vector<Tag> tags, FieldMap fields) {
   StoredRecord stored;
   stored.live_tag_refs = static_cast<int>(record->tags.size());
   gauge_.Add(now, static_cast<int64_t>(record->ByteSize()));
-  for (const Tag& tag : record->tags) {
-    TagStream& stream = streams_[tag];
-    if (stream.seqnums.empty()) live_tags_.insert(tag);
+  for (TagId tag : record->tags) {
+    TagStream& stream = StreamFor(tag);
+    if (stream.seqnums.empty()) live_tags_.emplace(std::string_view(tags_.Name(tag)), tag);
     stream.seqnums.push_back(seqnum);
   }
   stored.record = std::move(record);
@@ -32,15 +44,15 @@ SeqNum LogSpace::Append(SimTime now, std::vector<Tag> tags, FieldMap fields) {
   return seqnum;
 }
 
-CondAppendResult LogSpace::CondAppend(SimTime now, std::vector<Tag> tags, FieldMap fields,
-                                      const Tag& cond_tag, size_t cond_pos) {
+CondAppendResult LogSpace::CondAppend(SimTime now, std::vector<TagId> tags, FieldMap fields,
+                                      TagId cond_tag, size_t cond_pos) {
   // The conditional tag must be among the record's tags, otherwise the offset check is
   // meaningless (the new record would never appear in the conditional stream).
   HM_CHECK_MSG(std::find(tags.begin(), tags.end(), cond_tag) != tags.end(),
                "logCondAppend: cond_tag must be one of the record's tags");
 
   CondAppendResult result;
-  TagStream& stream = streams_[cond_tag];
+  TagStream& stream = StreamFor(cond_tag);
   if (stream.length() != cond_pos) {
     // Conflict: some peer already appended at (or past) the expected offset. Report the record
     // occupying that offset so the caller can recover its peer's state. Unlike the description
@@ -66,10 +78,10 @@ CondAppendResult LogSpace::CondAppend(SimTime now, std::vector<Tag> tags, FieldM
 }
 
 CondAppendResult LogSpace::CondAppendBatch(SimTime now, std::vector<BatchEntry> batch,
-                                           const Tag& cond_tag, size_t cond_pos) {
+                                           TagId cond_tag, size_t cond_pos) {
   HM_CHECK(!batch.empty());
   CondAppendResult result;
-  TagStream& stream = streams_[cond_tag];
+  TagStream& stream = StreamFor(cond_tag);
   if (stream.length() != cond_pos) {
     HM_CHECK_MSG(cond_pos < stream.length(),
                  "CondAppendBatch: expected offset beyond stream end (missed a step?)");
@@ -105,11 +117,10 @@ SeqNum LogSpace::AppendBatch(SimTime now, std::vector<BatchEntry> batch) {
 
 LogRecordPtr LogSpace::Get(SeqNum seqnum) const { return LookupLive(seqnum); }
 
-LogRecordPtr LogSpace::FindFirstByStep(const Tag& tag, const std::string& op,
-                                       int64_t step) const {
-  auto it = streams_.find(tag);
-  if (it == streams_.end()) return nullptr;
-  for (SeqNum seqnum : it->second.seqnums) {
+LogRecordPtr LogSpace::FindFirstByStep(TagId tag, const std::string& op, int64_t step) const {
+  const TagStream* stream = FindStream(tag);
+  if (stream == nullptr) return nullptr;
+  for (SeqNum seqnum : stream->seqnums) {
     LogRecordPtr record = LookupLive(seqnum);
     if (record == nullptr) continue;
     if (record->fields.GetStr("op") == op && record->fields.GetInt("step") == step) {
@@ -119,15 +130,24 @@ LogRecordPtr LogSpace::FindFirstByStep(const Tag& tag, const std::string& op,
   return nullptr;
 }
 
-std::vector<Tag> LogSpace::StreamTagsWithPrefix(const std::string& prefix) const {
-  std::vector<Tag> tags;
-  // live_tags_ is ordered, so all matches form one contiguous range starting at the first
-  // tag >= prefix; results come out sorted for free.
+std::vector<TagId> LogSpace::LiveTagsWithPrefix(std::string_view prefix) const {
+  std::vector<TagId> out;
+  // live_tags_ is name-ordered, so all matches form one contiguous range starting at the
+  // first name >= prefix; results come out in name order for free.
   for (auto it = live_tags_.lower_bound(prefix); it != live_tags_.end(); ++it) {
-    if (it->compare(0, prefix.size(), prefix) != 0) break;
-    tags.push_back(*it);
+    if (it->first.substr(0, prefix.size()) != prefix) break;
+    out.push_back(it->second);
   }
-  return tags;
+  return out;
+}
+
+std::vector<std::string> LogSpace::StreamTagsWithPrefix(std::string_view prefix) const {
+  std::vector<std::string> names;
+  for (auto it = live_tags_.lower_bound(prefix); it != live_tags_.end(); ++it) {
+    if (it->first.substr(0, prefix.size()) != prefix) break;
+    names.emplace_back(it->first);
+  }
+  return names;
 }
 
 LogRecordPtr LogSpace::LookupLive(SeqNum seqnum) const {
@@ -136,36 +156,33 @@ LogRecordPtr LogSpace::LookupLive(SeqNum seqnum) const {
   return it->second.record;
 }
 
-LogRecordPtr LogSpace::ReadPrev(const Tag& tag, SeqNum max_seqnum) const {
-  auto it = streams_.find(tag);
-  if (it == streams_.end()) return nullptr;
-  const TagStream& stream = it->second;
+LogRecordPtr LogSpace::ReadPrev(TagId tag, SeqNum max_seqnum) const {
+  const TagStream* stream = FindStream(tag);
+  if (stream == nullptr) return nullptr;
   // Last seqnum <= max_seqnum within the live (untrimmed) suffix.
-  auto upper = std::upper_bound(stream.seqnums.begin(), stream.seqnums.end(), max_seqnum);
-  if (upper == stream.seqnums.begin()) return nullptr;
+  auto upper = std::upper_bound(stream->seqnums.begin(), stream->seqnums.end(), max_seqnum);
+  if (upper == stream->seqnums.begin()) return nullptr;
   return LookupLive(*(upper - 1));
 }
 
-LogRecordPtr LogSpace::ReadNext(const Tag& tag, SeqNum min_seqnum) const {
-  auto it = streams_.find(tag);
-  if (it == streams_.end()) return nullptr;
-  const TagStream& stream = it->second;
-  auto lower = std::lower_bound(stream.seqnums.begin(), stream.seqnums.end(), min_seqnum);
-  if (lower == stream.seqnums.end()) return nullptr;
+LogRecordPtr LogSpace::ReadNext(TagId tag, SeqNum min_seqnum) const {
+  const TagStream* stream = FindStream(tag);
+  if (stream == nullptr) return nullptr;
+  auto lower = std::lower_bound(stream->seqnums.begin(), stream->seqnums.end(), min_seqnum);
+  if (lower == stream->seqnums.end()) return nullptr;
   return LookupLive(*lower);
 }
 
-std::vector<LogRecordPtr> LogSpace::ReadStream(const Tag& tag) const {
+std::vector<LogRecordPtr> LogSpace::ReadStream(TagId tag) const {
   return ReadStreamUpTo(tag, kMaxSeqNum);
 }
 
-std::vector<LogRecordPtr> LogSpace::ReadStreamUpTo(const Tag& tag, SeqNum max_seqnum) const {
+std::vector<LogRecordPtr> LogSpace::ReadStreamUpTo(TagId tag, SeqNum max_seqnum) const {
   std::vector<LogRecordPtr> out;
-  auto it = streams_.find(tag);
-  if (it == streams_.end()) return out;
-  const TagStream& stream = it->second;
-  out.reserve(stream.seqnums.size());
-  for (SeqNum seqnum : stream.seqnums) {
+  const TagStream* stream = FindStream(tag);
+  if (stream == nullptr) return out;
+  out.reserve(stream->seqnums.size());
+  for (SeqNum seqnum : stream->seqnums) {
     if (seqnum > max_seqnum) break;
     LogRecordPtr record = LookupLive(seqnum);
     if (record != nullptr) out.push_back(std::move(record));
@@ -182,26 +199,27 @@ void LogSpace::ReleaseRef(SimTime now, SeqNum seqnum) {
   }
 }
 
-void LogSpace::Trim(SimTime now, const Tag& tag, SeqNum upto) {
-  auto it = streams_.find(tag);
-  if (it == streams_.end()) return;
-  TagStream& stream = it->second;
+void LogSpace::Trim(SimTime now, TagId tag, SeqNum upto) {
+  if (tag >= streams_.size()) return;
+  TagStream& stream = streams_[tag];
   while (!stream.seqnums.empty() && stream.seqnums.front() <= upto) {
     ReleaseRef(now, stream.seqnums.front());
     stream.seqnums.pop_front();
     ++stream.base;
   }
-  if (stream.seqnums.empty()) live_tags_.erase(tag);
+  if (stream.seqnums.empty() && stream.base > 0) {
+    live_tags_.erase(std::string_view(tags_.Name(tag)));
+  }
 }
 
-size_t LogSpace::StreamLength(const Tag& tag) const {
-  auto it = streams_.find(tag);
-  return it == streams_.end() ? 0 : it->second.length();
+size_t LogSpace::StreamLength(TagId tag) const {
+  const TagStream* stream = FindStream(tag);
+  return stream == nullptr ? 0 : stream->length();
 }
 
 size_t LogSpace::IndexEntries() const {
   size_t total = 0;
-  for (const auto& [tag, stream] : streams_) {
+  for (const TagStream& stream : streams_) {
     total += stream.seqnums.size();
   }
   return total;

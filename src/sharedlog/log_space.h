@@ -8,9 +8,13 @@
 // Performance notes (see DESIGN.md "Performance architecture"):
 //   * Records are immutable after commit and stored behind shared_ptr-to-const; every read
 //     API returns a shared view (LogRecordPtr), never a copy.
+//   * Tags are interned ids (see tag_registry.h): the steady-state append/read/trim API takes
+//     TagId only, so no std::string is built or hashed per operation. The string-named
+//     overloads below are convenience entry points for tests and cold bootstrap code; they
+//     intern (writes) or look up (reads) the name and forward to the TagId path.
 //   * A sub-stream keeps only its untrimmed seqnum suffix (deque + base offset), so trimmed
 //     history costs no memory while logical logCondAppend offsets stay stable.
-//   * Live stream tags are mirrored in an ordered index, so prefix scans (the GC's
+//   * Live stream tags are mirrored in a name-ordered index, so prefix scans (the GC's
 //     per-object write-log enumeration) are range scans instead of full-table scans.
 
 #ifndef HALFMOON_SHAREDLOG_LOG_SPACE_H_
@@ -19,43 +23,50 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <set>
+#include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/time.h"
 #include "src/metrics/storage_sampler.h"
 #include "src/sharedlog/log_record.h"
+#include "src/sharedlog/tag_registry.h"
 
 namespace halfmoon::sharedlog {
 
 class LogSpace {
  public:
-  LogSpace() = default;
+  LogSpace();
   LogSpace(const LogSpace&) = delete;
   LogSpace& operator=(const LogSpace&) = delete;
 
+  // The tag interner shared by everything layered on this log. "ssf.init" and "ssf.finish"
+  // are pre-interned to kInitTagId / kFinishTagId.
+  TagRegistry& tags() { return tags_; }
+  const TagRegistry& tags() const { return tags_; }
+
   // Appends a record, assigning the next sequence number. `now` feeds storage accounting.
   // Notifies the commit listener (used for index propagation to clients).
-  SeqNum Append(SimTime now, std::vector<Tag> tags, FieldMap fields);
+  SeqNum Append(SimTime now, std::vector<TagId> tags, FieldMap fields);
 
   // Conditional append (§5.1): appends, then verifies that the new record lands at logical
   // offset `cond_pos` of the `cond_tag` sub-stream. On mismatch the append is undone and the
   // seqnum of the record actually at that offset is returned.
-  CondAppendResult CondAppend(SimTime now, std::vector<Tag> tags, FieldMap fields,
-                              const Tag& cond_tag, size_t cond_pos);
+  CondAppendResult CondAppend(SimTime now, std::vector<TagId> tags, FieldMap fields,
+                              TagId cond_tag, size_t cond_pos);
 
   // Atomically appends a batch of records under the same condition (offset of the *first*
   // record in `cond_tag`'s stream). Either all records commit with consecutive seqnums or none
   // do. Models Boki's batched append, which Halfmoon-read uses to install the version record
   // and the commit record of a write in one sequencer round (§4.1).
   struct BatchEntry {
-    std::vector<Tag> tags;
+    std::vector<TagId> tags;
     FieldMap fields;
   };
-  CondAppendResult CondAppendBatch(SimTime now, std::vector<BatchEntry> batch,
-                                   const Tag& cond_tag, size_t cond_pos);
+  CondAppendResult CondAppendBatch(SimTime now, std::vector<BatchEntry> batch, TagId cond_tag,
+                                   size_t cond_pos);
 
   // Unconditional atomic batch append; returns the first seqnum (the records receive
   // consecutive ones). Index replicas learn about the batch as a unit.
@@ -66,33 +77,68 @@ class LogSpace {
 
   // First live record in `tag`'s sub-stream whose "op" and "step" fields match. Boki resolves
   // peer races by honoring the first record logged for a step (§5.1).
-  LogRecordPtr FindFirstByStep(const Tag& tag, const std::string& op, int64_t step) const;
+  LogRecordPtr FindFirstByStep(TagId tag, const std::string& op, int64_t step) const;
 
-  // Tags of all live streams whose name starts with `prefix` (GC scan over per-object write
-  // logs). Served by an ordered range scan over the live-tag index: O(log streams + matches).
-  std::vector<Tag> StreamTagsWithPrefix(const std::string& prefix) const;
+  // Ids of all live streams whose name starts with `prefix` (GC scan over per-object write
+  // logs). Served by an ordered range scan over the live-tag index: O(log streams + matches);
+  // results are in name order.
+  std::vector<TagId> LiveTagsWithPrefix(std::string_view prefix) const;
+
+  // Name-returning variant of LiveTagsWithPrefix, for tests and display.
+  std::vector<std::string> StreamTagsWithPrefix(std::string_view prefix) const;
 
   // Latest record in `tag`'s sub-stream with seqnum <= max (logReadPrev).
-  LogRecordPtr ReadPrev(const Tag& tag, SeqNum max_seqnum) const;
+  LogRecordPtr ReadPrev(TagId tag, SeqNum max_seqnum) const;
 
   // Earliest record in `tag`'s sub-stream with seqnum >= min (logReadNext).
-  LogRecordPtr ReadNext(const Tag& tag, SeqNum min_seqnum) const;
+  LogRecordPtr ReadNext(TagId tag, SeqNum min_seqnum) const;
 
   // All live records of a sub-stream, in seqnum order (used to fetch step logs in Init).
-  std::vector<LogRecordPtr> ReadStream(const Tag& tag) const;
+  std::vector<LogRecordPtr> ReadStream(TagId tag) const;
 
   // Live records of a sub-stream with seqnum <= max_seqnum: the view of an index replica
   // that has caught up to max_seqnum.
-  std::vector<LogRecordPtr> ReadStreamUpTo(const Tag& tag, SeqNum max_seqnum) const;
+  std::vector<LogRecordPtr> ReadStreamUpTo(TagId tag, SeqNum max_seqnum) const;
 
   // Garbage-collects a sub-stream: logically deletes records with seqnum <= upto from `tag`,
   // and frees the trimmed prefix of the stream's seqnum index. A record's storage is freed
   // once every one of its tags has trimmed past it.
-  void Trim(SimTime now, const Tag& tag, SeqNum upto);
+  void Trim(SimTime now, TagId tag, SeqNum upto);
 
   // Logical offset (position since the beginning of time) that the *next* record appended to
   // `tag` would occupy. Used by clients to pre-check conditional appends in tests.
-  size_t StreamLength(const Tag& tag) const;
+  size_t StreamLength(TagId tag) const;
+
+  // ---- Name-based convenience entry points (tests, cold bootstrap paths) ----
+  // Writes intern their tag names; reads resolve without interning, so probing a name that
+  // was never appended does not grow the registry.
+  SeqNum Append(SimTime now, std::vector<std::string> tag_names, FieldMap fields) {
+    return Append(now, InternAll(std::move(tag_names)), std::move(fields));
+  }
+  CondAppendResult CondAppend(SimTime now, std::vector<std::string> tag_names, FieldMap fields,
+                              std::string_view cond_tag, size_t cond_pos) {
+    return CondAppend(now, InternAll(std::move(tag_names)), std::move(fields),
+                      tags_.Intern(cond_tag), cond_pos);
+  }
+  LogRecordPtr FindFirstByStep(std::string_view tag, const std::string& op, int64_t step) const {
+    return FindFirstByStep(tags_.Find(tag), op, step);
+  }
+  LogRecordPtr ReadPrev(std::string_view tag, SeqNum max_seqnum) const {
+    return ReadPrev(tags_.Find(tag), max_seqnum);
+  }
+  LogRecordPtr ReadNext(std::string_view tag, SeqNum min_seqnum) const {
+    return ReadNext(tags_.Find(tag), min_seqnum);
+  }
+  std::vector<LogRecordPtr> ReadStream(std::string_view tag) const {
+    return ReadStream(tags_.Find(tag));
+  }
+  std::vector<LogRecordPtr> ReadStreamUpTo(std::string_view tag, SeqNum max_seqnum) const {
+    return ReadStreamUpTo(tags_.Find(tag), max_seqnum);
+  }
+  void Trim(SimTime now, std::string_view tag, SeqNum upto) {
+    Trim(now, tags_.Find(tag), upto);
+  }
+  size_t StreamLength(std::string_view tag) const { return StreamLength(tags_.Find(tag)); }
 
   // The seqnum the next append will receive.
   SeqNum next_seqnum() const { return next_seqnum_; }
@@ -127,21 +173,36 @@ class LogSpace {
     size_t length() const { return base + seqnums.size(); }
   };
 
+  std::vector<TagId> InternAll(std::vector<std::string> names) {
+    std::vector<TagId> ids;
+    ids.reserve(names.size());
+    for (const std::string& name : names) ids.push_back(tags_.Intern(name));
+    return ids;
+  }
+
   struct StoredRecord {
     LogRecordPtr record;
     // Number of tags that still reference this record (not yet trimmed past it).
     int live_tag_refs = 0;
   };
 
+  // Stream for `tag`, or null if the tag never had an append. Interned ids are dense, so the
+  // stream table is a flat vector indexed by id: the per-op "hash" is a bounds check.
+  const TagStream* FindStream(TagId tag) const {
+    return tag < streams_.size() ? &streams_[tag] : nullptr;
+  }
+  TagStream& StreamFor(TagId tag);
+
   LogRecordPtr LookupLive(SeqNum seqnum) const;
   void ReleaseRef(SimTime now, SeqNum seqnum);
 
+  TagRegistry tags_;
   SeqNum next_seqnum_ = 1;  // Seqnum 0 is reserved as "before everything".
   std::unordered_map<SeqNum, StoredRecord> records_;
-  std::unordered_map<Tag, TagStream> streams_;
-  // Ordered mirror of the tags whose stream currently holds live records; maintained on the
-  // empty<->non-empty transitions of each stream.
-  std::set<Tag> live_tags_;
+  std::vector<TagStream> streams_;  // Indexed by TagId; grown on first append of a tag.
+  // Name-ordered mirror of the tags whose stream currently holds live records; maintained on
+  // the empty<->non-empty transitions of each stream. Keys view the registry's stable names.
+  std::map<std::string_view, TagId> live_tags_;
   metrics::StorageGauge gauge_;
   std::function<void(SeqNum)> commit_listener_;
 };

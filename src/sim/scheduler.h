@@ -20,6 +20,7 @@
 #include <new>
 #include <queue>
 #include <type_traits>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -113,6 +114,10 @@ class Scheduler {
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  // Destroys any detached task chains still suspended (periodic loops parked on a Delay
+  // when the simulation ends would otherwise leak their coroutine frames).
+  ~Scheduler();
 
   SimTime Now() const { return now_; }
 
@@ -212,6 +217,11 @@ class Scheduler {
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Root frames of live detached tasks (frame addresses). A frame that completes removes
+  // itself (its promise holds a pointer to this set); frames still here at destruction are
+  // suspended mid-loop and are destroyed by ~Scheduler, which tears down the whole await
+  // chain (each co_await operand lives in its awaiter's frame).
+  std::unordered_set<void*> detached_;
 };
 
 }  // namespace halfmoon::sim

@@ -30,7 +30,7 @@ void Seed(runtime::Cluster& cluster, const std::string& key, const Value& value)
   SimTime now = cluster.scheduler().Now();
   cluster.kv_state().Put(now, key, value);
   std::string version = "seed:" + key;
-  cluster.kv_state().PutVersioned(now, key, version, value);
+  cluster.kv_state().PutVersioned(now, testing::ObjectIdFor(cluster, key), version, value);
   FieldMap fields;
   fields.SetStr("op", "write");
   fields.SetInt("step", 0);

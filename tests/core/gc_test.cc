@@ -36,13 +36,13 @@ TEST(GcTest, ReclaimsSupersededVersionsAndWriteRecords) {
   for (int i = 0; i < 10; ++i) {
     world.Call("write_k", "v" + std::to_string(i));
   }
-  ASSERT_EQ(world.cluster().kv_state().VersionCount("k"), 10u);
+  ASSERT_EQ(world.cluster().kv_state().VersionCount(world.ObjectIdFor("k")), 10u);
 
   GcService gc(&world.cluster(), Seconds(10));
   gc.RunOnce();
 
   // All SSFs have finished: only the newest version (pointed to by the marked record) stays.
-  EXPECT_EQ(world.cluster().kv_state().VersionCount("k"), 1u);
+  EXPECT_EQ(world.cluster().kv_state().VersionCount(world.ObjectIdFor("k")), 1u);
   EXPECT_EQ(gc.stats().versions_deleted, 9);
   EXPECT_GE(gc.stats().write_records_trimmed, 9);
 }
@@ -147,12 +147,12 @@ TEST(GcTest, FrontierBlocksCollectionWhileSsfRuns) {
   gc.RunOnce();
   // The sleeper began before both writes, so its init bounds the frontier: both versions of
   // "k" must survive this scan.
-  EXPECT_EQ(world.cluster().kv_state().VersionCount("k"), 2u);
+  EXPECT_EQ(world.cluster().kv_state().VersionCount(world.ObjectIdFor("k")), 2u);
 
   world.scheduler().Run();
   EXPECT_TRUE(sleeper_done);
   gc.RunOnce();
-  EXPECT_EQ(world.cluster().kv_state().VersionCount("k"), 1u);
+  EXPECT_EQ(world.cluster().kv_state().VersionCount(world.ObjectIdFor("k")), 1u);
 }
 
 TEST(GcTest, PeriodicLoopRunsOnSchedule) {
@@ -165,7 +165,7 @@ TEST(GcTest, PeriodicLoopRunsOnSchedule) {
   world.scheduler().RunUntil(Seconds(16));
   gc.Stop();
   EXPECT_EQ(gc.stats().scans, 3);
-  EXPECT_EQ(world.cluster().kv_state().VersionCount("k"), 1u);
+  EXPECT_EQ(world.cluster().kv_state().VersionCount(world.ObjectIdFor("k")), 1u);
 }
 
 }  // namespace

@@ -170,7 +170,7 @@ TEST(IntegrationTest, TenThousandInvocationsStayConsistent) {
   // GC keeps the version population near one live version per object (plus in-flight).
   size_t total_versions = 0;
   for (int i = 0; i < config.num_objects; ++i) {
-    total_versions += world.cluster().kv_state().VersionCount(synthetic.KeyFor(i));
+    total_versions += world.cluster().kv_state().VersionCount(world.ObjectIdFor(synthetic.KeyFor(i)));
   }
   EXPECT_LT(total_versions, static_cast<size_t>(config.num_objects) * 4);
 }

@@ -194,7 +194,7 @@ TEST(SwitchingTest, TransitionalPhaseAppliesWhileSwitchInProgress) {
 
   // Transitional write: LATEST slot updated AND a version + write-log record created.
   EXPECT_EQ(world.cluster().kv_state().Get("x").value_or(""), "transitional-value");
-  EXPECT_EQ(world.cluster().kv_state().VersionCount("x"), 1u);
+  EXPECT_EQ(world.cluster().kv_state().VersionCount(world.ObjectIdFor("x")), 1u);
   EXPECT_GT(world.cluster().log_space().StreamLength(sharedlog::WriteLogTag("x")), 0u);
 
   world.scheduler().Run();

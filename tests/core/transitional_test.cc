@@ -35,7 +35,7 @@ TEST(TransitionalTest, WriteUpdatesBothVersioningSchemes) {
     co_await InitSsf(f, "");
     co_await protocols::TransitionalWrite(f, "k", "both");
     EXPECT_EQ(c->kv_state().Get("k").value_or(""), "both");
-    EXPECT_EQ(c->kv_state().VersionCount("k"), 1u);
+    EXPECT_EQ(c->kv_state().VersionCount(testing::ObjectIdFor(*c, "k")), 1u);
     EXPECT_GT(c->log_space().StreamLength(sharedlog::WriteLogTag("k")), 0u);
   }(&cluster));
 }
@@ -46,7 +46,7 @@ TEST(TransitionalTest, WriteUsesDeterministicVersionIds) {
     Env f = MakeEnv(*c, "F", 0);
     co_await InitSsf(f, "");
     co_await protocols::TransitionalWrite(f, "k", "v");
-    EXPECT_TRUE(c->kv_state().GetVersioned("k", "F#1").has_value());
+    EXPECT_TRUE(c->kv_state().GetVersioned(testing::ObjectIdFor(*c, "k"), "F#1").has_value());
   }(&cluster));
 }
 
@@ -140,7 +140,7 @@ TEST(TransitionalTest, TransitionalWriteReplayIsIdempotent) {
     co_await InitSsf(f_retry, "");
     co_await protocols::TransitionalWrite(f_retry, "k", "v");
     EXPECT_EQ(c->kv_state().Get("k").value_or(""), "newer");
-    EXPECT_EQ(c->kv_state().VersionCount("k"), 2u);  // One version per distinct write.
+    EXPECT_EQ(c->kv_state().VersionCount(testing::ObjectIdFor(*c, "k")), 2u);  // One version per distinct write.
   }(&cluster));
 }
 

@@ -9,6 +9,8 @@
 namespace halfmoon::kvstore {
 namespace {
 
+constexpr ObjectId kObj = 7;
+
 struct KvFixture {
   sim::Scheduler scheduler;
   Rng rng{11};
@@ -58,10 +60,10 @@ TEST(KvClientTest, GetWithVersionReturnsTuple) {
 TEST(KvClientTest, VersionedPathRoundTrip) {
   KvFixture fx;
   fx.scheduler.Spawn([](KvFixture* fx) -> sim::Task<void> {
-    co_await fx->client.PutVersioned("k", "v1", "data");
-    auto v = co_await fx->client.GetVersioned("k", "v1");
+    co_await fx->client.PutVersioned(kObj, "v1", "data");
+    auto v = co_await fx->client.GetVersioned(kObj, "v1");
     EXPECT_EQ(v.value(), "data");
-    EXPECT_TRUE(co_await fx->client.DeleteVersioned("k", "v1"));
+    EXPECT_TRUE(co_await fx->client.DeleteVersioned(kObj, "v1"));
   }(&fx));
   fx.scheduler.Run();
   EXPECT_EQ(fx.client.stats().versioned_writes, 1);

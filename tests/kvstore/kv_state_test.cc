@@ -5,6 +5,9 @@
 namespace halfmoon::kvstore {
 namespace {
 
+// Versioned ops address objects by their interned write-log tag id; any dense id works here.
+constexpr ObjectId kObj = 7;
+
 TEST(VersionTupleTest, LexicographicComparison) {
   EXPECT_LT((VersionTuple{1, 5}), (VersionTuple{2, 0}));
   EXPECT_LT((VersionTuple{2, 1}), (VersionTuple{2, 2}));
@@ -57,22 +60,22 @@ TEST(KvStateTest, CondPutOnMissingKeyNeedsPositiveVersion) {
 
 TEST(KvStateTest, VersionedPutGetDelete) {
   KvState kv;
-  kv.PutVersioned(0, "k", "v1", "a");
-  kv.PutVersioned(0, "k", "v2", "b");
-  EXPECT_EQ(kv.VersionCount("k"), 2u);
-  EXPECT_EQ(kv.GetVersioned("k", "v1").value(), "a");
-  EXPECT_EQ(kv.GetVersioned("k", "v2").value(), "b");
-  EXPECT_FALSE(kv.GetVersioned("k", "v3").has_value());
-  EXPECT_TRUE(kv.DeleteVersioned(0, "k", "v1"));
-  EXPECT_FALSE(kv.DeleteVersioned(0, "k", "v1"));  // Already gone.
-  EXPECT_EQ(kv.VersionCount("k"), 1u);
+  kv.PutVersioned(0, kObj, "v1", "a");
+  kv.PutVersioned(0, kObj, "v2", "b");
+  EXPECT_EQ(kv.VersionCount(kObj), 2u);
+  EXPECT_EQ(kv.GetVersioned(kObj, "v1").value(), "a");
+  EXPECT_EQ(kv.GetVersioned(kObj, "v2").value(), "b");
+  EXPECT_FALSE(kv.GetVersioned(kObj, "v3").has_value());
+  EXPECT_TRUE(kv.DeleteVersioned(0, kObj, "v1"));
+  EXPECT_FALSE(kv.DeleteVersioned(0, kObj, "v1"));  // Already gone.
+  EXPECT_EQ(kv.VersionCount(kObj), 1u);
 }
 
 TEST(KvStateTest, VersionedRewriteIsIdempotentInAccounting) {
   KvState kv;
-  kv.PutVersioned(0, "k", "v1", "abc");
+  kv.PutVersioned(0, kObj, "v1", "abc");
   int64_t once = kv.CurrentBytes();
-  kv.PutVersioned(0, "k", "v1", "abc");  // Retried SSF re-creates the same version.
+  kv.PutVersioned(0, kObj, "v1", "abc");  // Retried SSF re-creates the same version.
   EXPECT_EQ(kv.CurrentBytes(), once);
 }
 
@@ -82,9 +85,9 @@ TEST(KvStateTest, ByteAccountingTracksAllPaths) {
   kv.Put(0, "k", "0123456789");
   int64_t latest_only = kv.CurrentBytes();
   EXPECT_GT(latest_only, 10);
-  kv.PutVersioned(0, "k", "ver1", "0123456789");
+  kv.PutVersioned(0, kObj, "ver1", "0123456789");
   EXPECT_GT(kv.CurrentBytes(), latest_only);
-  kv.DeleteVersioned(0, "k", "ver1");
+  kv.DeleteVersioned(0, kObj, "ver1");
   EXPECT_EQ(kv.CurrentBytes(), latest_only);
   kv.Put(0, "k", "01234");
   EXPECT_LT(kv.CurrentBytes(), latest_only);  // Smaller value, smaller footprint.
@@ -93,9 +96,9 @@ TEST(KvStateTest, ByteAccountingTracksAllPaths) {
 TEST(KvStateTest, LatestAndVersionedAreIndependent) {
   KvState kv;
   kv.Put(0, "k", "latest");
-  kv.PutVersioned(0, "k", "v1", "old");
+  kv.PutVersioned(0, kObj, "v1", "old");
   EXPECT_EQ(kv.Get("k").value(), "latest");
-  EXPECT_EQ(kv.GetVersioned("k", "v1").value(), "old");
+  EXPECT_EQ(kv.GetVersioned(kObj, "v1").value(), "old");
 }
 
 TEST(KvStateTest, KeyCountCountsLatestSlots) {

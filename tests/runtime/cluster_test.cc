@@ -63,8 +63,13 @@ TEST(ClusterTest, RunningFrontierTracksInitStream) {
   init2.SetStr("op", "init");
   init2.SetInt("step", 0);
   init2.SetStr("instance", "B");
-  cluster.log_space().Append(0, sharedlog::TwoTags("B", sharedlog::InitLogTag()),
-                             std::move(init2));
+  sharedlog::SeqNum b = cluster.log_space().Append(
+      0, sharedlog::TwoTags("B", sharedlog::InitLogTag()), std::move(init2));
+
+  // The frontier is maintained incrementally: the runtime registers every init record as it
+  // is logged (InitSsf does this), so the cluster never rescans the init stream.
+  cluster.RegisterInitRecord("A", a);
+  cluster.RegisterInitRecord("B", b);
 
   // Both running: the frontier stops at A's init.
   EXPECT_EQ(cluster.RunningFrontier(), a);

@@ -102,13 +102,15 @@ TEST(LogClientTest, CondAppendDetectsStaleOffsets) {
 TEST(LogClientTest, CondAppendBatchCostsOneRound) {
   ClientFixture fx;
   fx.scheduler.Spawn([](ClientFixture* fx) -> sim::Task<void> {
+    TagId s = fx->client.tags().Intern("s");
+    TagId kx = fx->client.tags().Intern("k:x");
     std::vector<LogSpace::BatchEntry> batch(2);
-    batch[0].tags = OneTag("s");
+    batch[0].tags = OneTag(s);
     batch[0].fields = Fields("write-pre");
-    batch[1].tags = TwoTags("s", "k:x");
+    batch[1].tags = TwoTags(s, kx);
     batch[1].fields = Fields("write");
     SimTime before = fx->scheduler.Now();
-    CondAppendResult r = co_await fx->client.CondAppendBatch(std::move(batch), "s", 0);
+    CondAppendResult r = co_await fx->client.CondAppendBatch(std::move(batch), s, 0);
     SimTime elapsed = fx->scheduler.Now() - before;
     EXPECT_TRUE(r.ok);
     EXPECT_LT(elapsed, Milliseconds(5));  // ~ one append latency, not two.

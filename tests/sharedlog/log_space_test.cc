@@ -138,12 +138,14 @@ TEST(LogSpaceTest, CondAppendConflictReturnsExistingRecord) {
 
 TEST(LogSpaceTest, CondAppendBatchCommitsConsecutively) {
   LogSpace log;
+  TagId s = log.tags().Intern("s");
+  TagId kx = log.tags().Intern("k:x");
   std::vector<LogSpace::BatchEntry> batch(2);
-  batch[0].tags = OneTag("s");
+  batch[0].tags = OneTag(s);
   batch[0].fields = Fields("write-pre", 1);
-  batch[1].tags = TwoTags("s", "k:x");
+  batch[1].tags = TwoTags(s, kx);
   batch[1].fields = Fields("write", 1);
-  CondAppendResult r = log.CondAppendBatch(0, std::move(batch), "s", 0);
+  CondAppendResult r = log.CondAppendBatch(0, std::move(batch), s, 0);
   ASSERT_TRUE(r.ok);
   EXPECT_EQ(log.StreamLength("s"), 2u);
   auto commit = log.ReadPrev("k:x", kMaxSeqNum);
@@ -154,12 +156,14 @@ TEST(LogSpaceTest, CondAppendBatchCommitsConsecutively) {
 TEST(LogSpaceTest, CondAppendBatchConflictIsAllOrNothing) {
   LogSpace log;
   log.CondAppend(0, OneTag("s"), Fields("init", 0), "s", 0);
+  TagId s = log.tags().Find("s");
+  TagId kx = log.tags().Intern("k:x");
   std::vector<LogSpace::BatchEntry> batch(2);
-  batch[0].tags = OneTag("s");
+  batch[0].tags = OneTag(s);
   batch[0].fields = Fields("write-pre", 1);
-  batch[1].tags = TwoTags("s", "k:x");
+  batch[1].tags = TwoTags(s, kx);
   batch[1].fields = Fields("write", 1);
-  CondAppendResult r = log.CondAppendBatch(0, std::move(batch), "s", 0);  // Stale offset.
+  CondAppendResult r = log.CondAppendBatch(0, std::move(batch), s, 0);  // Stale offset.
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(log.StreamLength("s"), 1u);
   EXPECT_EQ(log.ReadPrev("k:x", kMaxSeqNum), nullptr);
@@ -180,7 +184,7 @@ TEST(LogSpaceTest, StreamTagsWithPrefixEnumeratesLiveStreams) {
   log.Append(0, OneTag("k:a"), Fields("w", 0));
   log.Append(0, OneTag("k:b"), Fields("w", 0));
   log.Append(0, OneTag("other"), Fields("w", 0));
-  std::vector<Tag> tags = log.StreamTagsWithPrefix("k:");
+  std::vector<std::string> tags = log.StreamTagsWithPrefix("k:");
   ASSERT_EQ(tags.size(), 2u);
   EXPECT_EQ(tags[0], "k:a");
   EXPECT_EQ(tags[1], "k:b");
@@ -251,18 +255,19 @@ TEST(LogSpaceTest, CondAppendOffsetsStayStableAfterCompaction) {
 
 TEST(LogSpaceTest, CondAppendBatchThenPartialTrimReleasesRefs) {
   LogSpace log;
+  TagId s = log.tags().Intern("s");
   std::vector<LogSpace::BatchEntry> batch(3);
   for (int i = 0; i < 3; ++i) {
-    batch[static_cast<size_t>(i)].tags = OneTag("s");
+    batch[static_cast<size_t>(i)].tags = OneTag(s);
     batch[static_cast<size_t>(i)].fields = Fields("w", i);
   }
-  CondAppendResult r = log.CondAppendBatch(0, std::move(batch), "s", 0);
+  CondAppendResult r = log.CondAppendBatch(0, std::move(batch), s, 0);
   ASSERT_TRUE(r.ok);
   EXPECT_EQ(log.live_records(), 3u);
 
   // Trim past the first two records of the batch: their storage is released, the survivor
   // stays readable, and FindFirstByStep only sees live records.
-  log.Trim(0, "s", r.seqnum + 1);
+  log.Trim(0, s, r.seqnum + 1);
   EXPECT_EQ(log.live_records(), 1u);
   EXPECT_EQ(log.IndexEntries(), 1u);
   EXPECT_EQ(log.FindFirstByStep("s", "w", 0), nullptr);

@@ -1,0 +1,101 @@
+#include "src/sharedlog/tag_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace halfmoon::sharedlog {
+namespace {
+
+TEST(TagRegistryTest, InternIsIdempotent) {
+  TagRegistry reg;
+  TagId a = reg.Intern("stream-a");
+  EXPECT_EQ(reg.Intern("stream-a"), a);
+  EXPECT_EQ(reg.Intern("stream-a"), a);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.intern_requests(), 3);
+}
+
+TEST(TagRegistryTest, IdsAreDenseInInterningOrder) {
+  TagRegistry reg;
+  EXPECT_EQ(reg.Intern("a"), 0u);
+  EXPECT_EQ(reg.Intern("b"), 1u);
+  EXPECT_EQ(reg.Intern("c"), 2u);
+  EXPECT_EQ(reg.Name(1), "b");
+  EXPECT_TRUE(reg.Contains(2));
+  EXPECT_FALSE(reg.Contains(3));
+}
+
+TEST(TagRegistryTest, InternPrefixedEqualsInternOfConcatenation) {
+  TagRegistry reg;
+  // Whichever spelling interns first, the other must resolve to the same id.
+  TagId split_first = reg.InternPrefixed("k:", "alpha");
+  EXPECT_EQ(reg.Intern("k:alpha"), split_first);
+  TagId whole_first = reg.Intern("k:beta");
+  EXPECT_EQ(reg.InternPrefixed("k:", "beta"), whole_first);
+  EXPECT_EQ(reg.size(), 2u);
+  // Empty prefix and empty suffix degenerate to plain Intern.
+  EXPECT_EQ(reg.InternPrefixed("", "k:alpha"), split_first);
+  EXPECT_EQ(reg.InternPrefixed("k:alpha", ""), split_first);
+}
+
+TEST(TagRegistryTest, FindNeverGrowsTheRegistry) {
+  TagRegistry reg;
+  TagId a = reg.Intern("present");
+  EXPECT_EQ(reg.Find("present"), a);
+  EXPECT_EQ(reg.Find("absent"), kInvalidTagId);
+  EXPECT_EQ(reg.FindPrefixed("pre", "sent"), a);
+  EXPECT_EQ(reg.FindPrefixed("ab", "sent"), kInvalidTagId);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(TagRegistryTest, RepeatedInterningMaterializesEachNameOnce) {
+  // The steady-state claim: size() stays flat while intern_requests() grows, i.e. a hot
+  // append loop never re-allocates or re-registers a known tag name.
+  TagRegistry reg;
+  const std::string keys[] = {"k:x", "k:y", "k:z"};
+  for (int round = 0; round < 1000; ++round) {
+    for (const std::string& key : keys) {
+      reg.InternPrefixed("", key);
+    }
+  }
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.intern_requests(), 3000);
+}
+
+TEST(TagRegistryTest, PrefixRangeMatchesNaiveStringFilter) {
+  TagRegistry reg;
+  // Include names that straddle the prefix boundary in byte order: "k" < "k:" < "k:..." <
+  // "k;..." — the range scan must include exactly the middle band.
+  const char* names[] = {"a",    "k",      "k:",      "k:a", "k:a/b", "k:z",
+                         "k;no", "switch", "ssf.init", "zz",  "k:mm"};
+  for (const char* name : names) reg.Intern(name);
+
+  for (const std::string prefix : {"k:", "k", "", "switch:", "zz", "nothing"}) {
+    std::vector<TagId> naive;
+    for (TagId id = 0; id < reg.size(); ++id) {
+      if (reg.Name(id).compare(0, prefix.size(), prefix) == 0) naive.push_back(id);
+    }
+    std::sort(naive.begin(), naive.end(), [&](TagId a, TagId b) {
+      return reg.Name(a) < reg.Name(b);
+    });
+    EXPECT_EQ(reg.IdsWithPrefix(prefix), naive) << "prefix \"" << prefix << "\"";
+  }
+}
+
+TEST(TagRegistryTest, NameViewsStayStableAcrossGrowth) {
+  // Returned name references must survive arbitrary later interning (rehash of the name map).
+  TagRegistry reg;
+  TagId first = reg.Intern("stable");
+  const std::string* before = &reg.Name(first);
+  for (int i = 0; i < 10000; ++i) {
+    reg.Intern("filler-" + std::to_string(i));
+  }
+  EXPECT_EQ(&reg.Name(first), before);
+  EXPECT_EQ(reg.Name(first), "stable");
+}
+
+}  // namespace
+}  // namespace halfmoon::sharedlog

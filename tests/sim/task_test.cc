@@ -97,18 +97,25 @@ TEST(TaskTest, MoveConstructionTransfersOwnership) {
 
 TEST(TaskTest, DeepAwaitChainDoesNotOverflowStack) {
   // 100k sequential awaits through symmetric transfer; would blow the stack if each nested
-  // resume consumed a frame.
+  // resume consumed a frame. ASan's stack instrumentation suppresses the tail calls
+  // symmetric transfer lowers to, so resume genuinely recurses under it — run the chain
+  // shorter there (the sanitizer still checks the await machinery, just not stack growth).
+#if defined(__SANITIZE_ADDRESS__)
+  constexpr int kChain = 5000;
+#else
+  constexpr int kChain = 100000;
+#endif
   Scheduler sched;
   int64_t total = 0;
   sched.Spawn([](int64_t* out) -> Task<void> {
     int64_t acc = 0;
-    for (int i = 0; i < 100000; ++i) {
+    for (int i = 0; i < kChain; ++i) {
       acc += co_await ReturnInt(1);
     }
     *out = acc;
   }(&total));
   sched.Run();
-  EXPECT_EQ(total, 100000);
+  EXPECT_EQ(total, kChain);
 }
 
 }  // namespace

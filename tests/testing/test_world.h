@@ -14,6 +14,12 @@
 
 namespace halfmoon::testing {
 
+// Interned write-log tag id for `key` — the handle versioned-KV assertions address objects
+// by since the tag-interning change. Interns on miss so seeding helpers can use it too.
+inline kvstore::ObjectId ObjectIdFor(runtime::Cluster& cluster, const std::string& key) {
+  return cluster.log_space().tags().InternPrefixed(sharedlog::kWriteLogPrefix, key);
+}
+
 struct TestWorldOptions {
   core::ProtocolKind protocol = core::ProtocolKind::kHalfmoonRead;
   uint64_t seed = 1;
@@ -38,6 +44,9 @@ class TestWorld {
   }
 
   runtime::Cluster& cluster() { return *cluster_; }
+  kvstore::ObjectId ObjectIdFor(const std::string& key) {
+    return testing::ObjectIdFor(*cluster_, key);
+  }
   core::SsfRuntime& runtime() { return *runtime_; }
   sim::Scheduler& scheduler() { return cluster_->scheduler(); }
 

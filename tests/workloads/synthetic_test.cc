@@ -27,7 +27,7 @@ TEST(SyntheticTest, SetupPopulatesObjects) {
   SyntheticWorkload synthetic(&world.runtime(), config);
   synthetic.Setup();
   EXPECT_GE(world.cluster().kv_state().key_count() +
-                world.cluster().kv_state().VersionCount(synthetic.KeyFor(0)) * 50,
+                world.cluster().kv_state().VersionCount(world.ObjectIdFor(synthetic.KeyFor(0))) * 50,
             50u);
 }
 
