@@ -13,6 +13,11 @@
 // Both replicas run the *same* simulated op sequence as the current implementation, and the
 // checksums must match exactly.
 //
+// The PR 3 baseline needs no replica: the group-commit batcher and the timer wheel both keep
+// a reference mode in the tree (AppendBatchConfig{.enabled = false}, QueueMode::
+// kPriorityQueue), so the driven log-heavy section runs the real cluster in last PR's
+// configuration against the current one and asserts the committed log content is identical.
+//
 // Output: BENCH_hotpath.json in the working directory, plus a human-readable summary on
 // stdout. HM_BENCH_SCALE scales the workload size.
 
@@ -878,6 +883,154 @@ EventResult RunOptimizedEvents(uint64_t total, int batch) {
 }
 
 // ---------------------------------------------------------------------------
+// Driven log-heavy section: a real cluster (LogClient + stations + scheduler) under
+// concurrent appenders. The embedded PR 2 baseline is the same binary with group commit
+// disabled and the binary-heap scheduler — exactly the previous PR's configuration. The
+// candidate runs the AppendBatcher + timer wheel. Committed content must be identical
+// (the full-scale batched-vs-unbatched equivalence assertion); wall-clock time and
+// events-per-op measure what group commit and the wheel buy.
+// ---------------------------------------------------------------------------
+
+struct DrivenResult {
+  uint64_t sim_ops = 0;       // Log appends + cond-appends + reads driven through clients.
+  uint64_t events = 0;        // Scheduler events fired to simulate them.
+  uint64_t checksum = 0;      // Mode-invariant fold of all committed per-worker streams.
+  double seconds = 0.0;
+  int64_t append_rounds = 0;  // Batched mode only: sequencer rounds and their occupancy.
+  int64_t batched_requests = 0;
+};
+
+struct DrivenShape {
+  int nodes = 4;
+  int workers_per_node = 48;
+  int ops_per_worker = 192;
+};
+
+sim::Task<void> DrivenWorker(runtime::Cluster* cluster, int node, TagId own, TagId obj,
+                             int ops, uint64_t* read_sink) {
+  sharedlog::LogClient& log = cluster->node(node).log();
+  size_t own_len = 0;  // Single writer of `own`: the next expected stream offset.
+  for (int i = 0; i < ops; ++i) {
+    FieldMap fields;
+    fields.SetStr("op", "write");
+    fields.SetInt("step", i);
+    if (i % 4 == 3) {
+      sharedlog::CondAppendResult r = co_await log.CondAppend(
+          sharedlog::TwoTags(own, obj), std::move(fields), own, own_len);
+      if (r.ok) ++own_len;
+    } else {
+      co_await log.Append(sharedlog::TwoTags(own, obj), std::move(fields));
+      ++own_len;
+    }
+    if (i % 8 == 7) {
+      // Cached-path read against the worker's own stream. Results feed a sink, not the
+      // cross-mode checksum: read timing (and thus what a bounded read sees) legitimately
+      // differs between batched and unbatched runs.
+      LogRecordPtr record = co_await log.ReadPrev(own, log.indexed_upto());
+      if (record != nullptr) *read_sink += static_cast<uint64_t>(record->seqnum) & 7u;
+    }
+  }
+}
+
+DrivenResult RunDrivenLogHeavy(bool batched, const DrivenShape& shape) {
+  runtime::ClusterConfig config;
+  config.function_nodes = shape.nodes;
+  config.seed = 1;
+  // PR 2 configuration vs current: group commit + timer wheel off or on, as a unit.
+  config.group_commit_appends = batched;
+  config.queue_mode = batched ? sim::QueueMode::kTimerWheel : sim::QueueMode::kPriorityQueue;
+  runtime::Cluster cluster(config);
+
+  int total_workers = shape.nodes * shape.workers_per_node;
+  std::vector<TagId> worker_tags;
+  worker_tags.reserve(total_workers);
+  for (int w = 0; w < total_workers; ++w) {
+    worker_tags.push_back(cluster.log_space().tags().Intern("w:" + std::to_string(w)));
+  }
+  uint64_t read_sink = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (int w = 0; w < total_workers; ++w) {
+    TagId obj = cluster.log_space().tags().InternPrefixed("k:", std::to_string(w % 32));
+    cluster.scheduler().Spawn(DrivenWorker(&cluster, w % shape.nodes, worker_tags[w], obj,
+                                           shape.ops_per_worker, &read_sink));
+  }
+  cluster.scheduler().Run();
+
+  DrivenResult out;
+  out.seconds = SecondsSince(start);
+  out.sim_ops = static_cast<uint64_t>(cluster.TotalLogAppends() + cluster.TotalLogReads());
+  out.events = cluster.scheduler().events_processed();
+  for (int n = 0; n < cluster.node_count(); ++n) {
+    out.append_rounds += cluster.node(n).log().stats().append_rounds;
+    out.batched_requests += cluster.node(n).log().stats().batched_requests;
+  }
+  // Content fingerprint: each worker stream's step sequence in order (program order for its
+  // single writer), combined order-independently across workers. Identical for the batched
+  // and unbatched runs — group commit must not change what commits, only when.
+  for (int w = 0; w < total_workers; ++w) {
+    uint64_t h = 1469598103934665603ull;
+    for (const LogRecordPtr& record :
+         cluster.log_space().ReadStreamUpTo(worker_tags[w], sharedlog::kMaxSeqNum)) {
+      h = (h ^ static_cast<uint64_t>(record->fields.GetInt("step"))) * 1099511628211ull;
+    }
+    out.checksum ^= h;
+  }
+  // The committed record count must also agree (no stream escaped the fingerprint).
+  out.checksum += cluster.log_space().next_seqnum();
+  if (read_sink == ~0ull) std::printf("(unreachable)\n");  // Keep the reads observable.
+  return out;
+}
+
+std::pair<DrivenResult, DrivenResult> BestOfDriven(int passes, const DrivenShape& shape) {
+  DrivenResult best_base, best_cand;
+  for (int pass = 0; pass < passes; ++pass) {
+    DrivenResult base = RunDrivenLogHeavy(/*batched=*/false, shape);
+    DrivenResult cand = RunDrivenLogHeavy(/*batched=*/true, shape);
+    HM_CHECK_MSG(base.checksum == cand.checksum,
+                 "group commit changed committed log content");
+    if (pass == 0) {
+      best_base = base;
+      best_cand = cand;
+      continue;
+    }
+    HM_CHECK_MSG(base.checksum == best_base.checksum,
+                 "driven passes observed different data");
+    if (base.seconds < best_base.seconds) best_base = base;
+    if (cand.seconds < best_cand.seconds) best_cand = cand;
+  }
+  return {best_base, best_cand};
+}
+
+// ---------------------------------------------------------------------------
+// Timer-wheel micro-section: the same post/drain event storm through the binary-heap
+// reference queue and the hierarchical wheel. Delays span L0 slots through mid levels, the
+// wheel's busiest regime.
+// ---------------------------------------------------------------------------
+
+EventResult RunSchedulerEvents(sim::QueueMode mode, uint64_t total, int batch) {
+  sim::Scheduler scheduler(mode);
+  EventResult out;
+  uint64_t counter = 0;
+  uint64_t sink = 0;
+  auto start = std::chrono::steady_clock::now();
+  while (out.events < total) {
+    uint64_t before = scheduler.events_processed();
+    for (int i = 0; i < batch; ++i) {
+      auto delay = static_cast<SimDuration>(
+          (static_cast<uint64_t>(i) * 2654435761ull) % static_cast<uint64_t>(Milliseconds(2)));
+      scheduler.Post(delay, [&counter, &sink, &out, i] {
+        counter += static_cast<uint64_t>(i) + sink + out.events;
+      });
+    }
+    scheduler.Run();
+    out.events += scheduler.events_processed() - before;
+  }
+  out.seconds = SecondsSince(start);
+  if (counter == 0) std::printf("(unreachable)\n");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Zero-copy audit: exercise the client read paths and report the stats counters.
 // ---------------------------------------------------------------------------
 
@@ -938,8 +1091,17 @@ void Report() {
   // Section 1: the seed baseline comparison (the original shape, payload-heavy).
   auto [base, opt] = BestOfInterleaved<LegacyAdapter, OptimizedAdapter>(2, shape);
 
-  // Section 2: PR 1 vs current on the log-heavy shape, where tag handling dominates.
+  // Section 2: PR 1 vs current on the log-heavy data-structure shape (tag handling).
   auto [pr1_res, opt_heavy] = BestOfInterleaved<Pr1Adapter, OptimizedAdapter>(9, heavy);
+
+  // Section 2b: the driven log-heavy shape — a real cluster under concurrent appenders.
+  // Baseline = PR 2 configuration (per-request appends, binary-heap scheduler); candidate =
+  // group commit + timer wheel. Committed content is asserted identical every pass.
+  DrivenShape driven_shape;
+  driven_shape.ops_per_worker =
+      std::max(32, static_cast<int>(driven_shape.ops_per_worker * scale));
+  RunDrivenLogHeavy(/*batched=*/true, DrivenShape{2, 8, 32});  // Warm-up.
+  auto [pr2_driven, cur_driven] = BestOfDriven(5, driven_shape);
 
   // Section 3: tag interning and frontier micro-sections.
   TagInternResult intern = RunTagInternMicro(intern_iters);
@@ -959,6 +1121,12 @@ void Report() {
   EventResult base_events = RunLegacyEvents(event_total, kEventBatch);
   EventResult opt_events = RunOptimizedEvents(event_total, kEventBatch);
 
+  // Section 5: binary-heap reference vs timer wheel on the same multi-level delay storm.
+  EventResult pq_events = RunSchedulerEvents(sim::QueueMode::kPriorityQueue, event_total,
+                                             kEventBatch);
+  EventResult wheel_events = RunSchedulerEvents(sim::QueueMode::kTimerWheel, event_total,
+                                                kEventBatch);
+
   AuditResult audit = RunZeroCopyAudit();
   HM_CHECK_MSG(audit.copies == 0, "read path copied a record");
 
@@ -968,11 +1136,29 @@ void Report() {
   double opt_heavy_ops = static_cast<double>(opt_heavy.ops) / opt_heavy.seconds;
   double base_eps = static_cast<double>(base_events.events) / base_events.seconds;
   double opt_eps = static_cast<double>(opt_events.events) / opt_events.seconds;
+  double pq_eps = static_cast<double>(pq_events.events) / pq_events.seconds;
+  double wheel_eps = static_cast<double>(wheel_events.events) / wheel_events.seconds;
+  double pr2_ops = static_cast<double>(pr2_driven.sim_ops) / pr2_driven.seconds;
+  double cur_ops = static_cast<double>(cur_driven.sim_ops) / cur_driven.seconds;
+  double pr2_epo = static_cast<double>(pr2_driven.events) /
+                   static_cast<double>(std::max<uint64_t>(1, pr2_driven.sim_ops));
+  double cur_epo = static_cast<double>(cur_driven.events) /
+                   static_cast<double>(std::max<uint64_t>(1, cur_driven.sim_ops));
+  double occupancy = static_cast<double>(cur_driven.batched_requests) /
+                     static_cast<double>(std::max<int64_t>(1, cur_driven.append_rounds));
 
   std::printf("  log ops:     seed %.0f ops/s, current %.0f ops/s (%.2fx)\n", base_ops,
               opt_ops, opt_ops / base_ops);
-  std::printf("  log-heavy:   pr1 %.0f ops/s, current %.0f ops/s (%.2fx)\n", pr1_ops,
+  std::printf("  log-heavy (struct): pr1 %.0f ops/s, current %.0f ops/s (%.2fx)\n", pr1_ops,
               opt_heavy_ops, opt_heavy_ops / pr1_ops);
+  std::printf("  log-heavy (driven): pr2 %.0f ops/s (%.2f ev/op), current %.0f ops/s"
+              " (%.2f ev/op) (%.2fx)\n",
+              pr2_ops, pr2_epo, cur_ops, cur_epo, cur_ops / pr2_ops);
+  std::printf("  group commit: %lld requests over %lld rounds (%.2f occupancy)\n",
+              static_cast<long long>(cur_driven.batched_requests),
+              static_cast<long long>(cur_driven.append_rounds), occupancy);
+  std::printf("  timer wheel: pq %.0f ev/s, wheel %.0f ev/s (%.2fx)\n", pq_eps, wheel_eps,
+              wheel_eps / pq_eps);
   std::printf("  tag intern:  string %.1f ns/op, interned %.1f ns/op (%.2fx); %lld requests"
               " -> %zu names\n",
               intern.string_ns, intern.interned_ns, intern.string_ns / intern.interned_ns,
@@ -999,9 +1185,17 @@ void Report() {
                "                \"log_ops\": %llu, \"events\": %llu},\n"
                "  \"speedup_sim_ops\": %.3f,\n"
                "  \"speedup_events\": %.3f,\n"
-               "  \"log_heavy\": {\"pr1_sim_ops_per_sec\": %.1f,\n"
+               "  \"log_heavy_struct\": {\"pr1_sim_ops_per_sec\": %.1f,\n"
                "                \"optimized_sim_ops_per_sec\": %.1f, \"log_ops\": %llu},\n"
                "  \"speedup_vs_pr1\": %.3f,\n"
+               "  \"log_heavy\": {\"pr2_sim_ops_per_sec\": %.1f,\n"
+               "                \"optimized_sim_ops_per_sec\": %.1f, \"sim_ops\": %llu,\n"
+               "                \"pr2_events_per_op\": %.2f, \"optimized_events_per_op\": %.2f,\n"
+               "                \"append_rounds\": %lld, \"batched_requests\": %lld,\n"
+               "                \"batch_occupancy\": %.2f},\n"
+               "  \"speedup_vs_pr2\": %.3f,\n"
+               "  \"timer_wheel\": {\"pq_events_per_sec\": %.1f,\n"
+               "                  \"wheel_events_per_sec\": %.1f, \"speedup\": %.3f},\n"
                "  \"tag_intern\": {\"string_ns_per_op\": %.2f, \"interned_ns_per_op\": %.2f,\n"
                "                 \"speedup\": %.3f, \"intern_requests\": %lld,\n"
                "                 \"distinct_tags\": %zu},\n"
@@ -1018,6 +1212,10 @@ void Report() {
                static_cast<unsigned long long>(opt_events.events), opt_ops / base_ops,
                opt_eps / base_eps, pr1_ops, opt_heavy_ops,
                static_cast<unsigned long long>(opt_heavy.ops), opt_heavy_ops / pr1_ops,
+               pr2_ops, cur_ops, static_cast<unsigned long long>(cur_driven.sim_ops),
+               pr2_epo, cur_epo, static_cast<long long>(cur_driven.append_rounds),
+               static_cast<long long>(cur_driven.batched_requests), occupancy,
+               cur_ops / pr2_ops, pq_eps, wheel_eps, wheel_eps / pq_eps,
                intern.string_ns, intern.interned_ns, intern.string_ns / intern.interned_ns,
                static_cast<long long>(intern.intern_requests), intern.distinct_tags,
                frontier.scan_ns, frontier.incremental_ns,

@@ -13,4 +13,10 @@ cmake -B "${BUILD_DIR}" -S . -DHM_WERROR=ON
 cmake --build "${BUILD_DIR}" -j"$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure
 
+# Smoke-mode bench: exercises the full-scale equivalence assertions (group commit vs
+# per-request appends, coalesced propagation, zero-copy audit) at reduced scale. Runs from
+# inside the build dir so the scaled-down JSON never overwrites the tracked full-scale
+# BENCH_hotpath.json at the repo root (DESIGN.md §7.4).
+( cd "${BUILD_DIR}" && HM_BENCH_SCALE=0.2 ./bench/bench_hotpath )
+
 echo "check.sh: all tests passed"

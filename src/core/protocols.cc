@@ -20,10 +20,10 @@ namespace {
 
 // Scans the step log fetched at Init for a record with the given op/step, Boki's recovery
 // lookup (keyed by step, not by position, because Boki's commit markers are asynchronous and
-// may interleave arbitrarily with other records in the stream).
-const LogRecord* FindBokiStep(const Env& env, const std::string& op, int64_t step) {
+// may interleave arbitrarily with other records in the stream). Compares interned op ids.
+const LogRecord* FindBokiStep(const Env& env, sharedlog::OpId op, int64_t step) {
   for (const sharedlog::LogRecordPtr& record : env.step_logs) {
-    if (record->fields.GetInt("step") == step && record->fields.GetStr("op") == op) {
+    if (record->op == op && record->fields.GetInt("step") == step) {
       return record.get();
     }
   }
@@ -85,7 +85,7 @@ sim::Task<void> HalfmoonReadWrite(Env& env, const std::string& key, Value value)
   post_fields.SetStr("version", version);
   TagId write_tag = env.WriteTag(key);
   if (const LogRecord* cached = PeekNextLog(env);
-      cached != nullptr && cached->fields.GetStr("op") == "write") {
+      cached != nullptr && cached->op == sharedlog::kOpWrite) {
     co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
     co_return;
   }
@@ -170,7 +170,7 @@ sim::Task<void> HalfmoonWriteWrite(Env& env, const std::string& key, Value value
 
 sim::Task<Value> BokiRead(Env& env, const std::string& key) {
   env.step += 1;
-  if (const LogRecord* prev = FindBokiStep(env, "read", env.step); prev != nullptr) {
+  if (const LogRecord* prev = FindBokiStep(env, sharedlog::kOpRead, env.step); prev != nullptr) {
     co_return prev->fields.GetStr("data");
   }
   env.MaybeCrash("boki.read.before");
@@ -186,7 +186,7 @@ sim::Task<Value> BokiRead(Env& env, const std::string& key) {
   // Boki's peer-race resolution: honor the first record logged for this step (§5.1). The
   // check rides on the append reply (auxiliary data), so it costs no extra round.
   LogRecordPtr first =
-      env.cluster->log_space().FindFirstByStep(env.step_tag, "read", env.step);
+      env.cluster->log_space().FindFirstByStep(env.step_tag, sharedlog::kOpRead, env.step);
   if (first != nullptr && first->seqnum != seqnum) {
     value = first->fields.GetStr("data");
   }
@@ -199,7 +199,7 @@ sim::Task<void> BokiWrite(Env& env, const std::string& key, Value value) {
   // Step 1: the synchronous version log. Its seqnum doubles as the write's version, making
   // the otherwise non-deterministic conditional update recoverable.
   SeqNum version_seq;
-  if (const LogRecord* pre = FindBokiStep(env, "write-pre", env.step); pre != nullptr) {
+  if (const LogRecord* pre = FindBokiStep(env, sharedlog::kOpWritePre, env.step); pre != nullptr) {
     version_seq = pre->seqnum;
   } else {
     env.MaybeCrash("boki.write.before");
@@ -209,11 +209,11 @@ sim::Task<void> BokiWrite(Env& env, const std::string& key, Value value) {
     version_seq =
         co_await env.log().Append(sharedlog::OneTag(env.step_tag), std::move(pre_fields));
     LogRecordPtr first =
-        env.cluster->log_space().FindFirstByStep(env.step_tag, "write-pre", env.step);
+        env.cluster->log_space().FindFirstByStep(env.step_tag, sharedlog::kOpWritePre, env.step);
     if (first != nullptr) version_seq = first->seqnum;
   }
 
-  if (FindBokiStep(env, "write", env.step) != nullptr) {
+  if (FindBokiStep(env, sharedlog::kOpWrite, env.step) != nullptr) {
     co_return;  // Commit marker present: the write already applied.
   }
 
@@ -325,7 +325,7 @@ sim::Task<void> TransitionalWrite(Env& env, const std::string& key, Value value)
 
   TagId write_tag = env.WriteTag(key);
   if (const LogRecord* cached = PeekNextLog(env);
-      cached != nullptr && cached->fields.GetStr("op") == "write") {
+      cached != nullptr && cached->op == sharedlog::kOpWrite) {
     // Replay: both external effects (the version and the LATEST slot) already applied.
     co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
     co_return;

@@ -192,7 +192,7 @@ class ContextImpl final : public SsfContext {
     // If the post batch is already in the step log, skip the calls entirely.
     std::vector<Value> results;
     if (const LogRecord* cached = PeekNextLog(env);
-        cached != nullptr && cached->fields.GetStr("op") == "invoke") {
+        cached != nullptr && cached->op == sharedlog::kOpInvoke) {
       std::vector<FieldMap> post_fields(n);
       for (size_t i = 0; i < n; ++i) {
         post_fields[i].SetStr("op", "invoke");
@@ -244,10 +244,10 @@ class ContextImpl final : public SsfContext {
       steps[i] = env.step;
       for (const LogRecordPtr& record : env.step_logs) {
         if (record->fields.GetInt("step") != steps[i]) continue;
-        if (record->fields.GetStr("op") == "invoke-pre") {
+        if (record->op == sharedlog::kOpInvokePre) {
           callees[i] = record->fields.GetStr("callee");
           pre_seqs[i] = record->seqnum;
-        } else if (record->fields.GetStr("op") == "invoke") {
+        } else if (record->op == sharedlog::kOpInvoke) {
           results[i] = record->fields.GetStr("result");
           have_result[i] = true;
         }
@@ -270,7 +270,7 @@ class ContextImpl final : public SsfContext {
       co_await env.log().AppendBatch(std::move(pre_batch));
       for (size_t i = 0; i < n; ++i) {
         LogRecordPtr first = env.cluster->log_space().FindFirstByStep(
-            step_tag, "invoke-pre", steps[i]);
+            step_tag, sharedlog::kOpInvokePre, steps[i]);
         if (first != nullptr) {
           callees[i] = first->fields.GetStr("callee");
           pre_seqs[i] = first->seqnum;
@@ -309,7 +309,7 @@ class ContextImpl final : public SsfContext {
       co_await env.log().AppendBatch(std::move(post_batch));
       for (size_t i = 0; i < n; ++i) {
         LogRecordPtr first =
-            env.cluster->log_space().FindFirstByStep(step_tag, "invoke", steps[i]);
+            env.cluster->log_space().FindFirstByStep(step_tag, sharedlog::kOpInvoke, steps[i]);
         if (first != nullptr) results[i] = first->fields.GetStr("result");
       }
     }
@@ -330,7 +330,7 @@ class ContextImpl final : public SsfContext {
           co_await env_->log().ReadPrev(runtime_->transition_tag(), env_->init_cursor_ts);
       if (record == nullptr) {
         res.kind = config.default_protocol;
-      } else if (record->fields.GetStr("op") == "END") {
+      } else if (record->op == sharedlog::kOpSwitchEnd) {
         res.kind = KindFromInt(record->fields.GetInt("target"));
         res.post_switch = true;
       } else {
@@ -359,7 +359,7 @@ class ContextImpl final : public SsfContext {
 
     // Skip the call entirely if the result was already logged (Figure 5, lines 33-36).
     if (const LogRecord* cached = PeekNextLog(env);
-        cached != nullptr && cached->fields.GetStr("op") == "invoke") {
+        cached != nullptr && cached->op == sharedlog::kOpInvoke) {
       FieldMap post_fields;
       post_fields.SetStr("op", "invoke");
       post_fields.SetInt("step", env.step);
@@ -395,10 +395,10 @@ class ContextImpl final : public SsfContext {
     SeqNum pre_seq = sharedlog::kInvalidSeqNum;
     for (const LogRecordPtr& record : env.step_logs) {
       if (record->fields.GetInt("step") == env.step) {
-        if (record->fields.GetStr("op") == "invoke-pre") {
+        if (record->op == sharedlog::kOpInvokePre) {
           callee = record->fields.GetStr("callee");
           pre_seq = record->seqnum;
-        } else if (record->fields.GetStr("op") == "invoke") {
+        } else if (record->op == sharedlog::kOpInvoke) {
           co_return record->fields.GetStr("result");
         }
       }
@@ -411,7 +411,7 @@ class ContextImpl final : public SsfContext {
       pre_fields.SetStr("callee", env.instance_id + "/" + env.RandomId());
       co_await env.log().Append(sharedlog::OneTag(step_tag), std::move(pre_fields));
       LogRecordPtr first =
-          env.cluster->log_space().FindFirstByStep(step_tag, "invoke-pre", env.step);
+          env.cluster->log_space().FindFirstByStep(step_tag, sharedlog::kOpInvokePre, env.step);
       HM_CHECK(first != nullptr);
       callee = first->fields.GetStr("callee");
       pre_seq = first->seqnum;
@@ -427,7 +427,7 @@ class ContextImpl final : public SsfContext {
     post_fields.SetStr("result", result);
     co_await env.log().Append(sharedlog::OneTag(step_tag), std::move(post_fields));
     LogRecordPtr first =
-        env.cluster->log_space().FindFirstByStep(step_tag, "invoke", env.step);
+        env.cluster->log_space().FindFirstByStep(step_tag, sharedlog::kOpInvoke, env.step);
     if (first != nullptr) result = first->fields.GetStr("result");
     co_return result;
   }

@@ -7,7 +7,10 @@
 namespace halfmoon::runtime {
 
 Cluster::Cluster(const ClusterConfig& config)
-    : config_(config), rng_(config.seed), models_(config.calibration) {
+    : config_(config),
+      scheduler_(config.queue_mode),
+      rng_(config.seed),
+      models_(config.calibration) {
   if (config.model_queueing) {
     sequencer_station_ =
         std::make_unique<sim::ServiceStation>(&scheduler_, config.sequencer_servers);
@@ -16,11 +19,15 @@ Cluster::Cluster(const ClusterConfig& config)
     db_station_ = std::make_unique<sim::ServiceStation>(&scheduler_, config.db_servers);
   }
   HM_CHECK(config.function_nodes > 0);
+  sharedlog::AppendBatchConfig batch;
+  batch.enabled = config.group_commit_appends;
+  batch.window = config.append_batch_window;
+  batch.max_batch = static_cast<size_t>(config.append_batch_max);
   nodes_.reserve(config.function_nodes);
   for (int i = 0; i < config.function_nodes; ++i) {
     nodes_.push_back(std::make_unique<FunctionNode>(
         i, &scheduler_, &rng_, &models_, &log_space_, &kv_state_, sequencer_station_.get(),
-        storage_station_.get(), db_station_.get(), config.workers_per_node));
+        storage_station_.get(), db_station_.get(), config.workers_per_node, batch));
   }
 
   // Index propagation: every committed seqnum reaches each function node's index replica

@@ -55,6 +55,19 @@ struct ClusterConfig {
   // bit-identical to the per-commit reference mode (kept for the determinism tests).
   bool coalesce_index_propagation = true;
 
+  // Node-local group commit for the append path (see sharedlog/append_batcher.h): appends
+  // issued while a node's sequencer round is in flight share the next round. Committed
+  // records and protocol outcomes are identical to the per-request reference mode (asserted
+  // by the equivalence tests); only timing differs. window/max knobs mirror AppendBatchConfig.
+  bool group_commit_appends = true;
+  SimDuration append_batch_window = 0;
+  int append_batch_max = 64;
+
+  // Event-queue implementation for the scheduler: the timer wheel (default) or the
+  // binary-heap reference mode, which fires the exact same event order (equivalence-tested)
+  // at O(log n) per event.
+  sim::QueueMode queue_mode = sim::QueueMode::kTimerWheel;
+
   uint64_t seed = 1;
   LatencyCalibration calibration;
 };
@@ -65,10 +78,10 @@ class FunctionNode {
   FunctionNode(int id, sim::Scheduler* scheduler, Rng* rng, const LatencyModels* models,
                sharedlog::LogSpace* log_space, kvstore::KvState* kv_state,
                sim::ServiceStation* sequencer, sim::ServiceStation* storage,
-               sim::ServiceStation* db, int workers)
+               sim::ServiceStation* db, int workers, sharedlog::AppendBatchConfig batch)
       : id_(id),
         workers_(scheduler, workers),
-        log_(scheduler, rng, models, log_space, sequencer, storage),
+        log_(scheduler, rng, models, log_space, sequencer, storage, batch),
         kv_(scheduler, rng, models, kv_state, db) {}
 
   int id() const { return id_; }

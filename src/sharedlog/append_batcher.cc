@@ -1,0 +1,79 @@
+#include "src/sharedlog/append_batcher.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/sharedlog/log_client.h"
+
+namespace halfmoon::sharedlog {
+
+void AppendBatcher::Enqueue(Submission* submission) {
+  if (head_ == nullptr) {
+    head_ = submission;
+  } else {
+    tail_->next = submission;
+  }
+  tail_ = submission;
+  if (!round_loop_active_) {
+    // The loop starts via Spawn at delay 0, so an isolated request departs at the time it
+    // was submitted — same latency as the unbatched path. Requests submitted while a round
+    // is in flight accumulate here and depart together in the next round.
+    round_loop_active_ = true;
+    owner_->scheduler_->Spawn(RunRounds());
+  }
+}
+
+sim::Task<void> AppendBatcher::RunRounds() {
+  while (head_ != nullptr) {
+    if (config_.window > 0) {
+      // Hold the departure open so near-simultaneous requests can still join this round.
+      co_await owner_->scheduler_->Delay(config_.window);
+    }
+
+    // Detach up to max_batch submissions in FIFO order; later arrivals ride the next round.
+    std::vector<Submission*> round;
+    std::vector<LogSpace::GroupRequest> requests;
+    while (head_ != nullptr && round.size() < config_.max_batch) {
+      Submission* s = head_;
+      head_ = s->next;
+      if (head_ == nullptr) tail_ = nullptr;
+      round.push_back(s);
+      requests.push_back(std::move(s->request));
+    }
+    ++owner_->stats_.append_rounds;
+    owner_->stats_.batched_requests += static_cast<int64_t>(round.size());
+    if (static_cast<int64_t>(round.size()) > owner_->stats_.max_round_occupancy) {
+      owner_->stats_.max_round_occupancy = static_cast<int64_t>(round.size());
+    }
+
+    // One sequencer round for the whole group: the same leg/service split as an unbatched
+    // append, sampled once, so requests sharing a round share its latency.
+    SimDuration total = owner_->models_->log_append.Sample(*owner_->rng_);
+    auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
+    co_await owner_->scheduler_->Delay(leg);
+    co_await owner_->SequencerRound(total);
+    std::vector<LogSpace::GroupVerdict> verdicts =
+        owner_->space_->AppendGroup(owner_->scheduler_->Now(), std::move(requests));
+    HM_CHECK(verdicts.size() == round.size());
+    bool any_committed = false;
+    for (size_t i = 0; i < round.size(); ++i) {
+      round[i]->verdict = verdicts[i];
+      if (verdicts[i].ok) any_committed = true;
+    }
+    if (any_committed) {
+      // The node learns the round's seqnums with the reply (AppendGroup ran synchronously,
+      // so next_seqnum() - 1 is exactly the round's last committed record).
+      owner_->AdvanceIndex(owner_->space_->next_seqnum() - 1);
+    }
+    co_await owner_->scheduler_->Delay(leg);  // Shared reply leg.
+
+    // Wake the round's submitters in submission order; they all resume at the reply time.
+    for (Submission* s : round) {
+      owner_->scheduler_->PostResume(0, s->waiter);
+    }
+  }
+  round_loop_active_ = false;
+}
+
+}  // namespace halfmoon::sharedlog

@@ -3,15 +3,6 @@
 #include <utility>
 
 namespace halfmoon::sharedlog {
-namespace {
-
-// How a sampled end-to-end latency is split across the wire legs and the server occupancy.
-// The split keeps low-load latency equal to the calibrated sample while letting the station
-// inject queueing delay under load.
-constexpr double kRequestLegFraction = 0.4;
-constexpr double kServiceFraction = 0.2;
-
-}  // namespace
 
 sim::Task<void> LogClient::SequencerRound(SimDuration total_latency) {
   auto service = static_cast<SimDuration>(static_cast<double>(total_latency) * kServiceFraction);
@@ -33,6 +24,12 @@ sim::Task<void> LogClient::StorageRound(SimDuration total_latency) {
 
 sim::Task<SeqNum> LogClient::Append(std::vector<TagId> tags, FieldMap fields) {
   ++stats_.appends;
+  if (batcher_ != nullptr) {
+    LogSpace::GroupRequest request;
+    request.entries.push_back(LogSpace::BatchEntry{std::move(tags), std::move(fields)});
+    LogSpace::GroupVerdict verdict = co_await batcher_->Submit(std::move(request));
+    co_return verdict.seqnum;  // Unconditional requests always commit.
+  }
   SimDuration total = models_->log_append.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
   co_await scheduler_->Delay(leg);        // Request travels to the sequencer.
@@ -46,6 +43,13 @@ sim::Task<SeqNum> LogClient::Append(std::vector<TagId> tags, FieldMap fields) {
 sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<TagId> tags, FieldMap fields,
                                                   TagId cond_tag, size_t cond_pos) {
   ++stats_.cond_appends;
+  if (batcher_ != nullptr) {
+    LogSpace::GroupRequest request;
+    request.entries.push_back(LogSpace::BatchEntry{std::move(tags), std::move(fields)});
+    request.cond_tag = cond_tag;
+    request.cond_pos = cond_pos;
+    co_return co_await SubmitCond(std::move(request));
+  }
   SimDuration total = models_->log_append.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
   co_await scheduler_->Delay(leg);
@@ -62,9 +66,32 @@ sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<TagId> tags, Field
   co_return result;
 }
 
+// Shared batched tail of CondAppend / CondAppendBatch: ships the request through the
+// batcher and rebuilds the CondAppendResult (verdict + shared view of the first record).
+sim::Task<CondAppendResult> LogClient::SubmitCond(LogSpace::GroupRequest request) {
+  LogSpace::GroupVerdict verdict = co_await batcher_->Submit(std::move(request));
+  CondAppendResult result;
+  result.ok = verdict.ok;
+  result.seqnum = verdict.seqnum;
+  result.existing_seqnum = verdict.existing_seqnum;
+  if (verdict.ok) {
+    result.record = space_->Get(verdict.seqnum);
+  } else {
+    ++stats_.cond_append_conflicts;
+  }
+  co_return result;
+}
+
 sim::Task<CondAppendResult> LogClient::CondAppendBatch(std::vector<LogSpace::BatchEntry> batch,
                                                        TagId cond_tag, size_t cond_pos) {
   stats_.cond_appends += static_cast<int64_t>(batch.size());
+  if (batcher_ != nullptr) {
+    LogSpace::GroupRequest request;
+    request.entries = std::move(batch);
+    request.cond_tag = cond_tag;
+    request.cond_pos = cond_pos;
+    co_return co_await SubmitCond(std::move(request));
+  }
   SimDuration total = models_->log_append.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
   co_await scheduler_->Delay(leg);
@@ -83,6 +110,12 @@ sim::Task<CondAppendResult> LogClient::CondAppendBatch(std::vector<LogSpace::Bat
 
 sim::Task<SeqNum> LogClient::AppendBatch(std::vector<LogSpace::BatchEntry> batch) {
   stats_.appends += static_cast<int64_t>(batch.size());
+  if (batcher_ != nullptr) {
+    LogSpace::GroupRequest request;
+    request.entries = std::move(batch);
+    LogSpace::GroupVerdict verdict = co_await batcher_->Submit(std::move(request));
+    co_return verdict.seqnum;
+  }
   SimDuration total = models_->log_append.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
   co_await scheduler_->Delay(leg);
@@ -93,7 +126,7 @@ sim::Task<SeqNum> LogClient::AppendBatch(std::vector<LogSpace::BatchEntry> batch
   co_return first;
 }
 
-sim::Task<LogRecordPtr> LogClient::FindFirstByStep(TagId tag, std::string op, int64_t step) {
+sim::Task<LogRecordPtr> LogClient::FindFirstByStep(TagId tag, OpId op, int64_t step) {
   co_await scheduler_->Delay(models_->log_read_cached.Sample(*rng_));
   LogRecordPtr record = space_->FindFirstByStep(tag, op, step);
   if (record != nullptr) ++stats_.read_record_shared;

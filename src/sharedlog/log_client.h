@@ -11,12 +11,14 @@
 #define HALFMOON_SHAREDLOG_LOG_CLIENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/latency_model.h"
 #include "src/common/rng.h"
+#include "src/sharedlog/append_batcher.h"
 #include "src/sharedlog/log_record.h"
 #include "src/sharedlog/log_space.h"
 #include "src/sim/scheduler.h"
@@ -24,6 +26,13 @@
 #include "src/sim/task.h"
 
 namespace halfmoon::sharedlog {
+
+// How a sampled end-to-end latency is split across the wire legs and the server occupancy.
+// The split keeps low-load latency equal to the calibrated sample while letting the station
+// inject queueing delay under load. Shared by LogClient and AppendBatcher so a batched round
+// costs exactly one unbatched append latency.
+inline constexpr double kRequestLegFraction = 0.4;
+inline constexpr double kServiceFraction = 0.2;
 
 // Counters for the logging-overhead analysis (the paper's "number of abstract logging
 // operations", §4.3) and cache behaviour.
@@ -42,19 +51,33 @@ struct LogClientStats {
   // tests can observe the claim instead of trusting it.
   int64_t read_record_shared = 0;
   int64_t read_record_copies = 0;
+  // Group-commit occupancy (batched mode only). append_rounds counts sequencer rounds the
+  // batcher issued; batched_requests counts the append/cond-append requests they carried.
+  // Their ratio is the node's mean batch occupancy — how many per-request rounds each round
+  // of group commit replaced.
+  int64_t append_rounds = 0;
+  int64_t batched_requests = 0;
+  int64_t max_round_occupancy = 0;
 };
 
 class LogClient {
  public:
   // `sequencer_station` and `storage_station` may be null to disable queueing (microbenches).
+  // `batch` enables node-local group commit: appends and cond-appends are collected by an
+  // AppendBatcher and shipped in shared sequencer rounds (see append_batcher.h). Disabled by
+  // default so microbenches and unit fixtures get the reference per-request path; the
+  // cluster runtime enables it via ClusterConfig.
   LogClient(sim::Scheduler* scheduler, Rng* rng, const LatencyModels* models, LogSpace* space,
-            sim::ServiceStation* sequencer_station, sim::ServiceStation* storage_station)
+            sim::ServiceStation* sequencer_station, sim::ServiceStation* storage_station,
+            AppendBatchConfig batch = AppendBatchConfig{.enabled = false})
       : scheduler_(scheduler),
         rng_(rng),
         models_(models),
         space_(space),
         sequencer_station_(sequencer_station),
-        storage_station_(storage_station) {}
+        storage_station_(storage_station) {
+    if (batch.enabled) batcher_ = std::make_unique<AppendBatcher>(this, batch);
+  }
 
   // The log's tag interner (shared across all clients of the same LogSpace).
   TagRegistry& tags() { return space_->tags(); }
@@ -77,8 +100,12 @@ class LogClient {
 
   // Boki-style conflict resolution: the first record logged for (op, step) in `tag` wins.
   // Served against the local index replica at cache cost; used immediately after an append,
-  // when the replica provably covers the appended seqnum.
-  sim::Task<LogRecordPtr> FindFirstByStep(TagId tag, std::string op, int64_t step);
+  // when the replica provably covers the appended seqnum. The hot path takes a pre-interned
+  // OpId (the kOp* constants) so the scan is integer compares.
+  sim::Task<LogRecordPtr> FindFirstByStep(TagId tag, OpId op, int64_t step);
+  sim::Task<LogRecordPtr> FindFirstByStep(TagId tag, const std::string& op, int64_t step) {
+    return FindFirstByStep(tag, space_->ops().Find(op), step);
+  }
 
   // logReadPrev / logReadNext. Return shared views of the committed records (null when no
   // record qualifies); the log's copy is never duplicated.
@@ -102,8 +129,9 @@ class LogClient {
     return CondAppend(InternAll(std::move(tag_names)), std::move(fields),
                       tags().Intern(cond_tag), cond_pos);
   }
-  sim::Task<LogRecordPtr> FindFirstByStep(std::string_view tag, std::string op, int64_t step) {
-    return FindFirstByStep(tags().Find(tag), std::move(op), step);
+  sim::Task<LogRecordPtr> FindFirstByStep(std::string_view tag, const std::string& op,
+                                          int64_t step) {
+    return FindFirstByStep(tags().Find(tag), space_->ops().Find(op), step);
   }
   sim::Task<LogRecordPtr> ReadPrev(std::string_view tag, SeqNum max_seqnum) {
     return ReadPrev(tags().Find(tag), max_seqnum);
@@ -128,7 +156,12 @@ class LogClient {
   const LogClientStats& stats() const { return stats_; }
   LogClientStats& mutable_stats() { return stats_; }
 
+  // Non-null iff node-local group commit is enabled for this client.
+  AppendBatcher* batcher() { return batcher_.get(); }
+
  private:
+  friend class AppendBatcher;
+
   std::vector<TagId> InternAll(std::vector<std::string> names) {
     std::vector<TagId> ids;
     ids.reserve(names.size());
@@ -138,6 +171,7 @@ class LogClient {
 
   sim::Task<void> SequencerRound(SimDuration total_latency);
   sim::Task<void> StorageRound(SimDuration total_latency);
+  sim::Task<CondAppendResult> SubmitCond(LogSpace::GroupRequest request);
 
   sim::Scheduler* scheduler_;
   Rng* rng_;
@@ -145,6 +179,7 @@ class LogClient {
   LogSpace* space_;
   sim::ServiceStation* sequencer_station_;
   sim::ServiceStation* storage_station_;
+  std::unique_ptr<AppendBatcher> batcher_;
   SeqNum indexed_upto_ = 0;
   LogClientStats stats_;
 };

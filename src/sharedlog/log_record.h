@@ -35,6 +35,22 @@ inline constexpr TagId kInvalidTagId = std::numeric_limits<TagId>::max();
 inline constexpr TagId kInitTagId = 0;    // "ssf.init" (§4.7 "scans the init log records")
 inline constexpr TagId kFinishTagId = 1;  // "ssf.finish" (GC condition (b) of §4.5)
 
+// Dense interned id of a record's "op" field (a second TagRegistry owned by LogSpace).
+// Step arbitration (FindFirstByStep) compares these integers instead of the op strings.
+using OpId = uint64_t;
+
+inline constexpr OpId kInvalidOpId = std::numeric_limits<OpId>::max();
+// LogSpace pre-interns the protocol op names so their ids are fixed constants everywhere.
+inline constexpr OpId kOpInit = 0;         // "init": SSF Init records.
+inline constexpr OpId kOpRead = 1;         // "read": Boki-read step records.
+inline constexpr OpId kOpWritePre = 2;     // "write-pre": Boki-write intentions (§5.1).
+inline constexpr OpId kOpWrite = 3;        // "write": write / commit records.
+inline constexpr OpId kOpInvokePre = 4;    // "invoke-pre": child-invocation intentions.
+inline constexpr OpId kOpInvoke = 5;       // "invoke": child-invocation step records.
+inline constexpr OpId kOpSync = 6;         // "sync": Halfmoon-write sync markers.
+inline constexpr OpId kOpSwitchBegin = 7;  // "BEGIN": transition-log markers (§4.7).
+inline constexpr OpId kOpSwitchEnd = 8;    // "END".
+
 inline constexpr SeqNum kInvalidSeqNum = std::numeric_limits<SeqNum>::max();
 inline constexpr SeqNum kMaxSeqNum = std::numeric_limits<SeqNum>::max() - 1;
 
@@ -83,6 +99,9 @@ inline std::vector<std::string> TwoTags(std::string a, std::string b) {
 struct LogRecord {
   SeqNum seqnum = kInvalidSeqNum;
   std::vector<TagId> tags;
+  // Interned id of fields["op"] (kInvalidOpId when the record has no "op" field), filled in
+  // by LogSpace::Append so step arbitration scans compare integers instead of strings.
+  OpId op = kInvalidOpId;
   FieldMap fields;
 
   bool HasTag(TagId t) const {

@@ -12,6 +12,16 @@ LogSpace::LogSpace() {
   // Pre-intern the two global streams so their ids are compile-time constants everywhere.
   HM_CHECK(tags_.Intern(InitLogTag()) == kInitTagId);
   HM_CHECK(tags_.Intern(FinishLogTag()) == kFinishTagId);
+  // Same for the protocol op names (the kOp* constants of log_record.h).
+  HM_CHECK(ops_.Intern("init") == kOpInit);
+  HM_CHECK(ops_.Intern("read") == kOpRead);
+  HM_CHECK(ops_.Intern("write-pre") == kOpWritePre);
+  HM_CHECK(ops_.Intern("write") == kOpWrite);
+  HM_CHECK(ops_.Intern("invoke-pre") == kOpInvokePre);
+  HM_CHECK(ops_.Intern("invoke") == kOpInvoke);
+  HM_CHECK(ops_.Intern("sync") == kOpSync);
+  HM_CHECK(ops_.Intern("BEGIN") == kOpSwitchBegin);
+  HM_CHECK(ops_.Intern("END") == kOpSwitchEnd);
 }
 
 LogSpace::TagStream& LogSpace::StreamFor(TagId tag) {
@@ -28,6 +38,9 @@ SeqNum LogSpace::Append(SimTime now, std::vector<TagId> tags, FieldMap fields) {
   record->seqnum = seqnum;
   record->tags = std::move(tags);
   record->fields = std::move(fields);
+  if (record->fields.Has("op")) {
+    record->op = ops_.Intern(record->fields.GetStr("op"));
+  }
 
   StoredRecord stored;
   stored.live_tag_refs = static_cast<int>(record->tags.size());
@@ -44,6 +57,25 @@ SeqNum LogSpace::Append(SimTime now, std::vector<TagId> tags, FieldMap fields) {
   return seqnum;
 }
 
+bool LogSpace::CondHolds(TagId cond_tag, size_t cond_pos, SeqNum* existing) {
+  TagStream& stream = StreamFor(cond_tag);
+  if (stream.length() == cond_pos) return true;
+  // Conflict: some peer already appended at (or past) the expected offset. Report the record
+  // occupying that offset so the caller can recover its peer's state. Unlike the description
+  // in §5.1 we can check *before* physically appending because LogSpace is the linearization
+  // point itself; the observable behaviour (append undone, existing seqnum returned) is
+  // identical.
+  HM_CHECK_MSG(cond_pos < stream.length(),
+               "logCondAppend: expected offset beyond stream end (missed a step?)");
+  // A conflict below the compacted prefix would mean the occupying record was already
+  // GC-trimmed — impossible while the losing instance still runs (§4.5 keeps every record
+  // a live SSF may seek), so the offset must fall in the retained suffix.
+  HM_CHECK_MSG(cond_pos >= stream.base,
+               "logCondAppend: conflicting offset was already trimmed");
+  *existing = stream.seqnums[cond_pos - stream.base];
+  return false;
+}
+
 CondAppendResult LogSpace::CondAppend(SimTime now, std::vector<TagId> tags, FieldMap fields,
                                       TagId cond_tag, size_t cond_pos) {
   // The conditional tag must be among the record's tags, otherwise the offset check is
@@ -52,25 +84,10 @@ CondAppendResult LogSpace::CondAppend(SimTime now, std::vector<TagId> tags, Fiel
                "logCondAppend: cond_tag must be one of the record's tags");
 
   CondAppendResult result;
-  TagStream& stream = StreamFor(cond_tag);
-  if (stream.length() != cond_pos) {
-    // Conflict: some peer already appended at (or past) the expected offset. Report the record
-    // occupying that offset so the caller can recover its peer's state. Unlike the description
-    // in §5.1 we can check *before* physically appending because LogSpace is the linearization
-    // point itself; the observable behaviour (append undone, existing seqnum returned) is
-    // identical.
-    HM_CHECK_MSG(cond_pos < stream.length(),
-                 "logCondAppend: expected offset beyond stream end (missed a step?)");
-    // A conflict below the compacted prefix would mean the occupying record was already
-    // GC-trimmed — impossible while the losing instance still runs (§4.5 keeps every record
-    // a live SSF may seek), so the offset must fall in the retained suffix.
-    HM_CHECK_MSG(cond_pos >= stream.base,
-                 "logCondAppend: conflicting offset was already trimmed");
+  if (!CondHolds(cond_tag, cond_pos, &result.existing_seqnum)) {
     result.ok = false;
-    result.existing_seqnum = stream.seqnums[cond_pos - stream.base];
     return result;
   }
-
   result.ok = true;
   result.seqnum = Append(now, std::move(tags), std::move(fields));
   result.record = LookupLive(result.seqnum);
@@ -81,14 +98,8 @@ CondAppendResult LogSpace::CondAppendBatch(SimTime now, std::vector<BatchEntry> 
                                            TagId cond_tag, size_t cond_pos) {
   HM_CHECK(!batch.empty());
   CondAppendResult result;
-  TagStream& stream = StreamFor(cond_tag);
-  if (stream.length() != cond_pos) {
-    HM_CHECK_MSG(cond_pos < stream.length(),
-                 "CondAppendBatch: expected offset beyond stream end (missed a step?)");
-    HM_CHECK_MSG(cond_pos >= stream.base,
-                 "CondAppendBatch: conflicting offset was already trimmed");
+  if (!CondHolds(cond_tag, cond_pos, &result.existing_seqnum)) {
     result.ok = false;
-    result.existing_seqnum = stream.seqnums[cond_pos - stream.base];
     return result;
   }
   result.ok = true;
@@ -115,15 +126,49 @@ SeqNum LogSpace::AppendBatch(SimTime now, std::vector<BatchEntry> batch) {
   return first;
 }
 
+std::vector<LogSpace::GroupVerdict> LogSpace::AppendGroup(SimTime now,
+                                                          std::vector<GroupRequest> requests) {
+  // Suppress per-record commit notifications: the round becomes visible to index replicas as
+  // a unit (one notification carrying the last committed seqnum), so no replica ever
+  // observes part of an atomically committed sub-group.
+  std::function<void(SeqNum)> listener;
+  listener.swap(commit_listener_);
+  std::vector<GroupVerdict> verdicts(requests.size());
+  SeqNum last = kInvalidSeqNum;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    GroupRequest& request = requests[i];
+    GroupVerdict& verdict = verdicts[i];
+    HM_CHECK(!request.entries.empty());
+    if (request.cond_tag != kInvalidTagId) {
+      HM_CHECK_MSG(std::find(request.entries[0].tags.begin(), request.entries[0].tags.end(),
+                             request.cond_tag) != request.entries[0].tags.end(),
+                   "AppendGroup: cond_tag must be one of the first entry's tags");
+      if (!CondHolds(request.cond_tag, request.cond_pos, &verdict.existing_seqnum)) {
+        continue;  // This request loses; later requests still get their turn.
+      }
+    }
+    verdict.ok = true;
+    for (size_t j = 0; j < request.entries.size(); ++j) {
+      last = Append(now, std::move(request.entries[j].tags),
+                    std::move(request.entries[j].fields));
+      if (j == 0) verdict.seqnum = last;
+    }
+  }
+  listener.swap(commit_listener_);
+  if (commit_listener_ && last != kInvalidSeqNum) commit_listener_(last);
+  return verdicts;
+}
+
 LogRecordPtr LogSpace::Get(SeqNum seqnum) const { return LookupLive(seqnum); }
 
-LogRecordPtr LogSpace::FindFirstByStep(TagId tag, const std::string& op, int64_t step) const {
+LogRecordPtr LogSpace::FindFirstByStep(TagId tag, OpId op, int64_t step) const {
+  if (op == kInvalidOpId) return nullptr;  // The op name was never appended anywhere.
   const TagStream* stream = FindStream(tag);
   if (stream == nullptr) return nullptr;
   for (SeqNum seqnum : stream->seqnums) {
     LogRecordPtr record = LookupLive(seqnum);
     if (record == nullptr) continue;
-    if (record->fields.GetStr("op") == op && record->fields.GetInt("step") == step) {
+    if (record->op == op && record->fields.GetInt("step") == step) {
       return record;
     }
   }

@@ -47,6 +47,11 @@ class LogSpace {
   TagRegistry& tags() { return tags_; }
   const TagRegistry& tags() const { return tags_; }
 
+  // The op-name interner ("op" field values). The protocol ops are pre-interned to the kOp*
+  // constants of log_record.h; Append stamps each record's `op` id from its fields.
+  TagRegistry& ops() { return ops_; }
+  const TagRegistry& ops() const { return ops_; }
+
   // Appends a record, assigning the next sequence number. `now` feeds storage accounting.
   // Notifies the commit listener (used for index propagation to clients).
   SeqNum Append(SimTime now, std::vector<TagId> tags, FieldMap fields);
@@ -72,12 +77,42 @@ class LogSpace {
   // consecutive ones). Index replicas learn about the batch as a unit.
   SeqNum AppendBatch(SimTime now, std::vector<BatchEntry> batch);
 
+  // One request of a group-committed sequencer round (see AppendGroup). The entries form an
+  // atomic sub-group: all of them commit (with consecutive seqnums) or none do. A request
+  // with cond_tag == kInvalidTagId is unconditional; otherwise it carries the logCondAppend
+  // condition "the first entry lands at logical offset cond_pos of cond_tag's stream".
+  struct GroupRequest {
+    std::vector<BatchEntry> entries;
+    TagId cond_tag = kInvalidTagId;
+    size_t cond_pos = 0;
+  };
+  // Per-request outcome of AppendGroup. On success `seqnum` is the first entry's position;
+  // on conflict `existing_seqnum` is the record occupying the expected offset.
+  struct GroupVerdict {
+    bool ok = false;
+    SeqNum seqnum = kInvalidSeqNum;
+    SeqNum existing_seqnum = kInvalidSeqNum;
+  };
+
+  // Group commit: orders several independent append requests in ONE sequencer round.
+  // Requests are evaluated strictly in vector order, each seeing the stream state left by
+  // its predecessors — exactly as if the requests had been submitted back-to-back as
+  // separate rounds in that order, which is what makes node-local append batching
+  // protocol-invisible. Index replicas learn about the whole round as a unit: the commit
+  // listener fires once, with the round's last committed seqnum (not at all if every
+  // request conflicted).
+  std::vector<GroupVerdict> AppendGroup(SimTime now, std::vector<GroupRequest> requests);
+
   // Shared view of the live record at `seqnum`; null if absent or fully trimmed.
   LogRecordPtr Get(SeqNum seqnum) const;
 
   // First live record in `tag`'s sub-stream whose "op" and "step" fields match. Boki resolves
-  // peer races by honoring the first record logged for a step (§5.1).
-  LogRecordPtr FindFirstByStep(TagId tag, const std::string& op, int64_t step) const;
+  // peer races by honoring the first record logged for a step (§5.1). The scan compares the
+  // record's interned op id — no string comparison per record.
+  LogRecordPtr FindFirstByStep(TagId tag, OpId op, int64_t step) const;
+  LogRecordPtr FindFirstByStep(TagId tag, const std::string& op, int64_t step) const {
+    return FindFirstByStep(tag, ops_.Find(op), step);
+  }
 
   // Ids of all live streams whose name starts with `prefix` (GC scan over per-object write
   // logs). Served by an ordered range scan over the live-tag index: O(log streams + matches);
@@ -196,7 +231,12 @@ class LogSpace {
   LogRecordPtr LookupLive(SeqNum seqnum) const;
   void ReleaseRef(SimTime now, SeqNum seqnum);
 
+  // Evaluates a logCondAppend condition against the current stream state. Returns true when
+  // the append may proceed; on conflict fills `existing` with the occupant of `cond_pos`.
+  bool CondHolds(TagId cond_tag, size_t cond_pos, SeqNum* existing);
+
   TagRegistry tags_;
+  TagRegistry ops_;  // Interner for record "op" fields (step-arbitration scans).
   SeqNum next_seqnum_ = 1;  // Seqnum 0 is reserved as "before everything".
   std::unordered_map<SeqNum, StoredRecord> records_;
   std::vector<TagStream> streams_;  // Indexed by TagId; grown on first append of a tag.

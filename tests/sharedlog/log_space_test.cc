@@ -291,6 +291,131 @@ TEST(LogSpaceTest, CommitListenerFiresPerAppend) {
   EXPECT_EQ(seen, (std::vector<SeqNum>{a, b}));
 }
 
+TEST(LogSpaceTest, CondAppendBatchMismatchLeavesNoTrace) {
+  // The undo path of a failed batch must restore every observable structure: seqnum counter,
+  // record store, stream indices, and the commit listener must stay silent.
+  LogSpace log;
+  TagId s = log.tags().Intern("s");
+  TagId kx = log.tags().Intern("k:x");
+  log.CondAppend(0, OneTag(s), Fields("init", 0), s, 0);
+  SeqNum next_before = log.next_seqnum();
+  size_t live_before = log.live_records();
+  size_t index_before = log.IndexEntries();
+  int64_t bytes_before = log.CurrentBytes();
+  int listener_calls = 0;
+  log.SetCommitListener([&](SeqNum) { ++listener_calls; });
+
+  std::vector<LogSpace::BatchEntry> batch(2);
+  batch[0].tags = OneTag(s);
+  batch[0].fields = Fields("write-pre", 1);
+  batch[1].tags = TwoTags(s, kx);
+  batch[1].fields = Fields("write", 1);
+  CondAppendResult r = log.CondAppendBatch(0, std::move(batch), s, /*cond_pos=*/0);
+
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(log.next_seqnum(), next_before);
+  EXPECT_EQ(log.live_records(), live_before);
+  EXPECT_EQ(log.IndexEntries(), index_before);
+  EXPECT_EQ(log.CurrentBytes(), bytes_before);
+  EXPECT_EQ(listener_calls, 0);
+}
+
+TEST(LogSpaceTest, AppendGroupMixedVerdicts) {
+  // One group-committed round carrying an unconditional request, a passing cond request, a
+  // conflicting cond request, and a trailing unconditional one. Each request sees the stream
+  // state left by its predecessors; the conflicting one leaves no trace; the listener fires
+  // exactly once, with the round's last committed seqnum.
+  LogSpace log;
+  TagId s = log.tags().Intern("s");
+  TagId t = log.tags().Intern("t");
+  std::vector<SeqNum> listener_calls;
+  log.SetCommitListener([&](SeqNum n) { listener_calls.push_back(n); });
+
+  std::vector<LogSpace::GroupRequest> requests(4);
+  requests[0].entries.push_back({OneTag(t), Fields("a", 0)});
+  requests[1].entries.push_back({OneTag(s), Fields("b", 0)});
+  requests[1].cond_tag = s;
+  requests[1].cond_pos = 0;
+  requests[2].entries.push_back({OneTag(s), Fields("c", 0)});
+  requests[2].cond_tag = s;
+  requests[2].cond_pos = 0;  // Stale: request 1 already took offset 0.
+  requests[3].entries.push_back({TwoTags(s, t), Fields("d", 1)});
+
+  std::vector<LogSpace::GroupVerdict> verdicts = log.AppendGroup(0, std::move(requests));
+  ASSERT_EQ(verdicts.size(), 4u);
+  EXPECT_TRUE(verdicts[0].ok);
+  EXPECT_TRUE(verdicts[1].ok);
+  EXPECT_FALSE(verdicts[2].ok);
+  EXPECT_EQ(verdicts[2].existing_seqnum, verdicts[1].seqnum);
+  EXPECT_TRUE(verdicts[3].ok);
+  // Committed seqnums are consecutive across the surviving requests.
+  EXPECT_EQ(verdicts[1].seqnum, verdicts[0].seqnum + 1);
+  EXPECT_EQ(verdicts[3].seqnum, verdicts[1].seqnum + 1);
+  EXPECT_EQ(log.live_records(), 3u);
+  EXPECT_EQ(log.StreamLength("s"), 2u);  // "b" and "d"; "c" left no trace.
+  ASSERT_EQ(listener_calls.size(), 1u);
+  EXPECT_EQ(listener_calls[0], verdicts[3].seqnum);
+}
+
+TEST(LogSpaceTest, AppendGroupAllConflictingKeepsListenerSilent) {
+  LogSpace log;
+  TagId s = log.tags().Intern("s");
+  log.CondAppend(0, OneTag(s), Fields("init", 0), s, 0);
+  int listener_calls = 0;
+  log.SetCommitListener([&](SeqNum) { ++listener_calls; });
+  std::vector<LogSpace::GroupRequest> requests(2);
+  for (auto& request : requests) {
+    request.entries.push_back({OneTag(s), Fields("x", 0)});
+    request.cond_tag = s;
+    request.cond_pos = 0;  // Both stale.
+  }
+  std::vector<LogSpace::GroupVerdict> verdicts = log.AppendGroup(0, std::move(requests));
+  EXPECT_FALSE(verdicts[0].ok);
+  EXPECT_FALSE(verdicts[1].ok);
+  EXPECT_EQ(listener_calls, 0);
+  EXPECT_EQ(log.live_records(), 1u);
+}
+
+TEST(LogSpaceTest, AppendGroupMultiEntryRequestCommitsAtomically) {
+  // A request's entries are an atomic sub-group (the batched cond-append shape): on success
+  // they take consecutive seqnums, on conflict none of them appear.
+  LogSpace log;
+  TagId s = log.tags().Intern("s");
+  std::vector<LogSpace::GroupRequest> requests(2);
+  requests[0].entries.push_back({OneTag(s), Fields("pre", 0)});
+  requests[0].entries.push_back({OneTag(s), Fields("commit", 0)});
+  requests[0].cond_tag = s;
+  requests[0].cond_pos = 0;
+  requests[1].entries.push_back({OneTag(s), Fields("pre", 1)});
+  requests[1].entries.push_back({OneTag(s), Fields("commit", 1)});
+  requests[1].cond_tag = s;
+  requests[1].cond_pos = 0;  // Conflicts: request 0 grew the stream to length 2.
+  std::vector<LogSpace::GroupVerdict> verdicts = log.AppendGroup(0, std::move(requests));
+  EXPECT_TRUE(verdicts[0].ok);
+  EXPECT_FALSE(verdicts[1].ok);
+  EXPECT_EQ(verdicts[1].existing_seqnum, verdicts[0].seqnum);
+  EXPECT_EQ(log.StreamLength("s"), 2u);
+  EXPECT_EQ(log.live_records(), 2u);
+}
+
+TEST(LogSpaceTest, OpIdsAreInternedAndStamped) {
+  // Protocol op names are pre-interned to the kOp* constants; Append stamps each record's
+  // dense op id so FindFirstByStep scans with integer compares.
+  LogSpace log;
+  EXPECT_EQ(log.ops().Find("read"), kOpRead);
+  EXPECT_EQ(log.ops().Find("write"), kOpWrite);
+  EXPECT_EQ(log.ops().Find("invoke-pre"), kOpInvokePre);
+  SeqNum s = log.Append(0, OneTag("t"), Fields("write", 3));
+  EXPECT_EQ(log.Get(s)->op, kOpWrite);
+  EXPECT_EQ(log.FindFirstByStep(log.tags().Find("t"), kOpWrite, 3)->seqnum, s);
+  // A record without an "op" field carries the invalid id and never matches a step scan.
+  FieldMap opless;
+  opless.SetInt("step", 3);
+  SeqNum u = log.Append(0, OneTag("u"), std::move(opless));
+  EXPECT_EQ(log.Get(u)->op, kInvalidOpId);
+  EXPECT_EQ(log.FindFirstByStep("u", "no-such-op", 3), nullptr);
+}
+
 TEST(LogSpaceTest, ByteAccountingMatchesRecordSizes) {
   LogSpace log;
   EXPECT_EQ(log.CurrentBytes(), 0);

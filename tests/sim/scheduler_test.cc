@@ -129,6 +129,130 @@ TEST(SchedulerTest, PostAcceptsMoveOnlyCallables) {
   EXPECT_EQ(value, 42);
 }
 
+// ---- Timer wheel vs. binary-heap reference equivalence -------------------------------------
+
+// A deterministic but adversarial event storm: every firing may re-post at delay 0 (same
+// timestamp, FIFO tie-break), at a short delay (same wheel slot or neighbouring L0 slots), at
+// a mid-range delay (higher wheel levels, cascades), or far in the future (overflow heap).
+// Both queue modes must fire the exact same (id, time) trace.
+struct StormRng {  // Tiny splitmix64 so the storm itself never touches the sim's Rng.
+  uint64_t state;
+  uint64_t Next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+std::vector<std::pair<int, SimTime>> RunStorm(QueueMode mode, uint64_t seed,
+                                              bool use_run_until) {
+  Scheduler sched(mode);
+  std::vector<std::pair<int, SimTime>> trace;
+  StormRng rng{seed};
+  int next_id = 0;
+  // Self-propagating event chain: each firing records itself and may spawn children.
+  struct Spawner {
+    Scheduler* sched;
+    std::vector<std::pair<int, SimTime>>* trace;
+    StormRng* rng;
+    int* next_id;
+    int remaining_spawns;
+
+    void SpawnOne() {
+      if (--remaining_spawns < 0) return;
+      int id = (*next_id)++;
+      uint64_t roll = rng->Next() % 100;
+      SimDuration delay;
+      if (roll < 20) {
+        delay = 0;  // Same-timestamp repost: FIFO tie-break must hold.
+      } else if (roll < 55) {
+        delay = static_cast<SimDuration>(rng->Next() % Microseconds(20));  // Within L0 slots.
+      } else if (roll < 90) {
+        delay = static_cast<SimDuration>(rng->Next() % Milliseconds(40));  // Higher levels.
+      } else {
+        delay = Seconds(1) + static_cast<SimDuration>(rng->Next() % Seconds(9000));  // Overflow.
+      }
+      sched->Post(delay, [this, id] {
+        trace->emplace_back(id, sched->Now());
+        SpawnOne();
+        if (rng->Next() % 4 == 0) SpawnOne();
+      });
+    }
+  };
+  Spawner spawner{&sched, &trace, &rng, &next_id, 600};
+  for (int i = 0; i < 40; ++i) spawner.SpawnOne();
+  if (use_run_until) {
+    // Interleave bounded runs with fresh posts landing behind the advanced clock.
+    sched.RunUntil(Milliseconds(1));
+    sched.RunUntil(Milliseconds(2));
+    spawner.remaining_spawns += 50;
+    for (int i = 0; i < 10; ++i) spawner.SpawnOne();
+    sched.RunUntil(Seconds(2));
+  }
+  sched.Run();
+  return trace;
+}
+
+TEST(TimerWheelTest, MatchesPriorityQueueReferenceTrace) {
+  for (uint64_t seed : {1ull, 29ull, 4242ull}) {
+    auto wheel = RunStorm(QueueMode::kTimerWheel, seed, false);
+    auto heap = RunStorm(QueueMode::kPriorityQueue, seed, false);
+    ASSERT_GT(wheel.size(), 100u);
+    EXPECT_EQ(wheel, heap) << "seed " << seed;
+  }
+}
+
+TEST(TimerWheelTest, MatchesReferenceUnderRunUntilInterleavings) {
+  auto wheel = RunStorm(QueueMode::kTimerWheel, 7, true);
+  auto heap = RunStorm(QueueMode::kPriorityQueue, 7, true);
+  EXPECT_EQ(wheel, heap);
+}
+
+TEST(TimerWheelTest, SameSeedRunsAreBitIdentical) {
+  auto first = RunStorm(QueueMode::kTimerWheel, 99, true);
+  auto second = RunStorm(QueueMode::kTimerWheel, 99, true);
+  EXPECT_EQ(first, second);
+}
+
+TEST(TimerWheelTest, FarFutureEventsCascadeToExactTimes) {
+  // Events spanning every wheel level plus the overflow heap, including one pair at the same
+  // far-future timestamp (FIFO across a cascade) — fired times must be exact.
+  Scheduler sched(QueueMode::kTimerWheel);
+  std::vector<std::pair<int, SimTime>> trace;
+  std::vector<SimDuration> delays = {
+      0,          Microseconds(3), Microseconds(9),  Microseconds(200),  Milliseconds(1),
+      Seconds(1), Seconds(60),     Seconds(1 * 3600), Seconds(5 * 3600), Seconds(30 * 3600)};
+  for (size_t i = 0; i < delays.size(); ++i) {
+    sched.Post(delays[i], [&trace, &sched, i] {
+      trace.emplace_back(static_cast<int>(i), sched.Now());
+    });
+  }
+  sched.Post(Seconds(5 * 3600), [&trace, &sched] { trace.emplace_back(100, sched.Now()); });
+  sched.Run();
+  ASSERT_EQ(trace.size(), delays.size() + 1);
+  for (size_t i = 0; i < delays.size(); ++i) {
+    EXPECT_EQ(trace[i <= 8 ? i : i + 1].second, delays[i]);
+  }
+  // The duplicate 5-hour event fires right after the original (insertion order).
+  EXPECT_EQ(trace[9].first, 100);
+  EXPECT_EQ(trace[9].second, Seconds(5 * 3600));
+  EXPECT_EQ(trace[10].first, 9);
+}
+
+TEST(TimerWheelTest, PendingEventsTracksBothModes) {
+  for (QueueMode mode : {QueueMode::kTimerWheel, QueueMode::kPriorityQueue}) {
+    Scheduler sched(mode);
+    sched.Post(Milliseconds(1), [] {});
+    sched.Post(Seconds(10 * 3600), [] {});  // Overflow in wheel mode.
+    EXPECT_EQ(sched.pending_events(), 2u);
+    EXPECT_FALSE(sched.empty());
+    sched.Run();
+    EXPECT_EQ(sched.pending_events(), 0u);
+    EXPECT_TRUE(sched.empty());
+  }
+}
+
 TEST(InlineCallbackTest, MoveTransfersOwnership) {
   int calls = 0;
   InlineCallback a([&calls] { ++calls; });
