@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_applications.dir/bench_fig11_applications.cc.o"
+  "CMakeFiles/bench_fig11_applications.dir/bench_fig11_applications.cc.o.d"
+  "bench_fig11_applications"
+  "bench_fig11_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_storage.dir/bench_fig12_storage.cc.o"
+  "CMakeFiles/bench_fig12_storage.dir/bench_fig12_storage.cc.o.d"
+  "bench_fig12_storage"
+  "bench_fig12_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

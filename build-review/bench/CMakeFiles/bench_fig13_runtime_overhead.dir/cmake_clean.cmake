@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_runtime_overhead.dir/bench_fig13_runtime_overhead.cc.o"
+  "CMakeFiles/bench_fig13_runtime_overhead.dir/bench_fig13_runtime_overhead.cc.o.d"
+  "bench_fig13_runtime_overhead"
+  "bench_fig13_runtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_switching.dir/bench_fig14_switching.cc.o"
+  "CMakeFiles/bench_fig14_switching.dir/bench_fig14_switching.cc.o.d"
+  "bench_fig14_switching"
+  "bench_fig14_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_cost.dir/bench_recovery_cost.cc.o"
+  "CMakeFiles/bench_recovery_cost.dir/bench_recovery_cost.cc.o.d"
+  "bench_recovery_cost"
+  "bench_recovery_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_recovery_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_microops.dir/bench_table1_microops.cc.o"
+  "CMakeFiles/bench_table1_microops.dir/bench_table1_microops.cc.o.d"
+  "bench_table1_microops"
+  "bench_table1_microops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_microops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_switching.dir/dynamic_switching.cpp.o"
+  "CMakeFiles/dynamic_switching.dir/dynamic_switching.cpp.o.d"
+  "dynamic_switching"
+  "dynamic_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_audit.dir/fault_audit.cpp.o"
+  "CMakeFiles/fault_audit.dir/fault_audit.cpp.o.d"
+  "fault_audit"
+  "fault_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retwis_app.dir/retwis_app.cpp.o"
+  "CMakeFiles/retwis_app.dir/retwis_app.cpp.o.d"
+  "retwis_app"
+  "retwis_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retwis_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for retwis_app.
+# This may be replaced when dependencies are built.

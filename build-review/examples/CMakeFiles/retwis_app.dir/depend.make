@@ -1,0 +1,2 @@
+# Empty dependencies file for retwis_app.
+# This may be replaced when dependencies are built.

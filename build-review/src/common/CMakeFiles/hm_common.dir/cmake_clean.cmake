@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_common.dir/rng.cc.o"
+  "CMakeFiles/hm_common.dir/rng.cc.o.d"
+  "CMakeFiles/hm_common.dir/value.cc.o"
+  "CMakeFiles/hm_common.dir/value.cc.o.d"
+  "libhm_common.a"
+  "libhm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/hm_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/hm_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/auto_switch.cc" "src/core/CMakeFiles/hm_core.dir/auto_switch.cc.o" "gcc" "src/core/CMakeFiles/hm_core.dir/auto_switch.cc.o.d"
+  "/root/repo/src/core/gc_service.cc" "src/core/CMakeFiles/hm_core.dir/gc_service.cc.o" "gcc" "src/core/CMakeFiles/hm_core.dir/gc_service.cc.o.d"
+  "/root/repo/src/core/log_steps.cc" "src/core/CMakeFiles/hm_core.dir/log_steps.cc.o" "gcc" "src/core/CMakeFiles/hm_core.dir/log_steps.cc.o.d"
+  "/root/repo/src/core/protocols.cc" "src/core/CMakeFiles/hm_core.dir/protocols.cc.o" "gcc" "src/core/CMakeFiles/hm_core.dir/protocols.cc.o.d"
+  "/root/repo/src/core/ssf_runtime.cc" "src/core/CMakeFiles/hm_core.dir/ssf_runtime.cc.o" "gcc" "src/core/CMakeFiles/hm_core.dir/ssf_runtime.cc.o.d"
+  "/root/repo/src/core/switch_manager.cc" "src/core/CMakeFiles/hm_core.dir/switch_manager.cc.o" "gcc" "src/core/CMakeFiles/hm_core.dir/switch_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/hm_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sharedlog/CMakeFiles/hm_sharedlog.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kvstore/CMakeFiles/hm_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/hm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/hm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

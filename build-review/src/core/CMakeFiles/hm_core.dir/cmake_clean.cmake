@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_core.dir/advisor.cc.o"
+  "CMakeFiles/hm_core.dir/advisor.cc.o.d"
+  "CMakeFiles/hm_core.dir/auto_switch.cc.o"
+  "CMakeFiles/hm_core.dir/auto_switch.cc.o.d"
+  "CMakeFiles/hm_core.dir/gc_service.cc.o"
+  "CMakeFiles/hm_core.dir/gc_service.cc.o.d"
+  "CMakeFiles/hm_core.dir/log_steps.cc.o"
+  "CMakeFiles/hm_core.dir/log_steps.cc.o.d"
+  "CMakeFiles/hm_core.dir/protocols.cc.o"
+  "CMakeFiles/hm_core.dir/protocols.cc.o.d"
+  "CMakeFiles/hm_core.dir/ssf_runtime.cc.o"
+  "CMakeFiles/hm_core.dir/ssf_runtime.cc.o.d"
+  "CMakeFiles/hm_core.dir/switch_manager.cc.o"
+  "CMakeFiles/hm_core.dir/switch_manager.cc.o.d"
+  "libhm_core.a"
+  "libhm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/kv_client.cc" "src/kvstore/CMakeFiles/hm_kvstore.dir/kv_client.cc.o" "gcc" "src/kvstore/CMakeFiles/hm_kvstore.dir/kv_client.cc.o.d"
+  "/root/repo/src/kvstore/kv_state.cc" "src/kvstore/CMakeFiles/hm_kvstore.dir/kv_state.cc.o" "gcc" "src/kvstore/CMakeFiles/hm_kvstore.dir/kv_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/hm_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/hm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

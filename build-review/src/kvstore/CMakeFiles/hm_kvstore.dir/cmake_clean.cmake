@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_kvstore.dir/kv_client.cc.o"
+  "CMakeFiles/hm_kvstore.dir/kv_client.cc.o.d"
+  "CMakeFiles/hm_kvstore.dir/kv_state.cc.o"
+  "CMakeFiles/hm_kvstore.dir/kv_state.cc.o.d"
+  "libhm_kvstore.a"
+  "libhm_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hm_kvstore.
+# This may be replaced when dependencies are built.

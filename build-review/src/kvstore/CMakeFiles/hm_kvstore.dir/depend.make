@@ -1,0 +1,2 @@
+# Empty dependencies file for hm_kvstore.
+# This may be replaced when dependencies are built.

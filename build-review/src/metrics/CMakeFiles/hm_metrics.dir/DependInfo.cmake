@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/latency_recorder.cc" "src/metrics/CMakeFiles/hm_metrics.dir/latency_recorder.cc.o" "gcc" "src/metrics/CMakeFiles/hm_metrics.dir/latency_recorder.cc.o.d"
+  "/root/repo/src/metrics/table_printer.cc" "src/metrics/CMakeFiles/hm_metrics.dir/table_printer.cc.o" "gcc" "src/metrics/CMakeFiles/hm_metrics.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/hm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

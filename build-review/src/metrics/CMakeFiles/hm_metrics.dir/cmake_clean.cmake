@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_metrics.dir/latency_recorder.cc.o"
+  "CMakeFiles/hm_metrics.dir/latency_recorder.cc.o.d"
+  "CMakeFiles/hm_metrics.dir/table_printer.cc.o"
+  "CMakeFiles/hm_metrics.dir/table_printer.cc.o.d"
+  "libhm_metrics.a"
+  "libhm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_runtime.dir/cluster.cc.o"
+  "CMakeFiles/hm_runtime.dir/cluster.cc.o.d"
+  "libhm_runtime.a"
+  "libhm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

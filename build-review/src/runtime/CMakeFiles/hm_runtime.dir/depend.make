@@ -1,0 +1,2 @@
+# Empty dependencies file for hm_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sharedlog/append_batcher.cc" "src/sharedlog/CMakeFiles/hm_sharedlog.dir/append_batcher.cc.o" "gcc" "src/sharedlog/CMakeFiles/hm_sharedlog.dir/append_batcher.cc.o.d"
+  "/root/repo/src/sharedlog/log_client.cc" "src/sharedlog/CMakeFiles/hm_sharedlog.dir/log_client.cc.o" "gcc" "src/sharedlog/CMakeFiles/hm_sharedlog.dir/log_client.cc.o.d"
+  "/root/repo/src/sharedlog/log_space.cc" "src/sharedlog/CMakeFiles/hm_sharedlog.dir/log_space.cc.o" "gcc" "src/sharedlog/CMakeFiles/hm_sharedlog.dir/log_space.cc.o.d"
+  "/root/repo/src/sharedlog/tag_registry.cc" "src/sharedlog/CMakeFiles/hm_sharedlog.dir/tag_registry.cc.o" "gcc" "src/sharedlog/CMakeFiles/hm_sharedlog.dir/tag_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/hm_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/hm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

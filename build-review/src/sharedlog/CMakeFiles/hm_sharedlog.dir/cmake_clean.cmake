@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_sharedlog.dir/append_batcher.cc.o"
+  "CMakeFiles/hm_sharedlog.dir/append_batcher.cc.o.d"
+  "CMakeFiles/hm_sharedlog.dir/log_client.cc.o"
+  "CMakeFiles/hm_sharedlog.dir/log_client.cc.o.d"
+  "CMakeFiles/hm_sharedlog.dir/log_space.cc.o"
+  "CMakeFiles/hm_sharedlog.dir/log_space.cc.o.d"
+  "CMakeFiles/hm_sharedlog.dir/tag_registry.cc.o"
+  "CMakeFiles/hm_sharedlog.dir/tag_registry.cc.o.d"
+  "libhm_sharedlog.a"
+  "libhm_sharedlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_sharedlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

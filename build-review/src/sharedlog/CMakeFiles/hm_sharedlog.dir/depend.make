@@ -1,0 +1,2 @@
+# Empty dependencies file for hm_sharedlog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_sim.dir/scheduler.cc.o"
+  "CMakeFiles/hm_sim.dir/scheduler.cc.o.d"
+  "libhm_sim.a"
+  "libhm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_workloads.dir/applications.cc.o"
+  "CMakeFiles/hm_workloads.dir/applications.cc.o.d"
+  "CMakeFiles/hm_workloads.dir/args.cc.o"
+  "CMakeFiles/hm_workloads.dir/args.cc.o.d"
+  "CMakeFiles/hm_workloads.dir/loadgen.cc.o"
+  "CMakeFiles/hm_workloads.dir/loadgen.cc.o.d"
+  "CMakeFiles/hm_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/hm_workloads.dir/synthetic.cc.o.d"
+  "libhm_workloads.a"
+  "libhm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhm_workloads.a"
+)

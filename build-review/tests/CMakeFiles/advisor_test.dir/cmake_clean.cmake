@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_test.dir/core/advisor_test.cc.o"
+  "CMakeFiles/advisor_test.dir/core/advisor_test.cc.o.d"
+  "advisor_test"
+  "advisor_test.pdb"
+  "advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_switch_test.dir/core/auto_switch_test.cc.o"
+  "CMakeFiles/auto_switch_test.dir/core/auto_switch_test.cc.o.d"
+  "auto_switch_test"
+  "auto_switch_test.pdb"
+  "auto_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_test.dir/core/consistency_test.cc.o"
+  "CMakeFiles/consistency_test.dir/core/consistency_test.cc.o.d"
+  "consistency_test"
+  "consistency_test.pdb"
+  "consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_basic_test.dir/core/protocol_basic_test.cc.o"
+  "CMakeFiles/core_basic_test.dir/core/protocol_basic_test.cc.o.d"
+  "core_basic_test"
+  "core_basic_test.pdb"
+  "core_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

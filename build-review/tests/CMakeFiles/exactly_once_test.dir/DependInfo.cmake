@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/exactly_once_test.cc" "tests/CMakeFiles/exactly_once_test.dir/core/exactly_once_test.cc.o" "gcc" "tests/CMakeFiles/exactly_once_test.dir/core/exactly_once_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/workloads/CMakeFiles/hm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/hm_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/hm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sharedlog/CMakeFiles/hm_sharedlog.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kvstore/CMakeFiles/hm_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/hm_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/hm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

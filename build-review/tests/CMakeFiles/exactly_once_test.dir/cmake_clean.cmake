@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exactly_once_test.dir/core/exactly_once_test.cc.o"
+  "CMakeFiles/exactly_once_test.dir/core/exactly_once_test.cc.o.d"
+  "exactly_once_test"
+  "exactly_once_test.pdb"
+  "exactly_once_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exactly_once_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

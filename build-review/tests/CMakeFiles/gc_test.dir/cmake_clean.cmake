@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_test.dir/core/gc_test.cc.o"
+  "CMakeFiles/gc_test.dir/core/gc_test.cc.o.d"
+  "gc_test"
+  "gc_test.pdb"
+  "gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invoke_all_test.dir/core/invoke_all_test.cc.o"
+  "CMakeFiles/invoke_all_test.dir/core/invoke_all_test.cc.o.d"
+  "invoke_all_test"
+  "invoke_all_test.pdb"
+  "invoke_all_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invoke_all_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

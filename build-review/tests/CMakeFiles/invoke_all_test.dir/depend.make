@@ -1,0 +1,2 @@
+# Empty dependencies file for invoke_all_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_test.dir/kvstore/kv_client_test.cc.o"
+  "CMakeFiles/kvstore_test.dir/kvstore/kv_client_test.cc.o.d"
+  "CMakeFiles/kvstore_test.dir/kvstore/kv_state_test.cc.o"
+  "CMakeFiles/kvstore_test.dir/kvstore/kv_state_test.cc.o.d"
+  "kvstore_test"
+  "kvstore_test.pdb"
+  "kvstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_test.dir/metrics/latency_recorder_test.cc.o"
+  "CMakeFiles/metrics_test.dir/metrics/latency_recorder_test.cc.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/storage_sampler_test.cc.o"
+  "CMakeFiles/metrics_test.dir/metrics/storage_sampler_test.cc.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/table_printer_test.cc.o"
+  "CMakeFiles/metrics_test.dir/metrics/table_printer_test.cc.o.d"
+  "metrics_test"
+  "metrics_test.pdb"
+  "metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

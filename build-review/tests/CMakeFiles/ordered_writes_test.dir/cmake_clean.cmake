@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_writes_test.dir/core/ordered_writes_test.cc.o"
+  "CMakeFiles/ordered_writes_test.dir/core/ordered_writes_test.cc.o.d"
+  "ordered_writes_test"
+  "ordered_writes_test.pdb"
+  "ordered_writes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_writes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ordered_writes_test.
+# This may be replaced when dependencies are built.

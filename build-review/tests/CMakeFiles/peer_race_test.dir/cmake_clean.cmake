@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_race_test.dir/core/peer_race_test.cc.o"
+  "CMakeFiles/peer_race_test.dir/core/peer_race_test.cc.o.d"
+  "peer_race_test"
+  "peer_race_test.pdb"
+  "peer_race_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_race_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test.dir/runtime/cluster_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/cluster_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/frontier_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/frontier_test.cc.o.d"
+  "runtime_test"
+  "runtime_test.pdb"
+  "runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

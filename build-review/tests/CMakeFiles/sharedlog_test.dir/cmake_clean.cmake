@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharedlog_test.dir/sharedlog/append_batcher_test.cc.o"
+  "CMakeFiles/sharedlog_test.dir/sharedlog/append_batcher_test.cc.o.d"
+  "CMakeFiles/sharedlog_test.dir/sharedlog/log_client_test.cc.o"
+  "CMakeFiles/sharedlog_test.dir/sharedlog/log_client_test.cc.o.d"
+  "CMakeFiles/sharedlog_test.dir/sharedlog/log_space_test.cc.o"
+  "CMakeFiles/sharedlog_test.dir/sharedlog/log_space_test.cc.o.d"
+  "CMakeFiles/sharedlog_test.dir/sharedlog/tag_registry_test.cc.o"
+  "CMakeFiles/sharedlog_test.dir/sharedlog/tag_registry_test.cc.o.d"
+  "sharedlog_test"
+  "sharedlog_test.pdb"
+  "sharedlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharedlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

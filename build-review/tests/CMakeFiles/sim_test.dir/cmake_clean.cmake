@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/scheduler_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/scheduler_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/service_station_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/service_station_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/sync_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/sync_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/task_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/task_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

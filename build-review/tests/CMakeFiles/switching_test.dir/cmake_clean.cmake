@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switching_test.dir/core/switching_test.cc.o"
+  "CMakeFiles/switching_test.dir/core/switching_test.cc.o.d"
+  "switching_test"
+  "switching_test.pdb"
+  "switching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

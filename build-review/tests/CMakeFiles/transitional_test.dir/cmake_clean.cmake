@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transitional_test.dir/core/transitional_test.cc.o"
+  "CMakeFiles/transitional_test.dir/core/transitional_test.cc.o.d"
+  "transitional_test"
+  "transitional_test.pdb"
+  "transitional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transitional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

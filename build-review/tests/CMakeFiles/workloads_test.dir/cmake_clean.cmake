@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_test.dir/workloads/applications_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/applications_test.cc.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/args_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/args_test.cc.o.d"
+  "CMakeFiles/workloads_test.dir/workloads/synthetic_test.cc.o"
+  "CMakeFiles/workloads_test.dir/workloads/synthetic_test.cc.o.d"
+  "workloads_test"
+  "workloads_test.pdb"
+  "workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/common_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_basic_test[1]_include.cmake")
+include("/root/repo/build-review/tests/exactly_once_test[1]_include.cmake")
+include("/root/repo/build-review/tests/peer_race_test[1]_include.cmake")
+include("/root/repo/build-review/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build-review/tests/gc_test[1]_include.cmake")
+include("/root/repo/build-review/tests/switching_test[1]_include.cmake")
+include("/root/repo/build-review/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sharedlog_test[1]_include.cmake")
+include("/root/repo/build-review/tests/kvstore_test[1]_include.cmake")
+include("/root/repo/build-review/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build-review/tests/invoke_all_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build-review/tests/auto_switch_test[1]_include.cmake")
+include("/root/repo/build-review/tests/ordered_writes_test[1]_include.cmake")
+include("/root/repo/build-review/tests/transitional_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_test[1]_include.cmake")
