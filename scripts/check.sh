@@ -9,6 +9,14 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-check}"
 
+# Guard against committed build trees (PR 3 accidentally tracked ~350 artifacts under
+# build-review/): no tracked path may live under a build*/ directory.
+if git ls-files | grep -qE '^build'; then
+  echo "check.sh: FAIL — build artifacts are tracked in git:" >&2
+  git ls-files | grep -E '^build' | head >&2
+  exit 1
+fi
+
 cmake -B "${BUILD_DIR}" -S . -DHM_WERROR=ON
 cmake --build "${BUILD_DIR}" -j"$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure
@@ -18,5 +26,13 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure
 # inside the build dir so the scaled-down JSON never overwrites the tracked full-scale
 # BENCH_hotpath.json at the repo root (DESIGN.md §7.4).
 ( cd "${BUILD_DIR}" && HM_BENCH_SCALE=0.2 ./bench/bench_hotpath )
+
+# Faultcheck smoke: re-run the schedule-explorer suites standalone so the explored-schedule
+# counts are visible in the log (ctest swallows the stdout of passing tests). Set
+# HM_FAULTCHECK_FULL=1 for the exhaustive depth-2 sweep (see EXPERIMENTS.md).
+"${BUILD_DIR}"/tests/faultcheck_explorer_test --gtest_brief=1 | grep '^\[faultcheck\]'
+"${BUILD_DIR}"/tests/faultcheck_switch_test --gtest_brief=1 | grep '^\[faultcheck\]'
+"${BUILD_DIR}"/tests/faultcheck_negative_test --gtest_brief=1 | grep -c '^\[faultcheck\]   FAIL' \
+  | sed 's/^/[faultcheck] negative-control failing schedules (expected nonzero): /'
 
 echo "check.sh: all tests passed"

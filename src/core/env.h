@@ -70,6 +70,9 @@ struct Env {
   std::string last_write_key;
   bool preserve_write_order = false;
 
+  // Faultcheck negative control (see RuntimeConfig::drop_commit_append).
+  bool drop_commit_append = false;
+
   // ---- Plumbing ----
   runtime::Cluster* cluster = nullptr;
   runtime::FunctionNode* node = nullptr;

@@ -95,7 +95,9 @@ sim::Task<void> HalfmoonReadWrite(Env& env, const std::string& key, Value value)
   co_await env.kv().PutVersioned(write_tag, version, std::move(value));
   env.MaybeCrash("hmr.write.after_db");
   // Commit: the record appears in the step log and in the object's write log.
-  co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
+  if (!env.drop_commit_append) {  // Faultcheck negative control: lose the commit.
+    co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
+  }
   env.MaybeCrash("hmr.write.after_log");
 }
 

@@ -533,6 +533,7 @@ sim::Task<Value> SsfRuntime::RunAttempt(InvocationState* state, const std::strin
   env.cluster = cluster_;
   env.node = &node;
   env.preserve_write_order = config_.preserve_write_order;
+  env.drop_commit_append = config_.drop_commit_append;
 
   ContextImpl context(this, &env, &input, root_id);
   if (config_.default_protocol != ProtocolKind::kUnsafe) {

@@ -44,6 +44,11 @@ struct RuntimeConfig {
   // writes to different objects, so dependent pairs cannot commute. Log-free in the best
   // case; off by default (most workloads make dependencies explicit through invocations).
   bool preserve_write_order = false;
+
+  // Faultcheck negative control: Halfmoon-read writes silently skip the commit append, so
+  // updates never become visible on the write log. Exists to prove the consistency oracle
+  // detects a broken protocol; must never be set outside tests.
+  bool drop_commit_append = false;
 };
 
 struct RuntimeStats {

@@ -1,0 +1,42 @@
+// The consistency oracle: compares one finished execution against the sequential reference.
+//
+// The driver submits root invocations serially and concurrent children write disjoint keys,
+// so the crash-free serial execution is unique. The §2 exactly-once guarantee plus the §4.2 /
+// §4.4 consistency guarantees (strict SC for Halfmoon-read; SC up to commutation of
+// consecutive log-free writes for Halfmoon-write — invisible once the system quiesces) then
+// collapse to two checkable equalities:
+//   1. every root invocation returned the reference result, and
+//   2. the final observable value of every object equals the reference final state, where
+//      "observable" mirrors the protocol read path (the committed write log + versioned store
+//      for Halfmoon-read, the LATEST slot otherwise, the §5.2 dual-read freshness comparison
+//      under switching).
+// Duplicate effects, lost updates, stale reads, orphaned or prematurely-collected versions
+// all surface as a violation of one of the two.
+
+#ifndef HALFMOON_FAULTCHECK_ORACLE_H_
+#define HALFMOON_FAULTCHECK_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/core/env.h"
+#include "src/faultcheck/workload.h"
+#include "src/runtime/cluster.h"
+
+namespace halfmoon::faultcheck {
+
+struct OracleVerdict {
+  bool ok = true;
+  std::string failure;  // Empty when ok; otherwise the first mismatch, human-readable.
+};
+
+// Checks a quiescent cluster that executed `workload` under `protocol` (with or without
+// switching enabled) and produced `results`, one per root invocation in submission order.
+OracleVerdict CheckConsistency(runtime::Cluster& cluster, const Workload& workload,
+                               core::ProtocolKind protocol, bool switching,
+                               const std::vector<Value>& results);
+
+}  // namespace halfmoon::faultcheck
+
+#endif  // HALFMOON_FAULTCHECK_ORACLE_H_

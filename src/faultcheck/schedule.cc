@@ -1,0 +1,136 @@
+#include "src/faultcheck/schedule.h"
+
+#include <array>
+#include <charconv>
+#include <utility>
+
+namespace halfmoon::faultcheck {
+
+namespace {
+
+constexpr std::array<core::ProtocolKind, 5> kAllProtocols = {
+    core::ProtocolKind::kUnsafe,         core::ProtocolKind::kBoki,
+    core::ProtocolKind::kHalfmoonRead,   core::ProtocolKind::kHalfmoonWrite,
+    core::ProtocolKind::kTransitional,
+};
+
+std::optional<core::ProtocolKind> ProtocolFromName(std::string_view name) {
+  for (core::ProtocolKind kind : kAllProtocols) {
+    if (name == core::ProtocolName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<int64_t> ParseInt(std::string_view text) {
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<FaultPoint> ParsePoint(std::string_view token) {
+  if (token.starts_with("crash(") && token.ends_with(")")) {
+    std::string_view body = token.substr(6, token.size() - 7);
+    size_t hash = body.rfind('#');
+    if (hash == std::string_view::npos) return std::nullopt;
+    std::optional<int64_t> occ = ParseInt(body.substr(hash + 1));
+    if (!occ.has_value() || body.substr(0, hash).empty()) return std::nullopt;
+    return FaultPoint::Crash(std::string(body.substr(0, hash)), *occ);
+  }
+  if (token.starts_with("peer@")) {
+    std::optional<int64_t> hit = ParseInt(token.substr(5));
+    if (!hit.has_value()) return std::nullopt;
+    return FaultPoint::PeerSpawn(*hit);
+  }
+  if (token.starts_with("gc@")) {
+    std::optional<int64_t> hit = ParseInt(token.substr(3));
+    if (!hit.has_value()) return std::nullopt;
+    return FaultPoint::GcScan(*hit);
+  }
+  if (token.starts_with("switch[")) {
+    size_t close = token.find("]@");
+    if (close == std::string_view::npos) return std::nullopt;
+    std::optional<core::ProtocolKind> target = ProtocolFromName(token.substr(7, close - 7));
+    std::optional<int64_t> hit = ParseInt(token.substr(close + 2));
+    if (!target.has_value() || !hit.has_value()) return std::nullopt;
+    return FaultPoint::SwitchBegin(*target, *hit);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+FaultPoint FaultPoint::Crash(std::string site, int64_t occurrence) {
+  FaultPoint p;
+  p.kind = FaultKind::kCrash;
+  p.site = std::move(site);
+  p.occurrence = occurrence;
+  return p;
+}
+
+FaultPoint FaultPoint::PeerSpawn(int64_t at_hit) {
+  FaultPoint p;
+  p.kind = FaultKind::kPeerSpawn;
+  p.at_hit = at_hit;
+  return p;
+}
+
+FaultPoint FaultPoint::GcScan(int64_t at_hit) {
+  FaultPoint p;
+  p.kind = FaultKind::kGcScan;
+  p.at_hit = at_hit;
+  return p;
+}
+
+FaultPoint FaultPoint::SwitchBegin(core::ProtocolKind target, int64_t at_hit) {
+  FaultPoint p;
+  p.kind = FaultKind::kSwitchBegin;
+  p.target = target;
+  p.at_hit = at_hit;
+  return p;
+}
+
+std::string FaultPoint::ToString() const {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash(" + site + "#" + std::to_string(occurrence) + ")";
+    case FaultKind::kPeerSpawn:
+      return "peer@" + std::to_string(at_hit);
+    case FaultKind::kGcScan:
+      return "gc@" + std::to_string(at_hit);
+    case FaultKind::kSwitchBegin:
+      return std::string("switch[") + core::ProtocolName(target) + "]@" +
+             std::to_string(at_hit);
+  }
+  return "?";
+}
+
+std::string Schedule::ToString() const {
+  if (points.empty()) return "(no faults)";
+  std::string out;
+  for (const FaultPoint& point : points) {
+    if (!out.empty()) out += ' ';
+    out += point.ToString();
+  }
+  return out;
+}
+
+std::optional<Schedule> Schedule::Parse(std::string_view text) {
+  // Trim outer whitespace first so "(no faults)" and padded forms both parse.
+  while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
+  while (!text.empty() && text.back() == ' ') text.remove_suffix(1);
+  Schedule schedule;
+  if (text.empty() || text == "(no faults)") return schedule;
+  while (!text.empty()) {
+    size_t space = text.find(' ');
+    std::string_view token = text.substr(0, space);
+    text.remove_prefix(space == std::string_view::npos ? text.size() : space + 1);
+    if (token.empty()) continue;
+    std::optional<FaultPoint> point = ParsePoint(token);
+    if (!point.has_value()) return std::nullopt;
+    schedule.points.push_back(std::move(*point));
+  }
+  return schedule;
+}
+
+}  // namespace halfmoon::faultcheck

@@ -1,0 +1,65 @@
+// Multi-fault schedules: what the explorer enumerates, replays, shrinks, and prints.
+//
+// A schedule is an ordered set of fault points injected into one execution of a workload.
+// Crashes are addressed as (site, occurrence) pairs — "the 2nd time execution reaches
+// hmr.write.after_db" — which stay stable when unrelated crash sites are added or removed.
+// Peer spawns, GC scans, and switch starts are addressed by the global site-hit counter,
+// which is deterministic given the schedule prefix (the simulation is single-threaded and
+// seeded). ToString/Parse round-trip exactly, so a failing schedule printed by a test run
+// can be replayed verbatim (see DESIGN.md §8).
+
+#ifndef HALFMOON_FAULTCHECK_SCHEDULE_H_
+#define HALFMOON_FAULTCHECK_SCHEDULE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/env.h"
+
+namespace halfmoon::faultcheck {
+
+enum class FaultKind {
+  kCrash,        // Crash at the occurrence-th hit (0-based) of a named site.
+  kPeerSpawn,    // Arm a duplicate (peer) instance at the first opportunity after a hit.
+  kGcScan,       // Run one full GC scan when the global hit counter reaches at_hit.
+  kSwitchBegin,  // Start a protocol switch to `target` when the counter reaches at_hit.
+};
+
+struct FaultPoint {
+  FaultKind kind = FaultKind::kCrash;
+  std::string site;        // kCrash only.
+  int64_t occurrence = 0;  // kCrash only.
+  int64_t at_hit = 0;      // kPeerSpawn / kGcScan / kSwitchBegin.
+  core::ProtocolKind target = core::ProtocolKind::kHalfmoonWrite;  // kSwitchBegin only.
+
+  bool operator==(const FaultPoint&) const = default;
+
+  static FaultPoint Crash(std::string site, int64_t occurrence);
+  static FaultPoint PeerSpawn(int64_t at_hit);
+  static FaultPoint GcScan(int64_t at_hit);
+  static FaultPoint SwitchBegin(core::ProtocolKind target, int64_t at_hit);
+
+  // crash(<site>#<occ>) | peer@<hit> | gc@<hit> | switch[<protocol>]@<hit>
+  std::string ToString() const;
+};
+
+struct Schedule {
+  std::vector<FaultPoint> points;
+
+  bool operator==(const Schedule&) const = default;
+  bool empty() const { return points.empty(); }
+  size_t size() const { return points.size(); }
+
+  // Space-separated fault points; "(no faults)" for the empty schedule.
+  std::string ToString() const;
+
+  // Inverse of ToString (also accepts extra whitespace). nullopt on malformed input.
+  static std::optional<Schedule> Parse(std::string_view text);
+};
+
+}  // namespace halfmoon::faultcheck
+
+#endif  // HALFMOON_FAULTCHECK_SCHEDULE_H_

@@ -1,0 +1,59 @@
+#include "src/faultcheck/sites.h"
+
+#include <algorithm>
+
+namespace halfmoon::faultcheck {
+
+const std::vector<std::string_view>& KnownCrashSites() {
+  static const std::vector<std::string_view> kSites = {
+      // Halfmoon-read (src/core/protocols.cc, HalfmoonReadRead / HalfmoonReadWrite).
+      "hmr.read.before",
+      "hmr.read.after",
+      "hmr.write.before",
+      "hmr.write.after_prelog",
+      "hmr.write.after_db",
+      "hmr.write.after_log",
+      // Halfmoon-write.
+      "hmw.read.before",
+      "hmw.read.after_db",
+      "hmw.read.after_log",
+      "hmw.write.before",
+      "hmw.write.after_db",
+      // Boki.
+      "boki.read.before",
+      "boki.read.after_db",
+      "boki.read.after_log",
+      "boki.write.before",
+      "boki.write.after_prelog",
+      "boki.write.after_db",
+      "boki.write.after_log",
+      // Unsafe baseline (no fault-tolerance machinery; the negative control).
+      "unsafe.read.before",
+      "unsafe.write.before",
+      "unsafe.write.after_db",
+      // Transitional protocol (§5.2, maintained during a switch window).
+      "trans.read.before",
+      "trans.read.after_db",
+      "trans.write.before",
+      "trans.write.after_version",
+      "trans.write.after_latest",
+      "trans.write.after_log",
+      // Invoke machinery (src/core/ssf_runtime.cc).
+      "invoke.before",
+      "invoke.after_prelog",
+      "invoke.after_call",
+      "invoke.after_postlog",
+      "invoke_all.before",
+      "invoke_all.after_prelog",
+      "invoke_all.after_calls",
+      "invoke_all.after_postlog",
+  };
+  return kSites;
+}
+
+bool IsKnownCrashSite(std::string_view site) {
+  const auto& sites = KnownCrashSites();
+  return std::find(sites.begin(), sites.end(), site) != sites.end();
+}
+
+}  // namespace halfmoon::faultcheck

@@ -1,0 +1,29 @@
+// Canonical registry of crash-site names.
+//
+// Every Env::MaybeCrash call site in the runtime and the protocols passes one of the names
+// below. The faultcheck explorer expresses schedules as (site, occurrence) pairs, so these
+// names are part of the reproducibility contract: a printed failing schedule must replay on a
+// later build. Renaming a site invalidates recorded schedules — the audit test
+// (tests/faultcheck/injector_test.cc) cross-checks that every site reached by the workload
+// catalog appears here, which catches accidental renames and forgotten registrations.
+//
+// Naming convention: <path>.<operation>.<phase>, where path is the protocol family (hmr, hmw,
+// boki, unsafe, trans) or the invoke machinery (invoke, invoke_all), and phase names the
+// hazard window the site exercises (before, after_prelog, after_db, after_log, ...).
+
+#ifndef HALFMOON_FAULTCHECK_SITES_H_
+#define HALFMOON_FAULTCHECK_SITES_H_
+
+#include <string_view>
+#include <vector>
+
+namespace halfmoon::faultcheck {
+
+// All crash-site names, in source order of their call sites.
+const std::vector<std::string_view>& KnownCrashSites();
+
+bool IsKnownCrashSite(std::string_view site);
+
+}  // namespace halfmoon::faultcheck
+
+#endif  // HALFMOON_FAULTCHECK_SITES_H_

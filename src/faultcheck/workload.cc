@@ -1,0 +1,135 @@
+#include "src/faultcheck/workload.h"
+
+#include "src/common/check.h"
+#include "src/core/ssf_context.h"
+
+namespace halfmoon::faultcheck {
+
+namespace {
+
+// Splits a "key|value" setter input.
+std::pair<std::string, Value> SplitSet(const Value& input) {
+  size_t bar = input.find('|');
+  HM_CHECK_MSG(bar != std::string::npos, "faultcheck setter input must be \"key|value\"");
+  return {input.substr(0, bar), input.substr(bar + 1)};
+}
+
+}  // namespace
+
+void Workload::Install(core::SsfRuntime& runtime) const {
+  for (const auto& [key, value] : initial_state) {
+    runtime.PopulateObject(key, value);
+  }
+  register_functions(runtime);
+}
+
+std::vector<Value> Workload::ExpectedResults(std::map<std::string, Value>* final_state) const {
+  std::map<std::string, Value> state = initial_state;
+  std::vector<Value> results;
+  results.reserve(invocations.size());
+  for (const auto& [function, input] : invocations) {
+    results.push_back(reference(state, function, input));
+  }
+  if (final_state != nullptr) *final_state = state;
+  return results;
+}
+
+Workload CounterWorkload() {
+  Workload w;
+  w.name = "counter";
+  w.initial_state = {{"counter", EncodeInt64(0)}};
+  w.keys = {"counter"};
+  w.invocations = {{"incr", Value{}}, {"incr", Value{}}, {"incr", Value{}}};
+  w.register_functions = [](core::SsfRuntime& runtime) {
+    runtime.RegisterFunction("incr", [](core::SsfContext& ctx) -> sim::Task<Value> {
+      Value v = co_await ctx.Read("counter");
+      int64_t n = DecodeInt64(v);
+      co_await ctx.Compute();
+      co_await ctx.Write("counter", EncodeInt64(n + 1));
+      co_return EncodeInt64(n + 1);
+    });
+  };
+  w.reference = [](std::map<std::string, Value>& state, const std::string& function,
+                   const Value&) -> Value {
+    HM_CHECK(function == "incr");
+    int64_t n = DecodeInt64(state.at("counter")) + 1;
+    state["counter"] = EncodeInt64(n);
+    return EncodeInt64(n);
+  };
+  return w;
+}
+
+Workload TransferWorkload() {
+  Workload w;
+  w.name = "transfer";
+  w.initial_state = {{"acct:a", EncodeInt64(100)}, {"acct:b", EncodeInt64(100)}};
+  w.keys = {"acct:a", "acct:b"};
+  w.invocations = {{"transfer", EncodeInt64(10)}, {"transfer", EncodeInt64(5)}};
+  w.register_functions = [](core::SsfRuntime& runtime) {
+    runtime.RegisterFunction("transfer", [](core::SsfContext& ctx) -> sim::Task<Value> {
+      int64_t amount = DecodeInt64(ctx.input());
+      int64_t a = DecodeInt64(co_await ctx.Read("acct:a"));
+      int64_t b = DecodeInt64(co_await ctx.Read("acct:b"));
+      co_await ctx.Write("acct:a", EncodeInt64(a - amount));
+      co_await ctx.Write("acct:b", EncodeInt64(b + amount));
+      co_return EncodeInt64(a - amount);
+    });
+  };
+  w.reference = [](std::map<std::string, Value>& state, const std::string& function,
+                   const Value& input) -> Value {
+    HM_CHECK(function == "transfer");
+    int64_t amount = DecodeInt64(input);
+    int64_t a = DecodeInt64(state.at("acct:a")) - amount;
+    int64_t b = DecodeInt64(state.at("acct:b")) + amount;
+    state["acct:a"] = EncodeInt64(a);
+    state["acct:b"] = EncodeInt64(b);
+    return EncodeInt64(a);
+  };
+  return w;
+}
+
+Workload WorkflowWorkload() {
+  Workload w;
+  w.name = "workflow";
+  w.initial_state = {{"acc", EncodeInt64(0)}, {"left", Value{}}, {"right", Value{}}};
+  w.keys = {"acc", "left", "right"};
+  w.invocations = {{"parent", "1"}, {"parent", "2"}};
+  w.register_functions = [](core::SsfRuntime& runtime) {
+    runtime.RegisterFunction("add", [](core::SsfContext& ctx) -> sim::Task<Value> {
+      int64_t n = DecodeInt64(co_await ctx.Read("acc")) + DecodeInt64(ctx.input());
+      co_await ctx.Write("acc", EncodeInt64(n));
+      co_return EncodeInt64(n);
+    });
+    runtime.RegisterFunction("set", [](core::SsfContext& ctx) -> sim::Task<Value> {
+      auto [key, value] = SplitSet(ctx.input());
+      co_await ctx.Write(key, value);
+      co_return value;
+    });
+    runtime.RegisterFunction("parent", [](core::SsfContext& ctx) -> sim::Task<Value> {
+      // One serial child, then two concurrent children on disjoint keys (the InvokeAll
+      // pre/post batching and the concurrent-children replay paths).
+      Value sum = co_await ctx.Invoke("add", EncodeInt64(1));
+      std::vector<std::pair<std::string, Value>> calls;
+      calls.emplace_back("set", "left|L" + ctx.input());
+      calls.emplace_back("set", "right|R" + ctx.input());
+      std::vector<Value> set = co_await ctx.InvokeAll(std::move(calls));
+      co_return sum + "|" + set[0] + "|" + set[1];
+    });
+  };
+  w.reference = [](std::map<std::string, Value>& state, const std::string& function,
+                   const Value& input) -> Value {
+    HM_CHECK(function == "parent");
+    int64_t n = DecodeInt64(state.at("acc")) + 1;
+    state["acc"] = EncodeInt64(n);
+    state["left"] = "L" + input;
+    state["right"] = "R" + input;
+    return EncodeInt64(n) + "|" + state["left"] + "|" + state["right"];
+  };
+  return w;
+}
+
+std::vector<Workload> AllWorkloads() {
+  return {CounterWorkload(), TransferWorkload(), WorkflowWorkload()};
+}
+
+}  // namespace halfmoon::faultcheck

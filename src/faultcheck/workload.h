@@ -1,0 +1,67 @@
+// Workload catalog for the fault explorer.
+//
+// Each workload bundles an executable form (SSF bodies + seeded objects + a fixed list of
+// serial root invocations) with a *reference model*: a pure interpreter of the same functions
+// over a plain std::map. Root invocations run serially (the driver drains the scheduler
+// between them) and concurrent children within one invocation write disjoint keys, so the
+// crash-free serial execution is unique — the reference model computes exactly the results
+// and final state that every fault schedule must reproduce (exactly-once, §2).
+
+#ifndef HALFMOON_FAULTCHECK_WORKLOAD_H_
+#define HALFMOON_FAULTCHECK_WORKLOAD_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/core/ssf_runtime.h"
+
+namespace halfmoon::faultcheck {
+
+struct Workload {
+  std::string name;
+
+  // Objects seeded before the run (PopulateObject) and the model's initial state.
+  std::map<std::string, Value> initial_state;
+
+  // Keys whose final observable value the oracle compares against the reference model.
+  std::vector<std::string> keys;
+
+  // Root invocations, submitted serially (each drained to quiescence before the next).
+  std::vector<std::pair<std::string, Value>> invocations;
+
+  // Registers the SSF bodies on a fresh runtime.
+  std::function<void(core::SsfRuntime&)> register_functions;
+
+  // Reference interpreter: applies root invocation `function(input)` to `state` and returns
+  // the result of a crash-free execution. Must model nested Invoke/InvokeAll calls too.
+  std::function<Value(std::map<std::string, Value>& state, const std::string& function,
+                      const Value& input)>
+      reference;
+
+  // Seeds the objects and registers the functions.
+  void Install(core::SsfRuntime& runtime) const;
+
+  // Runs the reference model over all invocations; optionally returns the final state.
+  std::vector<Value> ExpectedResults(std::map<std::string, Value>* final_state = nullptr) const;
+};
+
+// Three serial increments of one counter (reads steer writes; the classic exactly-once probe).
+Workload CounterWorkload();
+
+// Two transfers between two accounts (multi-object read-modify-write in one SSF).
+Workload TransferWorkload();
+
+// Two-level workflow: the parent Invokes an accumulator, then InvokeAlls two setters that
+// write disjoint keys (exercises the invoke pre/post logging and concurrent children).
+Workload WorkflowWorkload();
+
+// The full catalog.
+std::vector<Workload> AllWorkloads();
+
+}  // namespace halfmoon::faultcheck
+
+#endif  // HALFMOON_FAULTCHECK_WORKLOAD_H_

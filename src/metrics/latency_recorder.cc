@@ -5,14 +5,24 @@
 
 namespace halfmoon::metrics {
 
+const std::vector<SimDuration>& LatencyRecorder::Sorted() const {
+  if (dirty_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+  return sorted_;
+}
+
 SimDuration LatencyRecorder::Percentile(double pct) const {
   if (samples_.empty()) return 0;
-  std::vector<SimDuration> sorted = samples_;
-  // Nearest-rank percentile over the sorted sample set.
-  double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
-  size_t index = static_cast<size_t>(std::llround(rank));
+  const std::vector<SimDuration>& sorted = Sorted();
+  // Ceil-based nearest rank: the smallest order statistic at or above the requested rank.
+  // llround here would round p99 of a small sample set *down* a full position.
+  double rank = pct * static_cast<double>(sorted.size() - 1) / 100.0;
+  if (rank < 0.0) rank = 0.0;
+  size_t index = static_cast<size_t>(std::ceil(rank));
   if (index >= sorted.size()) index = sorted.size() - 1;
-  std::nth_element(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(index), sorted.end());
   return sorted[index];
 }
 

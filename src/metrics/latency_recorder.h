@@ -1,6 +1,8 @@
 // Exact latency statistics: the recorder keeps every sample (simulated runs are short enough)
-// and computes percentiles on demand via partial sort. This mirrors how the paper reports
-// median and 99th-percentile latency bars.
+// and computes percentiles on demand from a lazily sorted copy, cached until the next Record.
+// This mirrors how the paper reports median and 99th-percentile latency bars. Percentiles use
+// the ceil-based nearest-rank definition, so the tail never rounds *down* (p99 of 100 samples
+// is the 100th order statistic, not the 99th).
 
 #ifndef HALFMOON_METRICS_LATENCY_RECORDER_H_
 #define HALFMOON_METRICS_LATENCY_RECORDER_H_
@@ -14,11 +16,18 @@ namespace halfmoon::metrics {
 
 class LatencyRecorder {
  public:
-  void Record(SimDuration latency) { samples_.push_back(latency); }
+  void Record(SimDuration latency) {
+    samples_.push_back(latency);
+    dirty_ = true;
+  }
 
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    samples_.clear();
+    sorted_.clear();
+    dirty_ = false;
+  }
 
   // Percentile in [0, 100]. Returns 0 on an empty recorder.
   SimDuration Percentile(double pct) const;
@@ -33,7 +42,13 @@ class LatencyRecorder {
   const std::vector<SimDuration>& samples() const { return samples_; }
 
  private:
+  // The sorted view, rebuilt at most once per batch of Records no matter how many
+  // percentiles are read (the old implementation copied and partially re-sorted per call).
+  const std::vector<SimDuration>& Sorted() const;
+
   std::vector<SimDuration> samples_;
+  mutable std::vector<SimDuration> sorted_;
+  mutable bool dirty_ = false;
 };
 
 }  // namespace halfmoon::metrics

@@ -2,21 +2,33 @@
 //
 // Protocol implementations call Env::MaybeCrash("site") at every point where a real function
 // could die (before/after each DB operation, between a DB write and its commit log, ...).
-// The injector decides whether that site fires:
+// Every call site passes a stable *site name* (see faultcheck/sites.h for the registry), and
+// the injector keeps both a global hit counter and per-site hit counts. That gives three ways
+// to express faults:
 //   * probabilistic mode — each site crashes independently with probability p (recovery-cost
 //     experiments, §7),
-//   * scheduled mode — crash exactly at the k-th site hit of the run, which lets property
-//     tests enumerate *every* crash point of a workload and check exactly-once semantics for
-//     each resulting execution.
-// The injector also decides when the gateway should launch a duplicate (peer) instance of an
-// in-flight invocation, exercising the §5.1 race.
+//   * global-index mode — crash exactly at the k-th site hit of the run (legacy sweep mode of
+//     the single-fault property tests),
+//   * named-site mode — crash at the occ-th hit of a named site. `(site, occurrence)` pairs
+//     are stable across code motion (adding a site elsewhere does not renumber them), which is
+//     what the faultcheck explorer records, replays, shrinks, and prints.
+// The injector can also arm a *scheduled* duplicate (peer) instance — the gateway launches a
+// peer at the first opportunity after a chosen site hit — and run arbitrary actions (a GC
+// scan, the start of a protocol switch) at a chosen site hit, which is how multi-fault
+// schedules interleave crashes with the background machinery.
 
 #ifndef HALFMOON_RUNTIME_FAILURE_INJECTOR_H_
 #define HALFMOON_RUNTIME_FAILURE_INJECTOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
 #include <set>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/common/rng.h"
 
@@ -31,37 +43,128 @@ class FailureInjector {
  public:
   FailureInjector() = default;
 
+  // ---- Probabilistic mode ----
+
   // Each crash site fires independently with probability p.
   void SetCrashProbability(double p) { crash_probability_ = p; }
-
-  // Crash exactly when the global site-hit counter reaches each index in `indices` (0-based).
-  void CrashAtSiteHits(std::set<int64_t> indices) { scheduled_hits_ = std::move(indices); }
 
   // Probability that the gateway duplicates an invocation with a peer instance.
   void SetDuplicateProbability(double p) { duplicate_probability_ = p; }
 
+  // ---- Scheduled modes ----
+
+  // Crash exactly when the global site-hit counter reaches each index in `indices` (0-based).
+  void CrashAtSiteHits(std::set<int64_t> indices) { scheduled_hits_ = std::move(indices); }
+
+  // Crash at the `occurrence`-th hit (0-based) of the named site. Stable across code motion:
+  // renaming or adding *other* sites never renumbers a (site, occurrence) pair. Enables
+  // site tracking.
+  void CrashAtSite(std::string_view site, int64_t occurrence) {
+    scheduled_sites_[std::string(site)].insert(occurrence);
+  }
+
+  // Drops every scheduled crash (both global-index and named-site form).
+  void ClearCrashSchedule() {
+    scheduled_hits_.clear();
+    scheduled_sites_.clear();
+  }
+
+  // Arms one scheduled duplicate instance: the first ShouldDuplicate() call after the global
+  // hit counter exceeds `hit` returns true (exactly once). Pass -1 to fire on the very next
+  // opportunity. The runtime consults ShouldDuplicate at attempt starts, so the peer races
+  // whichever attempt (original or post-crash retry) is next.
+  void SpawnPeerAfterHit(int64_t hit) { peer_after_hit_ = hit; }
+
+  // Runs `action` exactly once when the global hit counter reaches `hit`, before the crash
+  // decision at that hit. Actions run synchronously inside the faulting coroutine; anything
+  // asynchronous (e.g. starting a switch) should Spawn onto the scheduler.
+  void RunAtHit(int64_t hit, std::function<void()> action) {
+    hit_actions_[hit].push_back(std::move(action));
+  }
+
+  // ---- Trace recording (site enumeration for the faultcheck explorer) ----
+
+  struct TraceEntry {
+    std::string site;
+    int64_t occurrence = 0;  // Per-site hit index; the global index is the trace position.
+
+    bool operator==(const TraceEntry&) const = default;
+  };
+
+  // Records every subsequent site hit as a (site, occurrence) pair. Enables site tracking.
+  void EnableTrace(bool on) { trace_enabled_ = on; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+
   // Called at every crash site. Returns true if the SSF should crash here. Always increments
   // the global hit counter, so scheduled indices refer to a deterministic enumeration.
-  bool ShouldCrash(Rng& rng, const std::string& site) {
-    int64_t hit = site_hits_++;
-    if (scheduled_hits_.count(hit) > 0) return true;
-    if (crash_probability_ > 0.0 && rng.Bernoulli(crash_probability_)) return true;
-    return false;
+  bool ShouldCrash(Rng& rng, std::string_view site) {
+    const int64_t hit = site_hits_++;
+    if (!hit_actions_.empty()) {
+      auto it = hit_actions_.find(hit);
+      if (it != hit_actions_.end()) {
+        std::vector<std::function<void()>> actions = std::move(it->second);
+        hit_actions_.erase(it);
+        for (auto& action : actions) action();
+      }
+    }
+    bool crash = scheduled_hits_.count(hit) > 0;
+    if (trace_enabled_ || !scheduled_sites_.empty()) {
+      // Site tracking on: maintain per-site counts (the occurrence numbering) off the hot
+      // path of fault-free runs. Transparent lookup first so steady-state tracked runs do
+      // not allocate a key string per hit.
+      auto it = site_counts_.find(site);
+      if (it == site_counts_.end()) {
+        it = site_counts_.emplace(std::string(site), 0).first;
+      }
+      const int64_t occurrence = it->second++;
+      if (trace_enabled_) trace_.push_back(TraceEntry{it->first, occurrence});
+      auto sit = scheduled_sites_.find(site);
+      if (sit != scheduled_sites_.end() && sit->second.count(occurrence) > 0) crash = true;
+    }
+    if (!crash && crash_probability_ > 0.0 && rng.Bernoulli(crash_probability_)) crash = true;
+    return crash;
   }
 
   bool ShouldDuplicate(Rng& rng) {
+    if (peer_after_hit_ != kPeerDisarmed && site_hits_ > peer_after_hit_) {
+      peer_after_hit_ = kPeerDisarmed;
+      return true;
+    }
     return duplicate_probability_ > 0.0 && rng.Bernoulli(duplicate_probability_);
   }
 
   // Total crash sites encountered so far; a dry run of a workload measures its site count,
   // which exhaustive tests then sweep.
   int64_t site_hits() const { return site_hits_; }
-  void ResetHitCounter() { site_hits_ = 0; }
+
+  // Hits of one named site so far. Only maintained while site tracking is on (a trace is
+  // enabled or a named-site crash is scheduled); returns 0 otherwise.
+  int64_t SiteHitCount(std::string_view site) const {
+    auto it = site_counts_.find(site);
+    return it == site_counts_.end() ? 0 : it->second;
+  }
+
+  // Resets the global counter, the per-site counts, and the recorded trace.
+  void ResetHitCounter() {
+    site_hits_ = 0;
+    site_counts_.clear();
+    trace_.clear();
+  }
 
  private:
+  static constexpr int64_t kPeerDisarmed = std::numeric_limits<int64_t>::min();
+
   double crash_probability_ = 0.0;
   double duplicate_probability_ = 0.0;
   std::set<int64_t> scheduled_hits_;
+  // site -> scheduled occurrences. Transparent comparators: ShouldCrash looks up by
+  // string_view without materializing a key.
+  std::map<std::string, std::set<int64_t>, std::less<>> scheduled_sites_;
+  std::map<std::string, int64_t, std::less<>> site_counts_;
+  std::map<int64_t, std::vector<std::function<void()>>> hit_actions_;
+  int64_t peer_after_hit_ = kPeerDisarmed;
+  bool trace_enabled_ = false;
+  std::vector<TraceEntry> trace_;
   int64_t site_hits_ = 0;
 };
 

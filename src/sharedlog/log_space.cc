@@ -244,17 +244,20 @@ void LogSpace::ReleaseRef(SimTime now, SeqNum seqnum) {
   }
 }
 
-void LogSpace::Trim(SimTime now, TagId tag, SeqNum upto) {
-  if (tag >= streams_.size()) return;
+size_t LogSpace::Trim(SimTime now, TagId tag, SeqNum upto) {
+  if (tag >= streams_.size()) return 0;
   TagStream& stream = streams_[tag];
+  size_t released = 0;
   while (!stream.seqnums.empty() && stream.seqnums.front() <= upto) {
     ReleaseRef(now, stream.seqnums.front());
     stream.seqnums.pop_front();
     ++stream.base;
+    ++released;
   }
   if (stream.seqnums.empty() && stream.base > 0) {
     live_tags_.erase(std::string_view(tags_.Name(tag)));
   }
+  return released;
 }
 
 size_t LogSpace::StreamLength(TagId tag) const {

@@ -137,8 +137,10 @@ class LogSpace {
 
   // Garbage-collects a sub-stream: logically deletes records with seqnum <= upto from `tag`,
   // and frees the trimmed prefix of the stream's seqnum index. A record's storage is freed
-  // once every one of its tags has trimmed past it.
-  void Trim(SimTime now, TagId tag, SeqNum upto);
+  // once every one of its tags has trimmed past it. Returns the number of records removed
+  // from this stream (0 when the tag has no stream or the prefix was already trimmed), which
+  // feeds the GC's per-category trim counters.
+  size_t Trim(SimTime now, TagId tag, SeqNum upto);
 
   // Logical offset (position since the beginning of time) that the *next* record appended to
   // `tag` would occupy. Used by clients to pre-check conditional appends in tests.
@@ -170,8 +172,8 @@ class LogSpace {
   std::vector<LogRecordPtr> ReadStreamUpTo(std::string_view tag, SeqNum max_seqnum) const {
     return ReadStreamUpTo(tags_.Find(tag), max_seqnum);
   }
-  void Trim(SimTime now, std::string_view tag, SeqNum upto) {
-    Trim(now, tags_.Find(tag), upto);
+  size_t Trim(SimTime now, std::string_view tag, SeqNum upto) {
+    return Trim(now, tags_.Find(tag), upto);
   }
   size_t StreamLength(std::string_view tag) const { return StreamLength(tags_.Find(tag)); }
 

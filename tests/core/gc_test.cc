@@ -75,6 +75,39 @@ TEST(GcTest, TrimsStepLogsOfFinishedWorkflows) {
   EXPECT_LE(after, 2u);
 }
 
+TEST(GcTest, StatsCountExactRecordsNotScans) {
+  TestWorld world(HmRead());
+  RegisterWriter(world);
+  for (int i = 0; i < 6; ++i) world.Call("write_k", "v");
+  GcService gc(&world.cluster(), Seconds(10));
+  gc.RunOnce();
+  // Six root invocations → exactly six init records trimmed (one per init append) and six
+  // step logs trimmed. init_records_trimmed used to count *scans* with a nonzero frontier,
+  // so a busy run with one scan reported 1 regardless of how many records it reclaimed.
+  EXPECT_EQ(gc.stats().init_records_trimmed, 6);
+  EXPECT_EQ(gc.stats().step_logs_trimmed, 6);
+  // A second scan with nothing left to reclaim must not inflate either counter.
+  gc.RunOnce();
+  EXPECT_EQ(gc.stats().scans, 2);
+  EXPECT_EQ(gc.stats().init_records_trimmed, 6);
+  EXPECT_EQ(gc.stats().step_logs_trimmed, 6);
+}
+
+TEST(GcTest, UnsafeInstancesDoNotCountAsTrimmedStepLogs) {
+  // Unsafe SSFs never log: no init record, no step stream. The trim queue still carries their
+  // instance ids, but step_logs_trimmed used to count every queue entry whether or not a
+  // stream existed.
+  TestWorldOptions options;
+  options.protocol = ProtocolKind::kUnsafe;
+  TestWorld world(options);
+  RegisterWriter(world);
+  for (int i = 0; i < 4; ++i) world.Call("write_k", "v");
+  GcService gc(&world.cluster(), Seconds(10));
+  gc.RunOnce();
+  EXPECT_EQ(gc.stats().step_logs_trimmed, 0);
+  EXPECT_EQ(gc.stats().init_records_trimmed, 0);
+}
+
 TEST(GcTest, TrimsReadLogsUnderHalfmoonWrite) {
   TestWorldOptions options;
   options.protocol = ProtocolKind::kHalfmoonWrite;

@@ -42,6 +42,38 @@ TEST(LatencyRecorderTest, PercentileIsOrderInsensitive) {
   EXPECT_EQ(a.P99(), b.P99());
 }
 
+TEST(LatencyRecorderTest, CeilRankNeverRoundsTailDown) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.Record(Milliseconds(i));
+  EXPECT_EQ(rec.Percentile(0), Milliseconds(1));
+  EXPECT_EQ(rec.Median(), Milliseconds(51));  // rank 49.5 → index 50.
+  // rank 98.01 → index 99, the largest sample. llround rounded this down to 99ms.
+  EXPECT_EQ(rec.P99(), Milliseconds(100));
+  EXPECT_EQ(rec.Percentile(100), Milliseconds(100));
+}
+
+TEST(LatencyRecorderTest, SmallSamplePercentiles) {
+  LatencyRecorder rec;
+  for (int v : {10, 20, 30, 40}) rec.Record(Milliseconds(v));
+  EXPECT_EQ(rec.Percentile(0), Milliseconds(10));
+  EXPECT_EQ(rec.Median(), Milliseconds(30));  // rank 1.5 → index 2.
+  EXPECT_EQ(rec.P99(), Milliseconds(40));     // rank 2.97 → index 3.
+  EXPECT_EQ(rec.Percentile(100), Milliseconds(40));
+}
+
+TEST(LatencyRecorderTest, CachedSortStaysCorrectAcrossRecords) {
+  // Percentile caches the sorted view; every Record must invalidate it.
+  LatencyRecorder rec;
+  rec.Record(Milliseconds(50));
+  EXPECT_EQ(rec.Median(), Milliseconds(50));
+  rec.Record(Milliseconds(10));
+  rec.Record(Milliseconds(90));
+  EXPECT_EQ(rec.Median(), Milliseconds(50));
+  EXPECT_EQ(rec.Percentile(100), Milliseconds(90));
+  rec.Record(Milliseconds(5));
+  EXPECT_EQ(rec.Percentile(0), Milliseconds(5));
+}
+
 TEST(LatencyRecorderTest, MeanMs) {
   LatencyRecorder rec;
   rec.Record(Milliseconds(2));
