@@ -1002,6 +1002,133 @@ std::pair<DrivenResult, DrivenResult> BestOfDriven(int passes, const DrivenShape
 }
 
 // ---------------------------------------------------------------------------
+// Shard-scaling section: the same offered load against a 1-shard and a 4-shard log. The
+// bottleneck sharding removes is the sequencer: each node's batcher keeps at most one
+// sequencer round in flight per shard, so with hundreds of concurrent workers per node a
+// single shard serializes rounds end to end while four shards run four rounds concurrently.
+// The measured quantity is *simulated* throughput — committed appends per virtual second —
+// at identical offered load; committed per-stream content must be shard-invariant.
+// ---------------------------------------------------------------------------
+
+struct ShardRunResult {
+  uint64_t appends = 0;
+  SimTime end_time = 0;
+  uint64_t checksum = 0;      // Order-independent fold of per-worker stream contents.
+  int64_t append_rounds = 0;  // Sequencer rounds across all nodes and shards.
+};
+
+sim::Task<void> ShardWorker(runtime::Cluster* cluster, int node, TagId own, TagId obj,
+                            int ops) {
+  sharedlog::LogClient& log = cluster->node(node).log();
+  for (int i = 0; i < ops; ++i) {
+    FieldMap fields;
+    fields.SetStr("op", "write");
+    fields.SetInt("step", i);
+    co_await log.Append(sharedlog::TwoTags(own, obj), std::move(fields));
+  }
+}
+
+ShardRunResult RunShardScaling(int shards, const DrivenShape& shape) {
+  runtime::ClusterConfig config;
+  config.function_nodes = shape.nodes;
+  config.seed = 1;
+  config.log_shards = shards;
+  runtime::Cluster cluster(config);
+
+  int total_workers = shape.nodes * shape.workers_per_node;
+  std::vector<TagId> worker_tags;
+  worker_tags.reserve(total_workers);
+  for (int w = 0; w < total_workers; ++w) {
+    worker_tags.push_back(cluster.log_space().tags().Intern("w:" + std::to_string(w)));
+  }
+  for (int w = 0; w < total_workers; ++w) {
+    TagId obj = cluster.log_space().tags().InternPrefixed("k:", std::to_string(w % 64));
+    cluster.scheduler().Spawn(ShardWorker(&cluster, w % shape.nodes, worker_tags[w], obj,
+                                          shape.ops_per_worker));
+  }
+  cluster.scheduler().Run();
+
+  ShardRunResult out;
+  out.end_time = cluster.scheduler().Now();
+  out.appends = static_cast<uint64_t>(cluster.TotalLogAppends());
+  for (int n = 0; n < cluster.node_count(); ++n) {
+    out.append_rounds += cluster.node(n).log().stats().append_rounds;
+  }
+  // Per-worker streams are single-writer, so their step sequences are program order under
+  // any shard count; fold them order-independently across workers.
+  for (int w = 0; w < total_workers; ++w) {
+    uint64_t h = 1469598103934665603ull;
+    for (const LogRecordPtr& record :
+         cluster.log_space().ReadStreamUpTo(worker_tags[w], sharedlog::kMaxSeqNum)) {
+      h = (h ^ static_cast<uint64_t>(record->fields.GetInt("step"))) * 1099511628211ull;
+    }
+    out.checksum ^= h;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Read-cache section: the Halfmoon-read log-free read path (ReadPrev of an object's write
+// log at the client's index horizon) with the node-local consistent cache enabled. Workers
+// mix one write per eight reads over a shared object set; the cache serves repeat reads
+// whose cached record still matches the index replica's latest-version answer.
+// ---------------------------------------------------------------------------
+
+struct CacheRunResult {
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t reads_index_local = 0;
+  int64_t reads_storage = 0;
+  SimTime end_time = 0;
+};
+
+sim::Task<void> CacheWorker(runtime::Cluster* cluster, int node, TagId own, TagId obj,
+                            int ops, uint64_t* sink) {
+  sharedlog::LogClient& log = cluster->node(node).log();
+  for (int i = 0; i < ops; ++i) {
+    if (i % 8 == 0) {
+      FieldMap fields;
+      fields.SetStr("op", "write");
+      fields.SetInt("step", i);
+      co_await log.Append(sharedlog::TwoTags(own, obj), std::move(fields));
+    } else {
+      LogRecordPtr record = co_await log.ReadPrev(obj, log.indexed_upto());
+      if (record != nullptr) *sink += static_cast<uint64_t>(record->fields.GetInt("step"));
+    }
+  }
+}
+
+CacheRunResult RunReadCache(bool cache_enabled, const DrivenShape& shape) {
+  runtime::ClusterConfig config;
+  config.function_nodes = shape.nodes;
+  config.seed = 1;
+  config.log_read_cache = cache_enabled;
+  runtime::Cluster cluster(config);
+
+  int total_workers = shape.nodes * shape.workers_per_node;
+  uint64_t sink = 0;
+  for (int w = 0; w < total_workers; ++w) {
+    TagId own = cluster.log_space().tags().Intern("w:" + std::to_string(w));
+    TagId obj = cluster.log_space().tags().InternPrefixed("k:", std::to_string(w % 16));
+    cluster.scheduler().Spawn(CacheWorker(&cluster, w % shape.nodes, own, obj,
+                                          shape.ops_per_worker, &sink));
+  }
+  cluster.scheduler().Run();
+
+  CacheRunResult out;
+  out.end_time = cluster.scheduler().Now();
+  for (int n = 0; n < cluster.node_count(); ++n) {
+    const sharedlog::LogClientStats& stats = cluster.node(n).log().stats();
+    out.cache_hits += stats.cache_hits;
+    out.cache_misses += stats.cache_misses;
+    out.reads_index_local += stats.reads_index_local;
+    out.reads_storage += stats.reads_storage;
+  }
+  if (sink == ~0ull) std::printf("(unreachable)\n");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Timer-wheel micro-section: the same post/drain event storm through the binary-heap
 // reference queue and the hierarchical wheel. Delays span L0 slots through mid levels, the
 // wheel's busiest regime.
@@ -1103,6 +1230,46 @@ void Report() {
   RunDrivenLogHeavy(/*batched=*/true, DrivenShape{2, 8, 32});  // Warm-up.
   auto [pr2_driven, cur_driven] = BestOfDriven(5, driven_shape);
 
+  // Section 2c: shard scaling. High per-node concurrency so a single shard's one-round-in-
+  // flight sequencer pipeline is the bottleneck; four shards run four rounds concurrently.
+  // Simulated time is deterministic, so one run per side suffices.
+  DrivenShape shard_shape;
+  shard_shape.nodes = 2;
+  shard_shape.workers_per_node = 256;
+  shard_shape.ops_per_worker = std::max(12, static_cast<int>(48 * scale));
+  ShardRunResult one_shard = RunShardScaling(1, shard_shape);
+  ShardRunResult four_shard = RunShardScaling(4, shard_shape);
+  HM_CHECK_MSG(one_shard.checksum == four_shard.checksum,
+               "sharding changed committed log content");
+  HM_CHECK(one_shard.appends == four_shard.appends);
+  double one_shard_tput =
+      static_cast<double>(one_shard.appends) / ToSecondsDouble(one_shard.end_time);
+  double four_shard_tput =
+      static_cast<double>(four_shard.appends) / ToSecondsDouble(four_shard.end_time);
+  double shard_speedup = four_shard_tput / one_shard_tput;
+  // Simulated time is deterministic, so this is a hard regression gate, not a flaky perf
+  // assertion: four shards must scale log-heavy throughput by at least 1.8x.
+  HM_CHECK_MSG(shard_speedup >= 1.8, "shard scaling fell below the 1.8x floor");
+
+  // Section 2d: the node-local read cache on the Halfmoon-read log-free read mix (1 write
+  // per 8 reads over shared objects). Cache-off is the reference; the cache must cut
+  // simulated completion time, and the hit rate is the headline number.
+  DrivenShape cache_shape;
+  cache_shape.nodes = 4;
+  cache_shape.workers_per_node = 16;
+  cache_shape.ops_per_worker = std::max(32, static_cast<int>(128 * scale));
+  CacheRunResult cache_on = RunReadCache(/*cache_enabled=*/true, cache_shape);
+  CacheRunResult cache_off = RunReadCache(/*cache_enabled=*/false, cache_shape);
+  HM_CHECK_MSG(cache_off.cache_hits == 0 && cache_off.cache_misses == 0,
+               "read cache counters moved with the cache disabled");
+  double cache_hit_rate =
+      static_cast<double>(cache_on.cache_hits) /
+      static_cast<double>(std::max<int64_t>(1, cache_on.cache_hits + cache_on.cache_misses));
+  double cache_time_ratio =
+      ToSecondsDouble(cache_off.end_time) / ToSecondsDouble(cache_on.end_time);
+  // Also deterministic: the log-free read mix must hit the cache at least 60% of the time.
+  HM_CHECK_MSG(cache_hit_rate >= 0.6, "read-cache hit rate fell below the 60% floor");
+
   // Section 3: tag interning and frontier micro-sections.
   TagInternResult intern = RunTagInternMicro(intern_iters);
   FrontierResult frontier = RunFrontierMicro(frontier_iters);
@@ -1157,6 +1324,15 @@ void Report() {
   std::printf("  group commit: %lld requests over %lld rounds (%.2f occupancy)\n",
               static_cast<long long>(cur_driven.batched_requests),
               static_cast<long long>(cur_driven.append_rounds), occupancy);
+  std::printf("  shard scaling: 1 shard %.0f appends/vsec, 4 shards %.0f appends/vsec"
+              " (%.2fx)\n",
+              one_shard_tput, four_shard_tput, shard_speedup);
+  std::printf("  read cache:  %.1f%% hit rate (%lld hits, %lld misses), %.2fx less"
+              " simulated time; index-local reads %lld, storage reads %lld\n",
+              cache_hit_rate * 100.0, static_cast<long long>(cache_on.cache_hits),
+              static_cast<long long>(cache_on.cache_misses), cache_time_ratio,
+              static_cast<long long>(cache_on.reads_index_local),
+              static_cast<long long>(cache_on.reads_storage));
   std::printf("  timer wheel: pq %.0f ev/s, wheel %.0f ev/s (%.2fx)\n", pq_eps, wheel_eps,
               wheel_eps / pq_eps);
   std::printf("  tag intern:  string %.1f ns/op, interned %.1f ns/op (%.2fx); %lld requests"
@@ -1194,6 +1370,13 @@ void Report() {
                "                \"append_rounds\": %lld, \"batched_requests\": %lld,\n"
                "                \"batch_occupancy\": %.2f},\n"
                "  \"speedup_vs_pr2\": %.3f,\n"
+               "  \"shard_scaling\": {\"one_shard_appends_per_vsec\": %.1f,\n"
+               "                   \"four_shard_appends_per_vsec\": %.1f,\n"
+               "                   \"speedup\": %.3f, \"appends\": %llu,\n"
+               "                   \"one_shard_rounds\": %lld, \"four_shard_rounds\": %lld},\n"
+               "  \"read_cache\": {\"hit_rate\": %.3f, \"hits\": %lld, \"misses\": %lld,\n"
+               "                 \"sim_time_ratio\": %.3f, \"reads_index_local\": %lld,\n"
+               "                 \"reads_storage\": %lld},\n"
                "  \"timer_wheel\": {\"pq_events_per_sec\": %.1f,\n"
                "                  \"wheel_events_per_sec\": %.1f, \"speedup\": %.3f},\n"
                "  \"tag_intern\": {\"string_ns_per_op\": %.2f, \"interned_ns_per_op\": %.2f,\n"
@@ -1215,7 +1398,15 @@ void Report() {
                pr2_ops, cur_ops, static_cast<unsigned long long>(cur_driven.sim_ops),
                pr2_epo, cur_epo, static_cast<long long>(cur_driven.append_rounds),
                static_cast<long long>(cur_driven.batched_requests), occupancy,
-               cur_ops / pr2_ops, pq_eps, wheel_eps, wheel_eps / pq_eps,
+               cur_ops / pr2_ops, one_shard_tput, four_shard_tput, shard_speedup,
+               static_cast<unsigned long long>(four_shard.appends),
+               static_cast<long long>(one_shard.append_rounds),
+               static_cast<long long>(four_shard.append_rounds), cache_hit_rate,
+               static_cast<long long>(cache_on.cache_hits),
+               static_cast<long long>(cache_on.cache_misses), cache_time_ratio,
+               static_cast<long long>(cache_on.reads_index_local),
+               static_cast<long long>(cache_on.reads_storage),
+               pq_eps, wheel_eps, wheel_eps / pq_eps,
                intern.string_ns, intern.interned_ns, intern.string_ns / intern.interned_ns,
                static_cast<long long>(intern.intern_requests), intern.distinct_tags,
                frontier.scan_ns, frontier.incremental_ns,

@@ -27,6 +27,14 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure
 # BENCH_hotpath.json at the repo root (DESIGN.md §7.4).
 ( cd "${BUILD_DIR}" && HM_BENCH_SCALE=0.2 ./bench/bench_hotpath )
 
+# Shard-equivalence smoke: the same seed through a 1-shard and a 4-shard log must commit
+# identical per-stream content (FNV checksums printed per protocol/workload pair). Any
+# MISMATCH line — or a missing match line — fails the run.
+"${BUILD_DIR}"/tests/sharded_equivalence_test \
+  --gtest_filter='ShardedEquivalenceTest.ShardCountsProduceEquivalentExecutions' \
+  --gtest_brief=1 | grep '^\[shards\]' | tee /dev/stderr | grep -q ' match' \
+  || { echo "check.sh: FAIL — shard-equivalence checksums diverged" >&2; exit 1; }
+
 # Faultcheck smoke: re-run the schedule-explorer suites standalone so the explored-schedule
 # counts are visible in the log (ctest swallows the stdout of passing tests). Set
 # HM_FAULTCHECK_FULL=1 for the exhaustive depth-2 sweep (see EXPERIMENTS.md).

@@ -56,6 +56,13 @@ struct LatencyCalibration {
   double log_read_uncached_median = 1.0;
   double log_read_uncached_p99 = 1.8;
 
+  // logReadPrev served entirely from the node-local payload cache (DESIGN.md §9): no index
+  // walk, no storage hop — just a validation against the local index replica. Modeled after
+  // AFT's shim-local cached reads (Sreekanti et al., EuroSys '20): an order of magnitude
+  // below the index-replica path.
+  double log_read_cache_hit_median = 0.01;
+  double log_read_cache_hit_p99 = 0.03;
+
   // DynamoDB read: 1.88 ms median, 4.60 ms p99 (Table 1).
   double db_read_median = 1.88;
   double db_read_p99 = 4.60;
@@ -90,6 +97,7 @@ struct LatencyModels {
       : log_append(cal.log_append_median, cal.log_append_p99),
         log_read_cached(cal.log_read_cached_median, cal.log_read_cached_p99),
         log_read_uncached(cal.log_read_uncached_median, cal.log_read_uncached_p99),
+        log_read_cache_hit(cal.log_read_cache_hit_median, cal.log_read_cache_hit_p99),
         db_read(cal.db_read_median, cal.db_read_p99),
         db_cond_write(cal.db_cond_write_median, cal.db_cond_write_p99),
         db_plain_write(cal.db_plain_write_median, cal.db_plain_write_p99),
@@ -100,6 +108,7 @@ struct LatencyModels {
   LognormalLatency log_append;
   LognormalLatency log_read_cached;
   LognormalLatency log_read_uncached;
+  LognormalLatency log_read_cache_hit;
   LognormalLatency db_read;
   LognormalLatency db_cond_write;
   LognormalLatency db_plain_write;

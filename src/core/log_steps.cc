@@ -106,10 +106,12 @@ sim::Task<BatchLogResult> LogStepBatch(Env& env, std::vector<FieldMap> fields) {
   }
   CondAppendResult append = co_await env.log().CondAppendBatch(std::move(batch), step_tag, pos);
   if (append.ok) {
-    // Consecutive seqnums within a batch; the append reply carries the committed group, so
-    // the views come straight from the record store without extra rounds or copies.
+    // Consecutive batch seqnums (stride = shard count); the append reply carries the
+    // committed group, so the views come straight from the record store without extra rounds
+    // or copies.
     for (size_t i = 0; i < n; ++i) {
-      LogRecordPtr record = env.cluster->log_space().Get(append.seqnum + i);
+      LogRecordPtr record =
+          env.cluster->log_space().Get(env.cluster->log_space().BatchSeq(append.seqnum, i));
       HM_CHECK_MSG(record != nullptr, "freshly committed batch record missing");
       result.records.push_back(record);
       AdoptRecord(env, std::move(record));

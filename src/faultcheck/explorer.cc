@@ -46,6 +46,7 @@ Explorer::RunOutcome Explorer::RunSchedule(const Schedule& schedule, bool record
   ccfg.seed = options_.seed;
   ccfg.function_nodes = 4;
   ccfg.workers_per_node = 8;
+  if (options_.log_shards > 0) ccfg.log_shards = options_.log_shards;
   runtime::Cluster cluster(ccfg);
 
   core::RuntimeConfig rcfg;

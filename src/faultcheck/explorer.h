@@ -34,6 +34,11 @@ struct ExplorerOptions {
   core::ProtocolKind switch_target = core::ProtocolKind::kHalfmoonWrite;
   uint64_t seed = 1;
 
+  // Shared-log shard count for every cluster the sweep spins up; 0 = inherit the
+  // environment default (HM_SHARDS, usually 1). Sweeping N > 1 re-checks the oracle
+  // against the tag-partitioned log's cross-shard merge order.
+  int log_shards = 0;
+
   // Platform timing: a tight duplicate delay makes scheduled peers actually race.
   SimDuration duplicate_delay = Milliseconds(1);
 

@@ -29,6 +29,21 @@ class LatencyRecorder {
     dirty_ = false;
   }
 
+  // Folds another recorder's samples into this one (per-shard / per-node recorders combined
+  // for cluster-wide percentiles). Equivalent to replaying other's Record calls: percentiles
+  // afterwards are computed over the union of both sample sets.
+  void Merge(const LatencyRecorder& other) {
+    if (other.samples_.empty()) return;
+    if (&other == this) {
+      // Self-merge: inserting from the vector being grown would invalidate the source range.
+      std::vector<SimDuration> copy = samples_;
+      samples_.insert(samples_.end(), copy.begin(), copy.end());
+    } else {
+      samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    }
+    dirty_ = true;
+  }
+
   // Percentile in [0, 100]. Returns 0 on an empty recorder.
   SimDuration Percentile(double pct) const;
 

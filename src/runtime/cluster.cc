@@ -10,10 +10,16 @@ Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       scheduler_(config.queue_mode),
       rng_(config.seed),
-      models_(config.calibration) {
+      models_(config.calibration),
+      log_space_(static_cast<uint32_t>(config.log_shards)) {
   if (config.model_queueing) {
-    sequencer_station_ =
-        std::make_unique<sim::ServiceStation>(&scheduler_, config.sequencer_servers);
+    // One sequencer station per log shard: sequencer rounds bound for different shards no
+    // longer contend, which is the shard-scaling mechanism (DESIGN.md §9).
+    sequencer_stations_.reserve(static_cast<size_t>(config.log_shards));
+    for (int s = 0; s < config.log_shards; ++s) {
+      sequencer_stations_.push_back(
+          std::make_unique<sim::ServiceStation>(&scheduler_, config.sequencer_servers));
+    }
     storage_station_ =
         std::make_unique<sim::ServiceStation>(&scheduler_, config.storage_servers);
     db_station_ = std::make_unique<sim::ServiceStation>(&scheduler_, config.db_servers);
@@ -23,11 +29,15 @@ Cluster::Cluster(const ClusterConfig& config)
   batch.enabled = config.group_commit_appends;
   batch.window = config.append_batch_window;
   batch.max_batch = static_cast<size_t>(config.append_batch_max);
+  std::vector<sim::ServiceStation*> sequencer_ptrs;
+  sequencer_ptrs.reserve(sequencer_stations_.size());
+  for (auto& station : sequencer_stations_) sequencer_ptrs.push_back(station.get());
   nodes_.reserve(config.function_nodes);
   for (int i = 0; i < config.function_nodes; ++i) {
     nodes_.push_back(std::make_unique<FunctionNode>(
-        i, &scheduler_, &rng_, &models_, &log_space_, &kv_state_, sequencer_station_.get(),
-        storage_station_.get(), db_station_.get(), config.workers_per_node, batch));
+        i, &scheduler_, &rng_, &models_, &log_space_, &kv_state_, sequencer_ptrs,
+        storage_station_.get(), db_station_.get(), config.workers_per_node, batch,
+        config.log_read_cache));
   }
 
   // Index propagation: every committed seqnum reaches each function node's index replica

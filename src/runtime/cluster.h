@@ -9,6 +9,7 @@
 #define HALFMOON_RUNTIME_CLUSTER_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <limits>
 #include <map>
@@ -27,10 +28,20 @@
 #include "src/runtime/failure_injector.h"
 #include "src/sharedlog/log_client.h"
 #include "src/sharedlog/log_space.h"
+#include "src/sharedlog/sharded_log.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/service_station.h"
 
 namespace halfmoon::runtime {
+
+// Default shard count for the shared log: the HM_SHARDS environment variable (so CI can run
+// the whole tier-1 suite sharded), 1 otherwise.
+inline int DefaultLogShards() {
+  const char* env = std::getenv("HM_SHARDS");
+  if (env == nullptr || *env == '\0') return 1;
+  int value = std::atoi(env);
+  return value >= 1 ? value : 1;
+}
 
 struct ClusterConfig {
   // §6: eight function nodes; worker slots bound per-node concurrency.
@@ -41,6 +52,17 @@ struct ClusterConfig {
   // each service's internal parallelism.
   int sequencer_servers = 6;
   int storage_servers = 12;
+
+  // Tag-partitioned log shards (DESIGN.md §9). Each shard gets its own sequencer station and
+  // per-node batcher queue, so appends to tags on different shards commit in parallel
+  // simulated time. 1 (the default) is bit-identical to the unsharded log; committed content
+  // is shard-count-invariant (asserted by the shard-equivalence tests).
+  int log_shards = DefaultLogShards();
+
+  // Node-local consistent payload cache in every LogClient (DESIGN.md §9): logReadPrev hits
+  // validated against the index replica skip the storage hop and the index walk. Off by
+  // default to keep the calibrated latency model (and bit-identity with earlier baselines).
+  bool log_read_cache = false;
 
   // External storage (DynamoDB scales well; generous parallelism).
   int db_servers = 48;
@@ -76,12 +98,14 @@ struct ClusterConfig {
 class FunctionNode {
  public:
   FunctionNode(int id, sim::Scheduler* scheduler, Rng* rng, const LatencyModels* models,
-               sharedlog::LogSpace* log_space, kvstore::KvState* kv_state,
-               sim::ServiceStation* sequencer, sim::ServiceStation* storage,
-               sim::ServiceStation* db, int workers, sharedlog::AppendBatchConfig batch)
+               sharedlog::ShardedLog* log_space, kvstore::KvState* kv_state,
+               std::vector<sim::ServiceStation*> sequencers, sim::ServiceStation* storage,
+               sim::ServiceStation* db, int workers, sharedlog::AppendBatchConfig batch,
+               bool read_cache)
       : id_(id),
         workers_(scheduler, workers),
-        log_(scheduler, rng, models, log_space, sequencer, storage, batch),
+        log_(scheduler, rng, models, log_space, std::move(sequencers), storage, batch,
+             read_cache),
         kv_(scheduler, rng, models, kv_state, db) {}
 
   int id() const { return id_; }
@@ -107,7 +131,7 @@ class Cluster {
   const LatencyModels& models() const { return models_; }
   const ClusterConfig& config() const { return config_; }
 
-  sharedlog::LogSpace& log_space() { return log_space_; }
+  sharedlog::ShardedLog& log_space() { return log_space_; }
   kvstore::KvState& kv_state() { return kv_state_; }
   FailureInjector& failure_injector() { return injector_; }
 
@@ -193,10 +217,11 @@ class Cluster {
   Rng rng_;
   LatencyModels models_;
 
-  sharedlog::LogSpace log_space_;
+  sharedlog::ShardedLog log_space_;
   kvstore::KvState kv_state_;
 
-  std::unique_ptr<sim::ServiceStation> sequencer_station_;
+  // One sequencer station per log shard (empty when queueing is off).
+  std::vector<std::unique_ptr<sim::ServiceStation>> sequencer_stations_;
   std::unique_ptr<sim::ServiceStation> storage_station_;
   std::unique_ptr<sim::ServiceStation> db_station_;
 

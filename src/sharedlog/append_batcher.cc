@@ -25,6 +25,8 @@ void AppendBatcher::Enqueue(Submission* submission) {
 }
 
 sim::Task<void> AppendBatcher::RunRounds() {
+  LogSpace* space = space_ != nullptr ? space_ : owner_->space_;
+  sim::ServiceStation* station = station_ != nullptr ? station_ : owner_->sequencer_station_;
   while (head_ != nullptr) {
     if (config_.window > 0) {
       // Hold the departure open so near-simultaneous requests can still join this round.
@@ -52,9 +54,9 @@ sim::Task<void> AppendBatcher::RunRounds() {
     SimDuration total = owner_->models_->log_append.Sample(*owner_->rng_);
     auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
     co_await owner_->scheduler_->Delay(leg);
-    co_await owner_->SequencerRound(total);
+    co_await owner_->SequencerRoundAt(station, total);
     std::vector<LogSpace::GroupVerdict> verdicts =
-        owner_->space_->AppendGroup(owner_->scheduler_->Now(), std::move(requests));
+        space->AppendGroup(owner_->scheduler_->Now(), std::move(requests));
     HM_CHECK(verdicts.size() == round.size());
     bool any_committed = false;
     for (size_t i = 0; i < round.size(); ++i) {
@@ -64,7 +66,7 @@ sim::Task<void> AppendBatcher::RunRounds() {
     if (any_committed) {
       // The node learns the round's seqnums with the reply (AppendGroup ran synchronously,
       // so next_seqnum() - 1 is exactly the round's last committed record).
-      owner_->AdvanceIndex(owner_->space_->next_seqnum() - 1);
+      owner_->AdvanceIndex(space->next_seqnum() - 1);
     }
     co_await owner_->scheduler_->Delay(leg);  // Shared reply leg.
 

@@ -26,6 +26,10 @@
 #include "src/sharedlog/log_space.h"
 #include "src/sim/task.h"
 
+namespace halfmoon::sim {
+class ServiceStation;
+}  // namespace halfmoon::sim
+
 namespace halfmoon::sharedlog {
 
 class LogClient;
@@ -43,8 +47,14 @@ struct AppendBatchConfig {
 
 class AppendBatcher {
  public:
-  AppendBatcher(LogClient* owner, AppendBatchConfig config)
-      : owner_(owner), config_(config) {}
+  // `space` is the log shard this batcher's rounds commit through and `station` that shard's
+  // sequencer station; null means "the owner's defaults" (unsharded clients). A sharded
+  // LogClient owns one batcher per shard, so rounds bound for different shards are
+  // independent queues with independently in-flight rounds — that is the source of the
+  // shard-scaling throughput (DESIGN.md §9).
+  AppendBatcher(LogClient* owner, AppendBatchConfig config, LogSpace* space = nullptr,
+                sim::ServiceStation* station = nullptr)
+      : owner_(owner), config_(config), space_(space), station_(station) {}
   AppendBatcher(const AppendBatcher&) = delete;
   AppendBatcher& operator=(const AppendBatcher&) = delete;
 
@@ -83,6 +93,8 @@ class AppendBatcher {
 
   LogClient* owner_;
   AppendBatchConfig config_;
+  LogSpace* space_;               // Null: use the owner's default log space.
+  sim::ServiceStation* station_;  // Null: use the owner's default sequencer station.
   Submission* head_ = nullptr;
   Submission* tail_ = nullptr;
   bool round_loop_active_ = false;

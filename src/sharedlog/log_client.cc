@@ -4,10 +4,11 @@
 
 namespace halfmoon::sharedlog {
 
-sim::Task<void> LogClient::SequencerRound(SimDuration total_latency) {
+sim::Task<void> LogClient::SequencerRoundAt(sim::ServiceStation* station,
+                                            SimDuration total_latency) {
   auto service = static_cast<SimDuration>(static_cast<double>(total_latency) * kServiceFraction);
-  if (sequencer_station_ != nullptr) {
-    co_await sequencer_station_->Process(service);
+  if (station != nullptr) {
+    co_await station->Process(service);
   } else {
     co_await scheduler_->Delay(service);
   }
@@ -24,41 +25,47 @@ sim::Task<void> LogClient::StorageRound(SimDuration total_latency) {
 
 sim::Task<SeqNum> LogClient::Append(std::vector<TagId> tags, FieldMap fields) {
   ++stats_.appends;
-  if (batcher_ != nullptr) {
+  if (!batchers_.empty()) {
+    AppendBatcher* batcher = BatcherForTag(tags[0]);
     LogSpace::GroupRequest request;
     request.entries.push_back(LogSpace::BatchEntry{std::move(tags), std::move(fields)});
-    LogSpace::GroupVerdict verdict = co_await batcher_->Submit(std::move(request));
+    LogSpace::GroupVerdict verdict = co_await batcher->Submit(std::move(request));
+    if (read_cache_enabled_) CacheCommitted(space_->Get(verdict.seqnum));
     co_return verdict.seqnum;  // Unconditional requests always commit.
   }
+  sim::ServiceStation* station = SequencerStationForTag(tags[0]);
   SimDuration total = models_->log_append.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
-  co_await scheduler_->Delay(leg);        // Request travels to the sequencer.
-  co_await SequencerRound(total);         // Ordering + replication to storage nodes.
+  co_await scheduler_->Delay(leg);          // Request travels to the sequencer.
+  co_await SequencerRoundAt(station, total);  // Ordering + replication to storage nodes.
   SeqNum seqnum = space_->Append(scheduler_->Now(), std::move(tags), std::move(fields));
-  AdvanceIndex(seqnum);                   // The appender learns its own seqnum with the reply.
-  co_await scheduler_->Delay(leg);        // Reply.
+  AdvanceIndex(seqnum);                     // The appender learns its own seqnum with the reply.
+  if (read_cache_enabled_) CacheCommitted(space_->Get(seqnum));
+  co_await scheduler_->Delay(leg);          // Reply.
   co_return seqnum;
 }
 
 sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<TagId> tags, FieldMap fields,
                                                   TagId cond_tag, size_t cond_pos) {
   ++stats_.cond_appends;
-  if (batcher_ != nullptr) {
+  if (!batchers_.empty()) {
     LogSpace::GroupRequest request;
     request.entries.push_back(LogSpace::BatchEntry{std::move(tags), std::move(fields)});
     request.cond_tag = cond_tag;
     request.cond_pos = cond_pos;
     co_return co_await SubmitCond(std::move(request));
   }
+  sim::ServiceStation* station = SequencerStationForTag(cond_tag);
   SimDuration total = models_->log_append.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
   co_await scheduler_->Delay(leg);
-  co_await SequencerRound(total);
+  co_await SequencerRoundAt(station, total);
   CondAppendResult result =
       space_->CondAppend(scheduler_->Now(), std::move(tags), std::move(fields), cond_tag,
                          cond_pos);
   if (result.ok) {
     AdvanceIndex(result.seqnum);
+    CacheCommitted(result.record);
   } else {
     ++stats_.cond_append_conflicts;
   }
@@ -66,16 +73,23 @@ sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<TagId> tags, Field
   co_return result;
 }
 
-// Shared batched tail of CondAppend / CondAppendBatch: ships the request through the
+// Shared batched tail of CondAppend / CondAppendBatch: ships the request through the shard's
 // batcher and rebuilds the CondAppendResult (verdict + shared view of the first record).
 sim::Task<CondAppendResult> LogClient::SubmitCond(LogSpace::GroupRequest request) {
-  LogSpace::GroupVerdict verdict = co_await batcher_->Submit(std::move(request));
+  AppendBatcher* batcher = BatcherForTag(request.cond_tag);
+  size_t entries = request.entries.size();
+  LogSpace::GroupVerdict verdict = co_await batcher->Submit(std::move(request));
   CondAppendResult result;
   result.ok = verdict.ok;
   result.seqnum = verdict.seqnum;
   result.existing_seqnum = verdict.existing_seqnum;
   if (verdict.ok) {
     result.record = space_->Get(verdict.seqnum);
+    if (entries > 1) {
+      CacheBatch(verdict.seqnum, entries);
+    } else {
+      CacheCommitted(result.record);
+    }
   } else {
     ++stats_.cond_append_conflicts;
   }
@@ -85,22 +99,25 @@ sim::Task<CondAppendResult> LogClient::SubmitCond(LogSpace::GroupRequest request
 sim::Task<CondAppendResult> LogClient::CondAppendBatch(std::vector<LogSpace::BatchEntry> batch,
                                                        TagId cond_tag, size_t cond_pos) {
   stats_.cond_appends += static_cast<int64_t>(batch.size());
-  if (batcher_ != nullptr) {
+  if (!batchers_.empty()) {
     LogSpace::GroupRequest request;
     request.entries = std::move(batch);
     request.cond_tag = cond_tag;
     request.cond_pos = cond_pos;
     co_return co_await SubmitCond(std::move(request));
   }
+  sim::ServiceStation* station = SequencerStationForTag(cond_tag);
+  size_t entries = batch.size();
   SimDuration total = models_->log_append.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
   co_await scheduler_->Delay(leg);
-  co_await SequencerRound(total);
+  co_await SequencerRoundAt(station, total);
   CondAppendResult result =
       space_->CondAppendBatch(scheduler_->Now(), std::move(batch), cond_tag, cond_pos);
   if (result.ok) {
-    // The batch commits with consecutive seqnums; the replica learns them with the reply.
+    // The batch commits in one round; the replica learns its seqnums with the reply.
     AdvanceIndex(space_->next_seqnum() - 1);
+    CacheBatch(result.seqnum, entries);
   } else {
     ++stats_.cond_append_conflicts;
   }
@@ -109,24 +126,33 @@ sim::Task<CondAppendResult> LogClient::CondAppendBatch(std::vector<LogSpace::Bat
 }
 
 sim::Task<SeqNum> LogClient::AppendBatch(std::vector<LogSpace::BatchEntry> batch) {
+  HM_CHECK(!batch.empty());
   stats_.appends += static_cast<int64_t>(batch.size());
-  if (batcher_ != nullptr) {
+  if (!batchers_.empty()) {
+    AppendBatcher* batcher = BatcherForTag(batch[0].tags.empty() ? kInitTagId : batch[0].tags[0]);
+    size_t entries = batch.size();
     LogSpace::GroupRequest request;
     request.entries = std::move(batch);
-    LogSpace::GroupVerdict verdict = co_await batcher_->Submit(std::move(request));
+    LogSpace::GroupVerdict verdict = co_await batcher->Submit(std::move(request));
+    CacheBatch(verdict.seqnum, entries);
     co_return verdict.seqnum;
   }
+  sim::ServiceStation* station =
+      SequencerStationForTag(batch[0].tags.empty() ? kInitTagId : batch[0].tags[0]);
+  size_t entries = batch.size();
   SimDuration total = models_->log_append.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
   co_await scheduler_->Delay(leg);
-  co_await SequencerRound(total);
+  co_await SequencerRoundAt(station, total);
   SeqNum first = space_->AppendBatch(scheduler_->Now(), std::move(batch));
   AdvanceIndex(space_->next_seqnum() - 1);
+  CacheBatch(first, entries);
   co_await scheduler_->Delay(leg);
   co_return first;
 }
 
 sim::Task<LogRecordPtr> LogClient::FindFirstByStep(TagId tag, OpId op, int64_t step) {
+  ++stats_.reads_index_local;
   co_await scheduler_->Delay(models_->log_read_cached.Sample(*rng_));
   LogRecordPtr record = space_->FindFirstByStep(tag, op, step);
   if (record != nullptr) ++stats_.read_record_shared;
@@ -137,19 +163,47 @@ sim::Task<LogRecordPtr> LogClient::ReadPrev(TagId tag, SeqNum max_seqnum) {
   if (indexed_upto_ >= max_seqnum) {
     // The local index replica provably covers the requested prefix: serve locally.
     ++stats_.read_prev_cached;
+    ++stats_.reads_index_local;
+    if (read_cache_enabled_) {
+      // Payload-cache fast path: the index replica answers "which seqnum would this read
+      // return" locally; if the cached payload for the tag IS that record, no index walk and
+      // no storage hop happen at all. Stale entries simply fail the seqnum comparison.
+      SeqNum latest = space_->LatestSeqNoAtMost(tag, max_seqnum);
+      auto it = read_cache_.find(tag);
+      if (it != read_cache_.end() && latest != kInvalidSeqNum &&
+          it->second->seqnum == latest) {
+        ++stats_.cache_hits;
+        co_await scheduler_->Delay(models_->log_read_cache_hit.Sample(*rng_));
+        ++stats_.read_record_shared;
+        co_return it->second;
+      }
+    }
     co_await scheduler_->Delay(models_->log_read_cached.Sample(*rng_));
     LogRecordPtr record = space_->ReadPrev(tag, max_seqnum);
-    if (record != nullptr) ++stats_.read_record_shared;
+    if (record != nullptr) {
+      ++stats_.read_record_shared;
+      if (read_cache_enabled_) {
+        ++stats_.cache_misses;
+        read_cache_[tag] = record;
+      }
+    }
     co_return record;
   }
   // Sync with a storage node; afterwards the replica covers max_seqnum.
   ++stats_.read_prev_uncached;
+  ++stats_.reads_storage;
   SimDuration total = models_->log_read_uncached.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
   co_await scheduler_->Delay(leg);
   co_await StorageRound(total);
   LogRecordPtr record = space_->ReadPrev(tag, max_seqnum);
-  if (record != nullptr) ++stats_.read_record_shared;
+  if (record != nullptr) {
+    ++stats_.read_record_shared;
+    if (read_cache_enabled_) {
+      ++stats_.cache_misses;
+      read_cache_[tag] = record;
+    }
+  }
   AdvanceIndex(max_seqnum);
   co_await scheduler_->Delay(leg);
   co_return record;
@@ -157,6 +211,7 @@ sim::Task<LogRecordPtr> LogClient::ReadPrev(TagId tag, SeqNum max_seqnum) {
 
 sim::Task<LogRecordPtr> LogClient::ReadNext(TagId tag, SeqNum min_seqnum) {
   ++stats_.read_next;
+  ++stats_.reads_storage;
   SimDuration total = models_->log_read_uncached.Sample(*rng_);
   auto leg = static_cast<SimDuration>(static_cast<double>(total) * kRequestLegFraction);
   co_await scheduler_->Delay(leg);
@@ -169,6 +224,7 @@ sim::Task<LogRecordPtr> LogClient::ReadNext(TagId tag, SeqNum min_seqnum) {
 
 sim::Task<std::vector<LogRecordPtr>> LogClient::ReadStream(TagId tag) {
   ++stats_.stream_reads;
+  ++stats_.reads_index_local;
   // Served from the node-local index replica, which is complete up to indexed_upto_ (Boki
   // replicates the index to every function node; only record payloads live on storage).
   // Records beyond the replica's horizon may be missed — harmless, because every logged step

@@ -6,6 +6,17 @@
 // client after a sampled delay. A logReadPrev bounded by `max_seqnum` can be served from the
 // local index iff the replica already covers `max_seqnum` (the 0.12 ms path); otherwise the
 // client syncs with a storage node (the slower path).
+//
+// Sharded mode (DESIGN.md §9): constructed against a ShardedLog, the client routes each
+// append to the shard owning its routing tag — per-shard AppendBatcher queues and per-shard
+// sequencer stations, so appends to tags on different shards commit in parallel simulated
+// time. Reads need no fan-out: every LogSpace shard answers queries for the whole log.
+//
+// On top of the index replica the client can keep a consistent *payload* cache: committed
+// LogRecordPtrs by tag, validated on each logReadPrev against the index replica's
+// latest-seqnum-at-most answer. A hit skips the index walk and the storage hop entirely
+// (Halfmoon-read's log-free reads); a stale entry can never be returned because validation
+// compares seqnums, and the index replica is complete up to indexed_upto_.
 
 #ifndef HALFMOON_SHAREDLOG_LOG_CLIENT_H_
 #define HALFMOON_SHAREDLOG_LOG_CLIENT_H_
@@ -14,13 +25,17 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/latency_model.h"
 #include "src/common/rng.h"
 #include "src/sharedlog/append_batcher.h"
 #include "src/sharedlog/log_record.h"
 #include "src/sharedlog/log_space.h"
+#include "src/sharedlog/sharded_log.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/service_station.h"
 #include "src/sim/task.h"
@@ -45,6 +60,16 @@ struct LogClientStats {
   int64_t read_next = 0;
   int64_t stream_reads = 0;
   int64_t trims = 0;
+  // Read-path provenance, bumped on EVERY log read (ReadPrev, ReadNext, ReadStream,
+  // FindFirstByStep — the pre-PR 5 counters above only classified ReadPrev): index-local
+  // reads are served by the node's index replica without a storage round trip.
+  int64_t reads_index_local = 0;
+  int64_t reads_storage = 0;
+  // Node-local payload cache (read_cache in ClusterConfig). Hits/misses are counted on the
+  // logReadPrev fast path only — the cache's reason to exist is Halfmoon-read's log-free
+  // read, which is a bounded logReadPrev.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
   // Zero-copy audit: every record a read returns is counted either as a shared view
   // (refcount bump on the committed record) or as a deep copy. The read path is copy-free by
   // construction, so read_record_copies must stay 0; the counter exists so benchmarks and
@@ -76,7 +101,33 @@ class LogClient {
         space_(space),
         sequencer_station_(sequencer_station),
         storage_station_(storage_station) {
-    if (batch.enabled) batcher_ = std::make_unique<AppendBatcher>(this, batch);
+    if (batch.enabled) batchers_.push_back(std::make_unique<AppendBatcher>(this, batch));
+  }
+
+  // Sharded-cluster client. `sequencer_stations` holds one station per shard (may be empty
+  // to disable queueing); appends route to the shard owning their routing tag, each shard
+  // with its own batcher queue. `read_cache` enables the node-local payload cache.
+  LogClient(sim::Scheduler* scheduler, Rng* rng, const LatencyModels* models, ShardedLog* log,
+            std::vector<sim::ServiceStation*> sequencer_stations,
+            sim::ServiceStation* storage_station, AppendBatchConfig batch, bool read_cache)
+      : scheduler_(scheduler),
+        rng_(rng),
+        models_(models),
+        space_(&log->shard(0)),
+        sequencer_station_(sequencer_stations.empty() ? nullptr : sequencer_stations[0]),
+        storage_station_(storage_station),
+        sequencer_stations_(std::move(sequencer_stations)),
+        read_cache_enabled_(read_cache) {
+    HM_CHECK(sequencer_stations_.empty() ||
+             sequencer_stations_.size() == log->shard_count());
+    if (batch.enabled) {
+      batchers_.reserve(log->shard_count());
+      for (uint32_t i = 0; i < log->shard_count(); ++i) {
+        batchers_.push_back(std::make_unique<AppendBatcher>(
+            this, batch, &log->shard(i),
+            sequencer_stations_.empty() ? nullptr : sequencer_stations_[i]));
+      }
+    }
   }
 
   // The log's tag interner (shared across all clients of the same LogSpace).
@@ -91,11 +142,13 @@ class LogClient {
                                          TagId cond_tag, size_t cond_pos);
 
   // Conditionally appends several records in one sequencer round (Boki's batched append).
-  // Costs a single append latency; the records receive consecutive seqnums.
+  // Costs a single append latency; the records receive consecutive batch seqnums
+  // (LogSpace::BatchSeq).
   sim::Task<CondAppendResult> CondAppendBatch(std::vector<LogSpace::BatchEntry> batch,
                                               TagId cond_tag, size_t cond_pos);
 
-  // Unconditional batched append (one round, consecutive seqnums); returns the first seqnum.
+  // Unconditional batched append (one round, consecutive batch seqnums); returns the first
+  // seqnum.
   sim::Task<SeqNum> AppendBatch(std::vector<LogSpace::BatchEntry> batch);
 
   // Boki-style conflict resolution: the first record logged for (op, step) in `tag` wins.
@@ -156,8 +209,11 @@ class LogClient {
   const LogClientStats& stats() const { return stats_; }
   LogClientStats& mutable_stats() { return stats_; }
 
-  // Non-null iff node-local group commit is enabled for this client.
-  AppendBatcher* batcher() { return batcher_.get(); }
+  bool read_cache_enabled() const { return read_cache_enabled_; }
+
+  // Non-null iff node-local group commit is enabled for this client (shard 0's batcher in
+  // sharded mode).
+  AppendBatcher* batcher() { return batchers_.empty() ? nullptr : batchers_[0].get(); }
 
  private:
   friend class AppendBatcher;
@@ -169,9 +225,33 @@ class LogClient {
     return ids;
   }
 
-  sim::Task<void> SequencerRound(SimDuration total_latency);
+  // The batcher queue / sequencer station owning `tag`'s shard. Unsharded clients fall back
+  // to their single queue / station, so routing compiles down to the historic path.
+  AppendBatcher* BatcherForTag(TagId tag) {
+    if (batchers_.empty()) return nullptr;
+    if (batchers_.size() == 1) return batchers_[0].get();
+    return batchers_[space_->tags().ShardOf(tag)].get();
+  }
+  sim::ServiceStation* SequencerStationForTag(TagId tag) const {
+    if (sequencer_stations_.size() <= 1) return sequencer_station_;
+    return sequencer_stations_[space_->tags().ShardOf(tag)];
+  }
+
+  sim::Task<void> SequencerRoundAt(sim::ServiceStation* station, SimDuration total_latency);
   sim::Task<void> StorageRound(SimDuration total_latency);
   sim::Task<CondAppendResult> SubmitCond(LogSpace::GroupRequest request);
+
+  // Payload-cache maintenance: committed records are the freshest for each of their tags at
+  // commit time, so read-your-writes hits come for free.
+  void CacheCommitted(const LogRecordPtr& record) {
+    if (!read_cache_enabled_ || record == nullptr) return;
+    for (TagId tag : record->tags) read_cache_[tag] = record;
+  }
+  void CacheBatch(SeqNum first, size_t count) {
+    if (!read_cache_enabled_) return;
+    // In batch order, so for tags shared across entries the last (freshest) entry wins.
+    for (size_t i = 0; i < count; ++i) CacheCommitted(space_->Get(space_->BatchSeq(first, i)));
+  }
 
   sim::Scheduler* scheduler_;
   Rng* rng_;
@@ -179,8 +259,14 @@ class LogClient {
   LogSpace* space_;
   sim::ServiceStation* sequencer_station_;
   sim::ServiceStation* storage_station_;
-  std::unique_ptr<AppendBatcher> batcher_;
+  std::vector<sim::ServiceStation*> sequencer_stations_;  // Per shard; empty when unsharded.
+  std::vector<std::unique_ptr<AppendBatcher>> batchers_;  // Per shard; empty when disabled.
   SeqNum indexed_upto_ = 0;
+  // Node-local consistent payload cache: latest committed record seen per tag. Entries are
+  // validated against the index replica before use, so they can be stale but never wrong;
+  // trimmed records fail validation and get overwritten on the next miss.
+  bool read_cache_enabled_ = false;
+  std::unordered_map<TagId, LogRecordPtr> read_cache_;
   LogClientStats stats_;
 };
 

@@ -9,56 +9,89 @@
 namespace halfmoon::sharedlog {
 
 LogSpace::LogSpace() {
+  owned_shared_ = std::make_unique<Shared>();
+  shared_ = owned_shared_.get();
+  peers_ = {this};
+  PreinternWellKnown();
+}
+
+LogSpace::LogSpace(Shared* shared, uint32_t shard, uint32_t shard_count)
+    : shared_(shared), shard_(shard), shard_count_(shard_count) {
+  HM_CHECK(shared != nullptr);
+  HM_CHECK(shard < shard_count);
+  HM_CHECK_MSG(shared_->tags.shard_count() == shard_count,
+               "LogSpace shard: TagRegistry::SetShardCount must run before shard construction");
+  // Idempotent across shards: the first shard interns, the rest verify the same ids.
+  PreinternWellKnown();
+}
+
+void LogSpace::PreinternWellKnown() {
   // Pre-intern the two global streams so their ids are compile-time constants everywhere.
-  HM_CHECK(tags_.Intern(InitLogTag()) == kInitTagId);
-  HM_CHECK(tags_.Intern(FinishLogTag()) == kFinishTagId);
+  HM_CHECK(shared_->tags.Intern(InitLogTag()) == kInitTagId);
+  HM_CHECK(shared_->tags.Intern(FinishLogTag()) == kFinishTagId);
   // Same for the protocol op names (the kOp* constants of log_record.h).
-  HM_CHECK(ops_.Intern("init") == kOpInit);
-  HM_CHECK(ops_.Intern("read") == kOpRead);
-  HM_CHECK(ops_.Intern("write-pre") == kOpWritePre);
-  HM_CHECK(ops_.Intern("write") == kOpWrite);
-  HM_CHECK(ops_.Intern("invoke-pre") == kOpInvokePre);
-  HM_CHECK(ops_.Intern("invoke") == kOpInvoke);
-  HM_CHECK(ops_.Intern("sync") == kOpSync);
-  HM_CHECK(ops_.Intern("BEGIN") == kOpSwitchBegin);
-  HM_CHECK(ops_.Intern("END") == kOpSwitchEnd);
+  HM_CHECK(shared_->ops.Intern("init") == kOpInit);
+  HM_CHECK(shared_->ops.Intern("read") == kOpRead);
+  HM_CHECK(shared_->ops.Intern("write-pre") == kOpWritePre);
+  HM_CHECK(shared_->ops.Intern("write") == kOpWrite);
+  HM_CHECK(shared_->ops.Intern("invoke-pre") == kOpInvokePre);
+  HM_CHECK(shared_->ops.Intern("invoke") == kOpInvoke);
+  HM_CHECK(shared_->ops.Intern("sync") == kOpSync);
+  HM_CHECK(shared_->ops.Intern("BEGIN") == kOpSwitchBegin);
+  HM_CHECK(shared_->ops.Intern("END") == kOpSwitchEnd);
+}
+
+void LogSpace::SetPeers(std::vector<LogSpace*> peers) {
+  HM_CHECK(peers.size() == shard_count_);
+  HM_CHECK(peers[shard_] == this);
+  peers_ = std::move(peers);
 }
 
 LogSpace::TagStream& LogSpace::StreamFor(TagId tag) {
-  HM_CHECK_MSG(tags_.Contains(tag), "LogSpace: tag id was never interned");
+  HM_CHECK_MSG(shared_->tags.Contains(tag), "LogSpace: tag id was never interned");
   if (tag >= streams_.size()) streams_.resize(tag + 1);
   return streams_[tag];
 }
 
 SeqNum LogSpace::Append(SimTime now, std::vector<TagId> tags, FieldMap fields) {
   HM_CHECK_MSG(!tags.empty(), "log records must carry at least one tag");
-  SeqNum seqnum = next_seqnum_++;
+  return TagOwner(tags[0])->AppendLocal(now, std::move(tags), std::move(fields));
+}
+
+SeqNum LogSpace::AppendLocal(SimTime now, std::vector<TagId> tags, FieldMap fields) {
+  HM_CHECK_MSG(!tags.empty(), "log records must carry at least one tag");
+  SeqNum seqnum = AllocSeqNum();
 
   auto record = std::make_shared<LogRecord>();
   record->seqnum = seqnum;
   record->tags = std::move(tags);
   record->fields = std::move(fields);
   if (record->fields.Has("op")) {
-    record->op = ops_.Intern(record->fields.GetStr("op"));
+    record->op = shared_->ops.Intern(record->fields.GetStr("op"));
   }
 
   StoredRecord stored;
   stored.live_tag_refs = static_cast<int>(record->tags.size());
-  gauge_.Add(now, static_cast<int64_t>(record->ByteSize()));
+  shared_->gauge.Add(now, static_cast<int64_t>(record->ByteSize()));
+  // Each tag's sub-stream lives on the tag's owning shard; the encoded seqnums are allocated
+  // in global commit order, so pushing to the back keeps every stream sorted — also on shards
+  // other than the sequencing one.
   for (TagId tag : record->tags) {
-    TagStream& stream = StreamFor(tag);
-    if (stream.seqnums.empty()) live_tags_.emplace(std::string_view(tags_.Name(tag)), tag);
+    TagStream& stream = TagOwner(tag)->StreamFor(tag);
+    if (stream.seqnums.empty()) {
+      shared_->live_tags.emplace(std::string_view(shared_->tags.Name(tag)), tag);
+    }
     stream.seqnums.push_back(seqnum);
   }
   stored.record = std::move(record);
   records_.emplace(seqnum, std::move(stored));
 
-  if (commit_listener_) commit_listener_(seqnum);
+  if (shared_->commit_listener) shared_->commit_listener(seqnum);
   return seqnum;
 }
 
 bool LogSpace::CondHolds(TagId cond_tag, size_t cond_pos, SeqNum* existing) {
-  TagStream& stream = StreamFor(cond_tag);
+  TagStream& stream = TagOwner(cond_tag)->StreamFor(cond_tag);
   if (stream.length() == cond_pos) return true;
   // Conflict: some peer already appended at (or past) the expected offset. Report the record
   // occupying that offset so the caller can recover its peer's state. Unlike the description
@@ -82,14 +115,21 @@ CondAppendResult LogSpace::CondAppend(SimTime now, std::vector<TagId> tags, Fiel
   // meaningless (the new record would never appear in the conditional stream).
   HM_CHECK_MSG(std::find(tags.begin(), tags.end(), cond_tag) != tags.end(),
                "logCondAppend: cond_tag must be one of the record's tags");
+  // The shard owning cond_tag arbitrates the condition, so racing cond-appends on one tag
+  // serialize through one shard's sequencer no matter which node issued them.
+  return TagOwner(cond_tag)->CondAppendLocal(now, std::move(tags), std::move(fields), cond_tag,
+                                             cond_pos);
+}
 
+CondAppendResult LogSpace::CondAppendLocal(SimTime now, std::vector<TagId> tags,
+                                           FieldMap fields, TagId cond_tag, size_t cond_pos) {
   CondAppendResult result;
   if (!CondHolds(cond_tag, cond_pos, &result.existing_seqnum)) {
     result.ok = false;
     return result;
   }
   result.ok = true;
-  result.seqnum = Append(now, std::move(tags), std::move(fields));
+  result.seqnum = AppendLocal(now, std::move(tags), std::move(fields));
   result.record = LookupLive(result.seqnum);
   return result;
 }
@@ -97,32 +137,43 @@ CondAppendResult LogSpace::CondAppend(SimTime now, std::vector<TagId> tags, Fiel
 CondAppendResult LogSpace::CondAppendBatch(SimTime now, std::vector<BatchEntry> batch,
                                            TagId cond_tag, size_t cond_pos) {
   HM_CHECK(!batch.empty());
+  return TagOwner(cond_tag)->CondAppendBatchLocal(now, std::move(batch), cond_tag, cond_pos);
+}
+
+CondAppendResult LogSpace::CondAppendBatchLocal(SimTime now, std::vector<BatchEntry> batch,
+                                               TagId cond_tag, size_t cond_pos) {
   CondAppendResult result;
   if (!CondHolds(cond_tag, cond_pos, &result.existing_seqnum)) {
     result.ok = false;
     return result;
   }
   result.ok = true;
-  result.seqnum = AppendBatch(now, std::move(batch));
+  result.seqnum = AppendBatchLocal(now, std::move(batch));
   result.record = LookupLive(result.seqnum);
   return result;
 }
 
 SeqNum LogSpace::AppendBatch(SimTime now, std::vector<BatchEntry> batch) {
   HM_CHECK(!batch.empty());
+  HM_CHECK_MSG(!batch[0].tags.empty(), "log records must carry at least one tag");
+  return TagOwner(batch[0].tags[0])->AppendBatchLocal(now, std::move(batch));
+}
+
+SeqNum LogSpace::AppendBatchLocal(SimTime now, std::vector<BatchEntry> batch) {
+  HM_CHECK(!batch.empty());
   // Suppress per-record commit notifications: the batch becomes visible to index replicas as
   // a unit (one notification carrying the last seqnum), so no replica ever observes half of
   // an atomically committed group.
   std::function<void(SeqNum)> listener;
-  listener.swap(commit_listener_);
+  listener.swap(shared_->commit_listener);
   SeqNum first = kInvalidSeqNum;
   SeqNum last = kInvalidSeqNum;
   for (size_t i = 0; i < batch.size(); ++i) {
-    last = Append(now, std::move(batch[i].tags), std::move(batch[i].fields));
+    last = AppendLocal(now, std::move(batch[i].tags), std::move(batch[i].fields));
     if (i == 0) first = last;
   }
-  listener.swap(commit_listener_);
-  if (commit_listener_) commit_listener_(last);
+  listener.swap(shared_->commit_listener);
+  if (shared_->commit_listener) shared_->commit_listener(last);
   return first;
 }
 
@@ -132,7 +183,7 @@ std::vector<LogSpace::GroupVerdict> LogSpace::AppendGroup(SimTime now,
   // a unit (one notification carrying the last committed seqnum), so no replica ever
   // observes part of an atomically committed sub-group.
   std::function<void(SeqNum)> listener;
-  listener.swap(commit_listener_);
+  listener.swap(shared_->commit_listener);
   std::vector<GroupVerdict> verdicts(requests.size());
   SeqNum last = kInvalidSeqNum;
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -149,13 +200,13 @@ std::vector<LogSpace::GroupVerdict> LogSpace::AppendGroup(SimTime now,
     }
     verdict.ok = true;
     for (size_t j = 0; j < request.entries.size(); ++j) {
-      last = Append(now, std::move(request.entries[j].tags),
-                    std::move(request.entries[j].fields));
+      last = AppendLocal(now, std::move(request.entries[j].tags),
+                         std::move(request.entries[j].fields));
       if (j == 0) verdict.seqnum = last;
     }
   }
-  listener.swap(commit_listener_);
-  if (commit_listener_ && last != kInvalidSeqNum) commit_listener_(last);
+  listener.swap(shared_->commit_listener);
+  if (shared_->commit_listener && last != kInvalidSeqNum) shared_->commit_listener(last);
   return verdicts;
 }
 
@@ -163,7 +214,9 @@ LogRecordPtr LogSpace::Get(SeqNum seqnum) const { return LookupLive(seqnum); }
 
 LogRecordPtr LogSpace::FindFirstByStep(TagId tag, OpId op, int64_t step) const {
   if (op == kInvalidOpId) return nullptr;  // The op name was never appended anywhere.
-  const TagStream* stream = FindStream(tag);
+  const LogSpace* owner = TagOwnerOrNull(tag);
+  if (owner == nullptr) return nullptr;
+  const TagStream* stream = owner->FindStream(tag);
   if (stream == nullptr) return nullptr;
   for (SeqNum seqnum : stream->seqnums) {
     LogRecordPtr record = LookupLive(seqnum);
@@ -177,9 +230,10 @@ LogRecordPtr LogSpace::FindFirstByStep(TagId tag, OpId op, int64_t step) const {
 
 std::vector<TagId> LogSpace::LiveTagsWithPrefix(std::string_view prefix) const {
   std::vector<TagId> out;
-  // live_tags_ is name-ordered, so all matches form one contiguous range starting at the
-  // first name >= prefix; results come out in name order for free.
-  for (auto it = live_tags_.lower_bound(prefix); it != live_tags_.end(); ++it) {
+  // live_tags is name-ordered, so all matches form one contiguous range starting at the
+  // first name >= prefix; results come out in name order for free. The index is shared
+  // state, so the scan spans every shard's streams.
+  for (auto it = shared_->live_tags.lower_bound(prefix); it != shared_->live_tags.end(); ++it) {
     if (it->first.substr(0, prefix.size()) != prefix) break;
     out.push_back(it->second);
   }
@@ -188,7 +242,7 @@ std::vector<TagId> LogSpace::LiveTagsWithPrefix(std::string_view prefix) const {
 
 std::vector<std::string> LogSpace::StreamTagsWithPrefix(std::string_view prefix) const {
   std::vector<std::string> names;
-  for (auto it = live_tags_.lower_bound(prefix); it != live_tags_.end(); ++it) {
+  for (auto it = shared_->live_tags.lower_bound(prefix); it != shared_->live_tags.end(); ++it) {
     if (it->first.substr(0, prefix.size()) != prefix) break;
     names.emplace_back(it->first);
   }
@@ -196,13 +250,16 @@ std::vector<std::string> LogSpace::StreamTagsWithPrefix(std::string_view prefix)
 }
 
 LogRecordPtr LogSpace::LookupLive(SeqNum seqnum) const {
-  auto it = records_.find(seqnum);
-  if (it == records_.end()) return nullptr;
+  const LogSpace* owner = SeqOwner(seqnum);
+  auto it = owner->records_.find(seqnum);
+  if (it == owner->records_.end()) return nullptr;
   return it->second.record;
 }
 
 LogRecordPtr LogSpace::ReadPrev(TagId tag, SeqNum max_seqnum) const {
-  const TagStream* stream = FindStream(tag);
+  const LogSpace* owner = TagOwnerOrNull(tag);
+  if (owner == nullptr) return nullptr;
+  const TagStream* stream = owner->FindStream(tag);
   if (stream == nullptr) return nullptr;
   // Last seqnum <= max_seqnum within the live (untrimmed) suffix.
   auto upper = std::upper_bound(stream->seqnums.begin(), stream->seqnums.end(), max_seqnum);
@@ -210,8 +267,20 @@ LogRecordPtr LogSpace::ReadPrev(TagId tag, SeqNum max_seqnum) const {
   return LookupLive(*(upper - 1));
 }
 
+SeqNum LogSpace::LatestSeqNoAtMost(TagId tag, SeqNum max_seqnum) const {
+  const LogSpace* owner = TagOwnerOrNull(tag);
+  if (owner == nullptr) return kInvalidSeqNum;
+  const TagStream* stream = owner->FindStream(tag);
+  if (stream == nullptr) return kInvalidSeqNum;
+  auto upper = std::upper_bound(stream->seqnums.begin(), stream->seqnums.end(), max_seqnum);
+  if (upper == stream->seqnums.begin()) return kInvalidSeqNum;
+  return *(upper - 1);
+}
+
 LogRecordPtr LogSpace::ReadNext(TagId tag, SeqNum min_seqnum) const {
-  const TagStream* stream = FindStream(tag);
+  const LogSpace* owner = TagOwnerOrNull(tag);
+  if (owner == nullptr) return nullptr;
+  const TagStream* stream = owner->FindStream(tag);
   if (stream == nullptr) return nullptr;
   auto lower = std::lower_bound(stream->seqnums.begin(), stream->seqnums.end(), min_seqnum);
   if (lower == stream->seqnums.end()) return nullptr;
@@ -224,7 +293,9 @@ std::vector<LogRecordPtr> LogSpace::ReadStream(TagId tag) const {
 
 std::vector<LogRecordPtr> LogSpace::ReadStreamUpTo(TagId tag, SeqNum max_seqnum) const {
   std::vector<LogRecordPtr> out;
-  const TagStream* stream = FindStream(tag);
+  const LogSpace* owner = TagOwnerOrNull(tag);
+  if (owner == nullptr) return out;
+  const TagStream* stream = owner->FindStream(tag);
   if (stream == nullptr) return out;
   out.reserve(stream->seqnums.size());
   for (SeqNum seqnum : stream->seqnums) {
@@ -236,15 +307,24 @@ std::vector<LogRecordPtr> LogSpace::ReadStreamUpTo(TagId tag, SeqNum max_seqnum)
 }
 
 void LogSpace::ReleaseRef(SimTime now, SeqNum seqnum) {
+  SeqOwner(seqnum)->ReleaseRefLocal(now, seqnum);
+}
+
+void LogSpace::ReleaseRefLocal(SimTime now, SeqNum seqnum) {
   auto it = records_.find(seqnum);
   HM_CHECK_MSG(it != records_.end(), "ReleaseRef on missing record");
   if (--it->second.live_tag_refs == 0) {
-    gauge_.Add(now, -static_cast<int64_t>(it->second.record->ByteSize()));
+    shared_->gauge.Add(now, -static_cast<int64_t>(it->second.record->ByteSize()));
     records_.erase(it);
   }
 }
 
 size_t LogSpace::Trim(SimTime now, TagId tag, SeqNum upto) {
+  if (!shared_->tags.Contains(tag)) return 0;
+  return TagOwner(tag)->TrimLocal(now, tag, upto);
+}
+
+size_t LogSpace::TrimLocal(SimTime now, TagId tag, SeqNum upto) {
   if (tag >= streams_.size()) return 0;
   TagStream& stream = streams_[tag];
   size_t released = 0;
@@ -255,13 +335,15 @@ size_t LogSpace::Trim(SimTime now, TagId tag, SeqNum upto) {
     ++released;
   }
   if (stream.seqnums.empty() && stream.base > 0) {
-    live_tags_.erase(std::string_view(tags_.Name(tag)));
+    shared_->live_tags.erase(std::string_view(shared_->tags.Name(tag)));
   }
   return released;
 }
 
 size_t LogSpace::StreamLength(TagId tag) const {
-  const TagStream* stream = FindStream(tag);
+  const LogSpace* owner = TagOwnerOrNull(tag);
+  if (owner == nullptr) return 0;
+  const TagStream* stream = owner->FindStream(tag);
   return stream == nullptr ? 0 : stream->length();
 }
 

@@ -5,6 +5,18 @@
 // mirrors Boki: a metalog/sequencer that orders records, storage nodes that hold them, and
 // per-function-node index replicas that trail the authoritative index by a propagation delay.
 //
+// Sharding (DESIGN.md §9): a LogSpace is either standalone (the classic single log) or one of
+// N shards owned by a ShardedLog. Shards share the tag/op interners, the storage gauge, the
+// commit listener and ONE seqnum watermark, but each shard owns the records it sequences and
+// the sub-stream indices of the tags it owns (tag → shard is a pure function of the tag name,
+// see TagRegistry::ShardOf). Sequence numbers use a (local round, shard) encoding,
+//     enc = local * shard_count + shard,   local = floor(watermark / shard_count) + 1,
+// so encoded seqnums are strictly increasing in commit order across ALL shards (the watermark
+// is the cross-shard merge rule): per-tag streams stay sorted by construction, cursorTS stays
+// a total order, and shard_count == 1 degenerates to the historic next_seqnum_++ bit for bit.
+// Every public method routes to the owning shard first (tags by TagRegistry::ShardOf, seqnums
+// by seqnum % shard_count), so ANY shard — and the ShardedLog facade — answers every query.
+//
 // Performance notes (see DESIGN.md "Performance architecture"):
 //   * Records are immutable after commit and stored behind shared_ptr-to-const; every read
 //     API returns a shared view (LogRecordPtr), never a copy.
@@ -24,6 +36,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -38,34 +51,61 @@ namespace halfmoon::sharedlog {
 
 class LogSpace {
  public:
+  // State shared by every shard of one logical log: the interners, the storage gauge, the
+  // seqnum watermark (largest encoded seqnum committed so far — the cross-shard merge rule),
+  // the name-ordered live-tag index, and the commit listener. A standalone LogSpace owns its
+  // Shared privately; a ShardedLog owns one instance for all of its shards.
+  struct Shared {
+    TagRegistry tags;
+    TagRegistry ops;
+    metrics::StorageGauge gauge;
+    SeqNum watermark = 0;  // 0 = nothing committed; first encoded seqnum is >= 1.
+    std::map<std::string_view, TagId> live_tags;
+    std::function<void(SeqNum)> commit_listener;
+  };
+
+  // Standalone single-shard log (the historic constructor; bit-identical behaviour).
   LogSpace();
+  // One shard of a ShardedLog. `shared` must outlive the shard; the owner must call SetPeers
+  // with all shards (indexed by shard id) before the first append.
+  LogSpace(Shared* shared, uint32_t shard, uint32_t shard_count);
   LogSpace(const LogSpace&) = delete;
   LogSpace& operator=(const LogSpace&) = delete;
 
+  // Wires up cross-shard routing; `peers[i]` is shard i (peers[shard()] == this). The
+  // standalone constructor sets {this} automatically.
+  void SetPeers(std::vector<LogSpace*> peers);
+
+  uint32_t shard() const { return shard_; }
+  uint32_t shard_count() const { return shard_count_; }
+
   // The tag interner shared by everything layered on this log. "ssf.init" and "ssf.finish"
   // are pre-interned to kInitTagId / kFinishTagId.
-  TagRegistry& tags() { return tags_; }
-  const TagRegistry& tags() const { return tags_; }
+  TagRegistry& tags() { return shared_->tags; }
+  const TagRegistry& tags() const { return shared_->tags; }
 
   // The op-name interner ("op" field values). The protocol ops are pre-interned to the kOp*
   // constants of log_record.h; Append stamps each record's `op` id from its fields.
-  TagRegistry& ops() { return ops_; }
-  const TagRegistry& ops() const { return ops_; }
+  TagRegistry& ops() { return shared_->ops; }
+  const TagRegistry& ops() const { return shared_->ops; }
 
   // Appends a record, assigning the next sequence number. `now` feeds storage accounting.
-  // Notifies the commit listener (used for index propagation to clients).
+  // Notifies the commit listener (used for index propagation to clients). Routed to the shard
+  // owning the first tag; the record's seqnum encodes the sequencing shard.
   SeqNum Append(SimTime now, std::vector<TagId> tags, FieldMap fields);
 
   // Conditional append (§5.1): appends, then verifies that the new record lands at logical
   // offset `cond_pos` of the `cond_tag` sub-stream. On mismatch the append is undone and the
-  // seqnum of the record actually at that offset is returned.
+  // seqnum of the record actually at that offset is returned. Routed to (and arbitrated by)
+  // the shard owning cond_tag.
   CondAppendResult CondAppend(SimTime now, std::vector<TagId> tags, FieldMap fields,
                               TagId cond_tag, size_t cond_pos);
 
   // Atomically appends a batch of records under the same condition (offset of the *first*
-  // record in `cond_tag`'s stream). Either all records commit with consecutive seqnums or none
-  // do. Models Boki's batched append, which Halfmoon-read uses to install the version record
-  // and the commit record of a write in one sequencer round (§4.1).
+  // record in `cond_tag`'s stream). Either all records commit — at consecutive batch
+  // positions, see BatchSeq() — or none do. Models Boki's batched append, which Halfmoon-read
+  // uses to install the version record and the commit record of a write in one sequencer
+  // round (§4.1).
   struct BatchEntry {
     std::vector<TagId> tags;
     FieldMap fields;
@@ -73,14 +113,22 @@ class LogSpace {
   CondAppendResult CondAppendBatch(SimTime now, std::vector<BatchEntry> batch, TagId cond_tag,
                                    size_t cond_pos);
 
-  // Unconditional atomic batch append; returns the first seqnum (the records receive
-  // consecutive ones). Index replicas learn about the batch as a unit.
+  // Unconditional atomic batch append; returns the first seqnum (the i-th record receives
+  // BatchSeq(first, i)). Index replicas learn about the batch as a unit.
   SeqNum AppendBatch(SimTime now, std::vector<BatchEntry> batch);
 
+  // Seqnum of the i-th record of an atomic batch whose first record committed at `first`.
+  // One shard allocates the whole batch, so in-batch neighbours are `shard_count` apart in
+  // the encoded space (adjacent when unsharded).
+  SeqNum BatchSeq(SeqNum first, size_t i) const {
+    return first + static_cast<SeqNum>(i) * shard_count_;
+  }
+
   // One request of a group-committed sequencer round (see AppendGroup). The entries form an
-  // atomic sub-group: all of them commit (with consecutive seqnums) or none do. A request
-  // with cond_tag == kInvalidTagId is unconditional; otherwise it carries the logCondAppend
-  // condition "the first entry lands at logical offset cond_pos of cond_tag's stream".
+  // atomic sub-group: all of them commit (at consecutive batch positions) or none do. A
+  // request with cond_tag == kInvalidTagId is unconditional; otherwise it carries the
+  // logCondAppend condition "the first entry lands at logical offset cond_pos of cond_tag's
+  // stream".
   struct GroupRequest {
     std::vector<BatchEntry> entries;
     TagId cond_tag = kInvalidTagId;
@@ -94,16 +142,18 @@ class LogSpace {
     SeqNum existing_seqnum = kInvalidSeqNum;
   };
 
-  // Group commit: orders several independent append requests in ONE sequencer round.
-  // Requests are evaluated strictly in vector order, each seeing the stream state left by
-  // its predecessors — exactly as if the requests had been submitted back-to-back as
-  // separate rounds in that order, which is what makes node-local append batching
-  // protocol-invisible. Index replicas learn about the whole round as a unit: the commit
-  // listener fires once, with the round's last committed seqnum (not at all if every
+  // Group commit: orders several independent append requests in ONE sequencer round of THIS
+  // shard (callers route requests to the shard owning their cond tag / first tag — see
+  // AppendBatcher). Requests are evaluated strictly in vector order, each seeing the stream
+  // state left by its predecessors — exactly as if the requests had been submitted
+  // back-to-back as separate rounds in that order, which is what makes node-local append
+  // batching protocol-invisible. Index replicas learn about the whole round as a unit: the
+  // commit listener fires once, with the round's last committed seqnum (not at all if every
   // request conflicted).
   std::vector<GroupVerdict> AppendGroup(SimTime now, std::vector<GroupRequest> requests);
 
-  // Shared view of the live record at `seqnum`; null if absent or fully trimmed.
+  // Shared view of the live record at `seqnum`; null if absent or fully trimmed. Routed to
+  // the storing shard (seqnum % shard_count).
   LogRecordPtr Get(SeqNum seqnum) const;
 
   // First live record in `tag`'s sub-stream whose "op" and "step" fields match. Boki resolves
@@ -111,12 +161,12 @@ class LogSpace {
   // record's interned op id — no string comparison per record.
   LogRecordPtr FindFirstByStep(TagId tag, OpId op, int64_t step) const;
   LogRecordPtr FindFirstByStep(TagId tag, const std::string& op, int64_t step) const {
-    return FindFirstByStep(tag, ops_.Find(op), step);
+    return FindFirstByStep(tag, shared_->ops.Find(op), step);
   }
 
   // Ids of all live streams whose name starts with `prefix` (GC scan over per-object write
   // logs). Served by an ordered range scan over the live-tag index: O(log streams + matches);
-  // results are in name order.
+  // results are in name order. The index is shared, so results span all shards.
   std::vector<TagId> LiveTagsWithPrefix(std::string_view prefix) const;
 
   // Name-returning variant of LiveTagsWithPrefix, for tests and display.
@@ -124,6 +174,11 @@ class LogSpace {
 
   // Latest record in `tag`'s sub-stream with seqnum <= max (logReadPrev).
   LogRecordPtr ReadPrev(TagId tag, SeqNum max_seqnum) const;
+
+  // Seqnum of the record ReadPrev(tag, max_seqnum) would return, or kInvalidSeqNum if none.
+  // This is a pure index-replica query (tag → seqnum list; no record payload touched), which
+  // is what LogClient's node-local read cache validates its cached payloads against.
+  SeqNum LatestSeqNoAtMost(TagId tag, SeqNum max_seqnum) const;
 
   // Earliest record in `tag`'s sub-stream with seqnum >= min (logReadNext).
   LogRecordPtr ReadNext(TagId tag, SeqNum min_seqnum) const;
@@ -155,47 +210,53 @@ class LogSpace {
   CondAppendResult CondAppend(SimTime now, std::vector<std::string> tag_names, FieldMap fields,
                               std::string_view cond_tag, size_t cond_pos) {
     return CondAppend(now, InternAll(std::move(tag_names)), std::move(fields),
-                      tags_.Intern(cond_tag), cond_pos);
+                      shared_->tags.Intern(cond_tag), cond_pos);
   }
   LogRecordPtr FindFirstByStep(std::string_view tag, const std::string& op, int64_t step) const {
-    return FindFirstByStep(tags_.Find(tag), op, step);
+    return FindFirstByStep(shared_->tags.Find(tag), op, step);
   }
   LogRecordPtr ReadPrev(std::string_view tag, SeqNum max_seqnum) const {
-    return ReadPrev(tags_.Find(tag), max_seqnum);
+    return ReadPrev(shared_->tags.Find(tag), max_seqnum);
   }
   LogRecordPtr ReadNext(std::string_view tag, SeqNum min_seqnum) const {
-    return ReadNext(tags_.Find(tag), min_seqnum);
+    return ReadNext(shared_->tags.Find(tag), min_seqnum);
   }
   std::vector<LogRecordPtr> ReadStream(std::string_view tag) const {
-    return ReadStream(tags_.Find(tag));
+    return ReadStream(shared_->tags.Find(tag));
   }
   std::vector<LogRecordPtr> ReadStreamUpTo(std::string_view tag, SeqNum max_seqnum) const {
-    return ReadStreamUpTo(tags_.Find(tag), max_seqnum);
+    return ReadStreamUpTo(shared_->tags.Find(tag), max_seqnum);
   }
   size_t Trim(SimTime now, std::string_view tag, SeqNum upto) {
-    return Trim(now, tags_.Find(tag), upto);
+    return Trim(now, shared_->tags.Find(tag), upto);
   }
-  size_t StreamLength(std::string_view tag) const { return StreamLength(tags_.Find(tag)); }
+  size_t StreamLength(std::string_view tag) const {
+    return StreamLength(shared_->tags.Find(tag));
+  }
 
-  // The seqnum the next append will receive.
-  SeqNum next_seqnum() const { return next_seqnum_; }
+  // Smallest seqnum the next append could receive; strictly greater than every committed
+  // seqnum (watermark + 1, which IS the next seqnum when unsharded).
+  SeqNum next_seqnum() const { return shared_->watermark + 1; }
 
-  // Number of records currently held (not yet trimmed from all their tags).
+  // Number of records currently held by THIS shard (not yet trimmed from all their tags).
+  // ShardedLog::live_records() sums across shards.
   size_t live_records() const { return records_.size(); }
 
-  // Total seqnum entries retained across all sub-stream indices. Bounded by the number of
-  // live (tag, record) pairs: trimmed prefixes are compacted away, so a fully trimmed stream
-  // holds zero entries no matter how long its history (regression guard for the old
-  // keep-forever index).
+  // Total seqnum entries retained across this shard's sub-stream indices. Bounded by the
+  // number of live (tag, record) pairs: trimmed prefixes are compacted away, so a fully
+  // trimmed stream holds zero entries no matter how long its history (regression guard for
+  // the old keep-forever index).
   size_t IndexEntries() const;
 
-  int64_t CurrentBytes() const { return gauge_.CurrentBytes(); }
-  metrics::StorageGauge& gauge() { return gauge_; }
+  int64_t CurrentBytes() const { return shared_->gauge.CurrentBytes(); }
+  metrics::StorageGauge& gauge() { return shared_->gauge; }
 
   // Invoked synchronously at each commit with the new seqnum; the runtime uses it to schedule
-  // index propagation to every function node.
+  // index propagation to every function node. Shared across shards: encoded seqnums are
+  // allocated in commit order, so the listener observes a strictly increasing sequence no
+  // matter which shards commit.
   void SetCommitListener(std::function<void(SeqNum)> listener) {
-    commit_listener_ = std::move(listener);
+    shared_->commit_listener = std::move(listener);
   }
 
  private:
@@ -213,7 +274,7 @@ class LogSpace {
   std::vector<TagId> InternAll(std::vector<std::string> names) {
     std::vector<TagId> ids;
     ids.reserve(names.size());
-    for (const std::string& name : names) ids.push_back(tags_.Intern(name));
+    for (const std::string& name : names) ids.push_back(shared_->tags.Intern(name));
     return ids;
   }
 
@@ -223,8 +284,42 @@ class LogSpace {
     int live_tag_refs = 0;
   };
 
-  // Stream for `tag`, or null if the tag never had an append. Interned ids are dense, so the
-  // stream table is a flat vector indexed by id: the per-op "hash" is a bounds check.
+  void PreinternWellKnown();
+
+  // ---- Cross-shard routing ----
+  // A tag's sub-stream lives on the shard TagRegistry::ShardOf names; a record lives on the
+  // shard that sequenced it, recoverable from the seqnum encoding. When unsharded both
+  // resolve to `this` and compile down to the historic direct access.
+  LogSpace* TagOwner(TagId tag) { return peers_[shared_->tags.ShardOf(tag)]; }
+  const LogSpace* TagOwner(TagId tag) const { return peers_[shared_->tags.ShardOf(tag)]; }
+  // Null for ids never interned (name-based reads probing unknown tags).
+  const LogSpace* TagOwnerOrNull(TagId tag) const {
+    return shared_->tags.Contains(tag) ? TagOwner(tag) : nullptr;
+  }
+  LogSpace* SeqOwner(SeqNum seqnum) { return peers_[seqnum % shard_count_]; }
+  const LogSpace* SeqOwner(SeqNum seqnum) const { return peers_[seqnum % shard_count_]; }
+
+  // Allocates the next encoded seqnum for an append sequenced by THIS shard and advances the
+  // shared watermark. Strictly increasing across shards; exactly watermark + 1 when unsharded.
+  SeqNum AllocSeqNum() {
+    SeqNum local = shared_->watermark / shard_count_ + 1;
+    SeqNum enc = local * shard_count_ + shard_;
+    shared_->watermark = enc;
+    return enc;
+  }
+
+  // The append/batch bodies, running on the routing (sequencing) shard.
+  SeqNum AppendLocal(SimTime now, std::vector<TagId> tags, FieldMap fields);
+  CondAppendResult CondAppendLocal(SimTime now, std::vector<TagId> tags, FieldMap fields,
+                                   TagId cond_tag, size_t cond_pos);
+  CondAppendResult CondAppendBatchLocal(SimTime now, std::vector<BatchEntry> batch,
+                                        TagId cond_tag, size_t cond_pos);
+  SeqNum AppendBatchLocal(SimTime now, std::vector<BatchEntry> batch);
+  size_t TrimLocal(SimTime now, TagId tag, SeqNum upto);
+
+  // Stream for `tag` on THIS shard, or null if the tag never had an append. Interned ids are
+  // dense, so the stream table is a flat vector indexed by id: the per-op "hash" is a bounds
+  // check. (Sparse per shard when sharded — only owned tags ever grow a stream.)
   const TagStream* FindStream(TagId tag) const {
     return tag < streams_.size() ? &streams_[tag] : nullptr;
   }
@@ -232,21 +327,20 @@ class LogSpace {
 
   LogRecordPtr LookupLive(SeqNum seqnum) const;
   void ReleaseRef(SimTime now, SeqNum seqnum);
+  void ReleaseRefLocal(SimTime now, SeqNum seqnum);
 
   // Evaluates a logCondAppend condition against the current stream state. Returns true when
   // the append may proceed; on conflict fills `existing` with the occupant of `cond_pos`.
   bool CondHolds(TagId cond_tag, size_t cond_pos, SeqNum* existing);
 
-  TagRegistry tags_;
-  TagRegistry ops_;  // Interner for record "op" fields (step-arbitration scans).
-  SeqNum next_seqnum_ = 1;  // Seqnum 0 is reserved as "before everything".
+  std::unique_ptr<Shared> owned_shared_;  // Standalone mode only.
+  Shared* shared_;
+  uint32_t shard_ = 0;
+  uint32_t shard_count_ = 1;
+  std::vector<LogSpace*> peers_;  // Indexed by shard id; {this} when standalone.
+
   std::unordered_map<SeqNum, StoredRecord> records_;
   std::vector<TagStream> streams_;  // Indexed by TagId; grown on first append of a tag.
-  // Name-ordered mirror of the tags whose stream currently holds live records; maintained on
-  // the empty<->non-empty transitions of each stream. Keys view the registry's stable names.
-  std::map<std::string_view, TagId> live_tags_;
-  metrics::StorageGauge gauge_;
-  std::function<void(SeqNum)> commit_listener_;
 };
 
 }  // namespace halfmoon::sharedlog

@@ -1,0 +1,32 @@
+#include "src/sharedlog/sharded_log.h"
+
+namespace halfmoon::sharedlog {
+
+ShardedLog::ShardedLog(uint32_t shard_count) {
+  HM_CHECK_MSG(shard_count >= 1, "ShardedLog: shard_count must be >= 1");
+  // The tag → shard mapping must be fixed before any tag is interned (the LogSpace
+  // constructors pre-intern the well-known tags and ops).
+  shared_.tags.SetShardCount(shard_count);
+  shards_.reserve(shard_count);
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<LogSpace>(&shared_, i, shard_count));
+  }
+  std::vector<LogSpace*> peers;
+  peers.reserve(shard_count);
+  for (auto& shard : shards_) peers.push_back(shard.get());
+  for (auto& shard : shards_) shard->SetPeers(peers);
+}
+
+size_t ShardedLog::live_records() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->live_records();
+  return total;
+}
+
+size_t ShardedLog::IndexEntries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->IndexEntries();
+  return total;
+}
+
+}  // namespace halfmoon::sharedlog

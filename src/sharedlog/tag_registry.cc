@@ -94,6 +94,11 @@ TagId TagRegistry::Register(std::string full_name, uint64_t hash) {
   store_.push_back(std::move(full_name));
   const std::string& name = store_.back();
   names_.push_back(&name);
+  // The finalized name hash decides the owning shard, so the mapping depends only on the
+  // name — never on interning order or process layout.
+  shard_of_.push_back(shard_count_ <= 1
+                          ? 0u
+                          : static_cast<uint32_t>(Finalize(hash) % shard_count_));
   ordered_.emplace(std::string_view(name), id);
   if ((names_.size() + 1) * 3 > table_.size() * 2) GrowTable();
   size_t i = static_cast<size_t>(Finalize(hash)) & table_mask_;

@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/sharedlog/log_record.h"
 
 namespace halfmoon::sharedlog {
@@ -67,6 +68,22 @@ class TagRegistry {
 
   // Number of distinct names interned so far.
   size_t size() const { return names_.size(); }
+
+  // ---- Tag → shard mapping (sharded shared log) ----
+  // The mapping is a pure function of the tag *name* (finalized name hash mod shard count),
+  // so it is identical across runs, processes, and interning orders — a prerequisite for the
+  // shard-equivalence guarantees. Must be set before the first interning; a single-shard
+  // registry (the default) maps every tag to shard 0.
+  void SetShardCount(uint32_t shard_count) {
+    HM_CHECK_MSG(names_.empty(), "TagRegistry::SetShardCount after tags were interned");
+    HM_CHECK(shard_count >= 1);
+    shard_count_ = shard_count;
+  }
+  uint32_t shard_count() const { return shard_count_; }
+  uint32_t ShardOf(TagId id) const {
+    HM_CHECK_MSG(id < shard_of_.size(), "TagRegistry::ShardOf: unknown TagId");
+    return shard_of_[id];
+  }
 
   // Total Intern/InternPrefixed calls. size() staying flat while this grows proves the
   // steady state never re-materializes a tag name (acceptance criterion of ISSUE 2).
@@ -132,6 +149,8 @@ class TagRegistry {
   std::vector<const std::string*> names_;      // Dense id → name (stable pointers).
   std::map<std::string_view, TagId> ordered_;  // Name-ordered index for prefix scans.
   int64_t intern_requests_ = 0;
+  uint32_t shard_count_ = 1;
+  std::vector<uint32_t> shard_of_;  // Dense id → owning shard (all 0 when unsharded).
 };
 
 }  // namespace halfmoon::sharedlog

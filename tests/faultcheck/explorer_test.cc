@@ -78,6 +78,24 @@ TEST_P(ExplorerSweepTest, WorkflowSurvivesDepth2Schedules) {
   ExpectSweepPasses(faultcheck::WorkflowWorkload(), Bounded(options, 5, 7, 3));
 }
 
+TEST_P(ExplorerSweepTest, CounterSurvivesDepth2SchedulesWithTwoShards) {
+  // The same sweep against a tag-partitioned log: every schedule must still pass the oracle
+  // when records interleave across two per-shard sequencers.
+  ExplorerOptions options;
+  options.protocol = GetParam();
+  options.log_shards = 2;
+  ExpectSweepPasses(faultcheck::CounterWorkload(), Bounded(options));
+}
+
+TEST_P(ExplorerSweepTest, TransferSurvivesDepth2SchedulesWithFourShards) {
+  // Four shards on the multi-object workload: cross-shard cond-appends and GC races.
+  // Smoke-strided in tier-1; exhaustive under HM_FAULTCHECK_FULL=1 like the rest.
+  ExplorerOptions options;
+  options.protocol = GetParam();
+  options.log_shards = 4;
+  ExpectSweepPasses(faultcheck::TransferWorkload(), Bounded(options, 2, 4, 4));
+}
+
 TEST(ExplorerDeterminismTest, SameScheduleSameSeedSameOutcome) {
   ExplorerOptions options;
   options.protocol = ProtocolKind::kHalfmoonRead;

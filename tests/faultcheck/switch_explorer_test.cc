@@ -67,6 +67,23 @@ TEST(SwitchExplorerTest, TransferSurvivesWriteToReadSwitchSchedules) {
               2));
 }
 
+TEST(SwitchExplorerTest, CounterSurvivesWriteToReadSwitchSchedulesWithTwoShards) {
+  // Protocol switches over a tag-partitioned log: the transition record and the in-window
+  // invocations land on different shards, so the switch fence must hold under the
+  // cross-shard merge order too.
+  ExplorerOptions options =
+      SwitchingOptions(ProtocolKind::kHalfmoonWrite, ProtocolKind::kHalfmoonRead);
+  options.log_shards = 2;
+  ExpectSwitchSweepPasses(faultcheck::CounterWorkload(), Bounded(options, 3, 5, 3));
+}
+
+TEST(SwitchExplorerTest, CounterSurvivesReadToWriteSwitchSchedulesWithTwoShards) {
+  ExplorerOptions options =
+      SwitchingOptions(ProtocolKind::kHalfmoonRead, ProtocolKind::kHalfmoonWrite);
+  options.log_shards = 2;
+  ExpectSwitchSweepPasses(faultcheck::CounterWorkload(), Bounded(options, 3, 5, 3));
+}
+
 TEST(SwitchExplorerTest, MidSwitchCrashScheduleReplaysDeterministically) {
   // A switch starting at the very first hit puts the invocations inside the switch window
   // (transitional protocol); a crash in that window must recover, and the printed schedule

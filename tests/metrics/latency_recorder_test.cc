@@ -89,6 +89,61 @@ TEST(LatencyRecorderTest, ClearResets) {
   EXPECT_EQ(rec.count(), 0u);
 }
 
+TEST(LatencyRecorderTest, MergeCombinesSampleSets) {
+  // Per-shard recorders merged must equal one recorder that saw every sample.
+  LatencyRecorder shard_a, shard_b, reference;
+  for (int i = 1; i <= 50; ++i) {
+    shard_a.Record(Milliseconds(i));
+    reference.Record(Milliseconds(i));
+  }
+  for (int i = 51; i <= 101; ++i) {
+    shard_b.Record(Milliseconds(i));
+    reference.Record(Milliseconds(i));
+  }
+  shard_a.Merge(shard_b);
+  EXPECT_EQ(shard_a.count(), reference.count());
+  EXPECT_EQ(shard_a.Median(), reference.Median());
+  EXPECT_EQ(shard_a.P99(), reference.P99());
+  EXPECT_EQ(shard_a.Percentile(0), Milliseconds(1));
+  EXPECT_EQ(shard_a.Percentile(100), Milliseconds(101));
+  EXPECT_DOUBLE_EQ(shard_a.MeanMs(), reference.MeanMs());
+}
+
+TEST(LatencyRecorderTest, MergePercentilesInterleaveCorrectly) {
+  // The merged distribution's percentiles must come from the union, not either input:
+  // evens in one recorder, odds in the other; median of the union differs from both.
+  LatencyRecorder evens, odds;
+  for (int i = 2; i <= 200; i += 2) evens.Record(Milliseconds(i));
+  for (int i = 1; i <= 199; i += 2) odds.Record(Milliseconds(i));
+  SimDuration median_evens = evens.Median();
+  evens.Merge(odds);
+  EXPECT_EQ(evens.count(), 200u);
+  EXPECT_EQ(evens.Median(), Milliseconds(101));  // rank 99.5 → index 100 of 1..200.
+  EXPECT_NE(evens.Median(), median_evens);
+  EXPECT_EQ(evens.P99(), Milliseconds(199));  // rank 197.01 → index 198 of 1..200.
+}
+
+TEST(LatencyRecorderTest, MergeInvalidatesCachedSort) {
+  LatencyRecorder rec, other;
+  rec.Record(Milliseconds(10));
+  EXPECT_EQ(rec.Median(), Milliseconds(10));  // Builds the sorted cache.
+  other.Record(Milliseconds(2));
+  rec.Merge(other);
+  EXPECT_EQ(rec.Percentile(0), Milliseconds(2));
+}
+
+TEST(LatencyRecorderTest, MergeEmptyAndSelf) {
+  LatencyRecorder rec, empty;
+  rec.Record(Milliseconds(7));
+  rec.Merge(empty);  // No-op.
+  EXPECT_EQ(rec.count(), 1u);
+  empty.Merge(rec);
+  EXPECT_EQ(empty.Median(), Milliseconds(7));
+  rec.Merge(rec);  // Self-merge doubles the sample set.
+  EXPECT_EQ(rec.count(), 2u);
+  EXPECT_EQ(rec.Median(), Milliseconds(7));
+}
+
 TEST(LatencyRecorderTest, MillisecondHelpers) {
   LatencyRecorder rec;
   rec.Record(Milliseconds(10));

@@ -75,7 +75,7 @@ TEST(ClusterTest, RunningFrontierTracksInitStream) {
   EXPECT_EQ(cluster.RunningFrontier(), a);
   cluster.MarkInstanceFinished("A");
   // A finished, B still running: frontier moves to B's init.
-  EXPECT_EQ(cluster.RunningFrontier(), a + 1);
+  EXPECT_EQ(cluster.RunningFrontier(), b);
   cluster.MarkInstanceFinished("B");
   EXPECT_EQ(cluster.RunningFrontier(), cluster.log_space().next_seqnum());
 }

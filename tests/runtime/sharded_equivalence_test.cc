@@ -1,0 +1,250 @@
+// Shard-equivalence suite for the tag-partitioned shared log.
+//
+// Two contracts, checked over every protocol x workload pair:
+//   1. Bit-identity at one shard: with log_shards = 1 the encoded seqnums, event counts,
+//      virtual end times, and full log content are *identical* to the pre-sharding
+//      implementation (golden tuples captured at the previous head). Sharding must be
+//      invisible when disabled.
+//   2. Equivalence at N shards: with log_shards in {2, 4} the same seed must produce the
+//      same committed record content per tag stream, the same event count and end time
+//      (per-shard sequencer rounds draw the same latency samples in the same order), and
+//      a passing consistency oracle. Only the seqnum *encoding* may differ.
+//
+// The content checksum walks every live stream in name order and hashes each record's tag
+// count and field map (FNV-1a). Record fields are seqnum-free, so the checksum is invariant
+// under re-encoding — which is exactly the property that makes it a cross-shard witness.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/ssf_runtime.h"
+#include "src/faultcheck/oracle.h"
+#include "src/faultcheck/workload.h"
+#include "src/runtime/cluster.h"
+#include "src/sim/task.h"
+
+namespace halfmoon {
+namespace {
+
+using core::ProtocolKind;
+
+sim::Task<void> Drive(core::SsfRuntime* runtime, std::string function, Value input, Value* out,
+                      bool* done) {
+  *out = co_await runtime->InvokeSsf(std::move(function), std::move(input));
+  *done = true;
+}
+
+uint64_t HashBytes(uint64_t h, std::string_view s) {
+  for (unsigned char c : s) h = (h ^ c) * 1099511628211ull;
+  return h;
+}
+
+uint64_t HashInt(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) h = (h ^ ((v >> (8 * i)) & 0xff)) * 1099511628211ull;
+  return h;
+}
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+
+uint64_t HashStream(const std::vector<sharedlog::LogRecordPtr>& records) {
+  uint64_t h = kFnvOffset;
+  for (const auto& rec : records) {
+    h = HashInt(h, rec->tags.size());
+    for (const auto& [key, field] : rec->fields) {
+      h = HashBytes(h, key);
+      if (const int64_t* i = std::get_if<int64_t>(&field)) {
+        h = HashInt(h, static_cast<uint64_t>(*i));
+      } else {
+        h = HashBytes(h, std::get<std::string>(field));
+      }
+    }
+  }
+  return h;
+}
+
+struct RunResult {
+  uint64_t events = 0;
+  uint64_t end_now = 0;
+  uint64_t next_seqnum = 0;
+  uint64_t content_fnv = 0;                  // All streams folded, name-sorted.
+  std::map<std::string, uint64_t> streams;   // Per-stream checksums, for pinpointing drift.
+  bool oracle_ok = false;
+  std::string oracle_failure;
+};
+
+RunResult RunWorkload(ProtocolKind protocol, const faultcheck::Workload& workload,
+                      int log_shards, bool read_cache = false) {
+  runtime::ClusterConfig ccfg;  // Defaults: seed 1, 8 nodes — matches the golden capture.
+  ccfg.log_shards = log_shards;
+  ccfg.log_read_cache = read_cache;
+  runtime::Cluster cluster(ccfg);
+  core::RuntimeConfig rcfg;
+  rcfg.default_protocol = protocol;
+  core::SsfRuntime runtime(&cluster, rcfg);
+  workload.Install(runtime);
+
+  std::vector<Value> results;
+  for (const auto& [function, input] : workload.invocations) {
+    Value out;
+    bool done = false;
+    cluster.scheduler().Spawn(Drive(&runtime, function, input, &out, &done));
+    cluster.scheduler().Run();
+    EXPECT_TRUE(done) << workload.name << ": invocation did not complete";
+    results.push_back(out);
+  }
+
+  faultcheck::OracleVerdict verdict =
+      faultcheck::CheckConsistency(cluster, workload, protocol, /*switching=*/false, results);
+
+  RunResult r;
+  r.events = static_cast<uint64_t>(cluster.scheduler().events_processed());
+  r.end_now = static_cast<uint64_t>(cluster.scheduler().Now());
+  r.next_seqnum = static_cast<uint64_t>(cluster.log_space().next_seqnum());
+  r.oracle_ok = verdict.ok;
+  r.oracle_failure = verdict.failure;
+  uint64_t h = kFnvOffset;
+  auto& log = cluster.log_space();
+  for (const std::string& name : log.StreamTagsWithPrefix("")) {
+    h = HashBytes(h, name);
+    std::vector<sharedlog::LogRecordPtr> records = log.ReadStream(name);
+    uint64_t stream_h = HashStream(records);
+    r.streams[name] = stream_h;
+    for (const auto& rec : records) {
+      h = HashInt(h, rec->tags.size());
+      for (const auto& [key, field] : rec->fields) {
+        h = HashBytes(h, key);
+        if (const int64_t* i = std::get_if<int64_t>(&field)) {
+          h = HashInt(h, static_cast<uint64_t>(*i));
+        } else {
+          h = HashBytes(h, std::get<std::string>(field));
+        }
+      }
+    }
+  }
+  r.content_fnv = h;
+  return r;
+}
+
+const ProtocolKind kProtocols[] = {
+    ProtocolKind::kBoki,
+    ProtocolKind::kHalfmoonRead,
+    ProtocolKind::kHalfmoonWrite,
+    ProtocolKind::kTransitional,
+};
+
+struct Golden {
+  const char* protocol;
+  const char* workload;
+  uint64_t events;
+  uint64_t end_now;
+  uint64_t next_seqnum;
+  uint64_t content_fnv;
+};
+
+// Captured at the pre-sharding head (PR 4): ClusterConfig defaults, log_shards pinned to 1.
+// Any drift here means the one-shard code path is no longer the historic implementation.
+const Golden kGoldens[] = {
+    {"Boki", "counter", 102ull, 29114551ull, 13ull, 0x27997faa902eac63ull},
+    {"Boki", "transfer", 114ull, 36286555ull, 15ull, 0xa57b016e099fa5c1ull},
+    {"Boki", "workflow", 194ull, 39466378ull, 29ull, 0x955a1dd8169c2e24ull},
+    {"Halfmoon-read", "counter", 88ull, 23700364ull, 11ull, 0xa75e9b1f8b1c59c9ull},
+    {"Halfmoon-read", "transfer", 96ull, 32440175ull, 13ull, 0x9ed8397a27dd7343ull},
+    {"Halfmoon-read", "workflow", 184ull, 41429721ull, 30ull, 0xedcdd2bd6734820eull},
+    {"Halfmoon-write", "counter", 66ull, 21705196ull, 7ull, 0x95bc7e3a09d74505ull},
+    {"Halfmoon-write", "transfer", 66ull, 25505280ull, 7ull, 0xcb39d8f4aa892f0dull},
+    {"Halfmoon-write", "workflow", 120ull, 33777847ull, 17ull, 0x85b5ad84320a842bull},
+    {"Transitional", "counter", 125ull, 36566345ull, 13ull, 0x6844aae78d48ed8aull},
+    {"Transitional", "transfer", 144ull, 48864106ull, 15ull, 0xff547c414e3a5502ull},
+    {"Transitional", "workflow", 220ull, 53231692ull, 29ull, 0x6c9d9f159cec029ull},
+};
+
+const faultcheck::Workload* FindWorkload(const std::vector<faultcheck::Workload>& all,
+                                         std::string_view name) {
+  for (const faultcheck::Workload& w : all) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+ProtocolKind FindProtocol(std::string_view name) {
+  for (ProtocolKind p : kProtocols) {
+    if (core::ProtocolName(p) == name) return p;
+  }
+  ADD_FAILURE() << "unknown protocol in golden table: " << name;
+  return ProtocolKind::kBoki;
+}
+
+TEST(ShardedEquivalenceTest, OneShardIsBitIdenticalToPreShardingGoldens) {
+  std::vector<faultcheck::Workload> all = faultcheck::AllWorkloads();
+  for (const Golden& golden : kGoldens) {
+    const faultcheck::Workload* workload = FindWorkload(all, golden.workload);
+    ASSERT_NE(workload, nullptr) << golden.workload;
+    RunResult r = RunWorkload(FindProtocol(golden.protocol), *workload, /*log_shards=*/1);
+    SCOPED_TRACE(std::string(golden.protocol) + "/" + golden.workload);
+    EXPECT_TRUE(r.oracle_ok) << r.oracle_failure;
+    EXPECT_EQ(r.events, golden.events);
+    EXPECT_EQ(r.end_now, golden.end_now);
+    EXPECT_EQ(r.next_seqnum, golden.next_seqnum);
+    EXPECT_EQ(r.content_fnv, golden.content_fnv);
+  }
+}
+
+TEST(ShardedEquivalenceTest, ShardCountsProduceEquivalentExecutions) {
+  std::vector<faultcheck::Workload> all = faultcheck::AllWorkloads();
+  for (ProtocolKind protocol : kProtocols) {
+    for (const faultcheck::Workload& workload : all) {
+      SCOPED_TRACE(std::string(core::ProtocolName(protocol)) + "/" + workload.name);
+      RunResult base = RunWorkload(protocol, workload, /*log_shards=*/1);
+      ASSERT_TRUE(base.oracle_ok) << base.oracle_failure;
+      for (int shards : {2, 4}) {
+        RunResult sharded = RunWorkload(protocol, workload, shards);
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        EXPECT_TRUE(sharded.oracle_ok) << sharded.oracle_failure;
+        // Same serial driving, same latency draws: the execution shape is shard-invariant.
+        EXPECT_EQ(sharded.events, base.events);
+        EXPECT_EQ(sharded.end_now, base.end_now);
+        // Content equivalence, stream by stream — only the seqnum encoding may differ.
+        EXPECT_EQ(sharded.streams, base.streams);
+        EXPECT_EQ(sharded.content_fnv, base.content_fnv);
+        std::printf("[shards] %s/%s n1=0x%llx n%d=0x%llx %s\n", core::ProtocolName(protocol),
+                    workload.name.c_str(),
+                    static_cast<unsigned long long>(base.content_fnv), shards,
+                    static_cast<unsigned long long>(sharded.content_fnv),
+                    sharded.content_fnv == base.content_fnv && sharded.oracle_ok ? "match"
+                                                                                : "MISMATCH");
+      }
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, ReadCachePreservesCommittedContent) {
+  // The node-local read cache changes read latencies, never the committed log: with the
+  // cache on, per-stream content must match the cache-off run and the oracle must pass.
+  // (Event counts and end times legitimately differ — cache hits skip the storage visit.)
+  std::vector<faultcheck::Workload> all = faultcheck::AllWorkloads();
+  for (ProtocolKind protocol : kProtocols) {
+    for (const faultcheck::Workload& workload : all) {
+      SCOPED_TRACE(std::string(core::ProtocolName(protocol)) + "/" + workload.name);
+      RunResult base = RunWorkload(protocol, workload, /*log_shards=*/1);
+      RunResult cached =
+          RunWorkload(protocol, workload, /*log_shards=*/1, /*read_cache=*/true);
+      EXPECT_TRUE(cached.oracle_ok) << cached.oracle_failure;
+      EXPECT_EQ(cached.streams, base.streams);
+      EXPECT_EQ(cached.content_fnv, base.content_fnv);
+
+      RunResult cached_sharded =
+          RunWorkload(protocol, workload, /*log_shards=*/4, /*read_cache=*/true);
+      EXPECT_TRUE(cached_sharded.oracle_ok) << cached_sharded.oracle_failure;
+      EXPECT_EQ(cached_sharded.streams, base.streams);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace halfmoon

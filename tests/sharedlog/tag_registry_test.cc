@@ -97,5 +97,46 @@ TEST(TagRegistryTest, NameViewsStayStableAcrossGrowth) {
   EXPECT_EQ(reg.Name(first), "stable");
 }
 
+TEST(TagRegistryTest, InternPrefixedStaysStableAcrossRehashMidStream) {
+  // Drive the open-addressed table through several growths (it grows at 2/3 load from 64
+  // slots) while interleaving InternPrefixed and Intern of the same logical names. Ids
+  // assigned before a rehash must resolve identically after it, no matter which entry point
+  // is used, and the ordered prefix index must keep enumerating every id exactly once.
+  TagRegistry reg;
+  std::vector<TagId> prefixed_ids;
+  std::vector<TagId> plain_ids;
+  constexpr int kCount = 2000;  // >> 64 * (2/3)^k for several k: forces rehashes mid-stream.
+  for (int i = 0; i < kCount; ++i) {
+    std::string suffix = "key-" + std::to_string(i);
+    prefixed_ids.push_back(reg.InternPrefixed("k:", suffix));
+    plain_ids.push_back(reg.Intern("plain-" + std::to_string(i)));
+    // Re-probe a name interned long before the most recent growth: both entry points must
+    // find the pre-rehash id, and the finalized-hash collision handling must not confuse
+    // "k:" + suffix with the identical concatenated whole name.
+    int probe = i / 2;
+    std::string old_suffix = "key-" + std::to_string(probe);
+    EXPECT_EQ(reg.InternPrefixed("k:", old_suffix), prefixed_ids[probe]);
+    EXPECT_EQ(reg.Intern("k:" + old_suffix), prefixed_ids[probe]);
+    EXPECT_EQ(reg.Find("k:" + old_suffix), prefixed_ids[probe]);
+    EXPECT_EQ(reg.FindPrefixed("k:", old_suffix), prefixed_ids[probe]);
+  }
+  EXPECT_EQ(reg.size(), static_cast<size_t>(2 * kCount));
+
+  // Every id still maps to its original name (dense id → name survives all growths).
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(reg.Name(prefixed_ids[i]), "k:key-" + std::to_string(i));
+    EXPECT_EQ(reg.Name(plain_ids[i]), "plain-" + std::to_string(i));
+  }
+
+  // The ordered prefix index enumerates exactly the prefixed ids, each exactly once.
+  std::vector<TagId> scanned = reg.IdsWithPrefix("k:");
+  ASSERT_EQ(scanned.size(), prefixed_ids.size());
+  std::vector<TagId> expected = prefixed_ids;
+  std::sort(expected.begin(), expected.end());
+  std::vector<TagId> got = scanned;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
 }  // namespace
 }  // namespace halfmoon::sharedlog
