@@ -35,11 +35,23 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure
   --gtest_brief=1 | grep '^\[shards\]' | tee /dev/stderr | grep -q ' match' \
   || { echo "check.sh: FAIL — shard-equivalence checksums diverged" >&2; exit 1; }
 
+# Parallel-mode smoke: the same seed through the single-threaded scheduler and the
+# per-partition worker threads (conservative engine, DESIGN.md §10) must commit identical
+# per-stream content, and repeated parallel runs must agree bit-for-bit. Any MISMATCH line —
+# or a missing match line — fails the run.
+"${BUILD_DIR}"/tests/parallel_cluster_test \
+  --gtest_filter='ParallelClusterTest.ModesCommitIdenticalContent:ParallelClusterTest.ParallelRunsAreDeterministic' \
+  --gtest_brief=1 | grep '^\[parallel\]' | tee /dev/stderr | grep -q ' match' \
+  || { echo "check.sh: FAIL — parallel-mode checksums diverged" >&2; exit 1; }
+
 # Faultcheck smoke: re-run the schedule-explorer suites standalone so the explored-schedule
 # counts are visible in the log (ctest swallows the stdout of passing tests). Set
-# HM_FAULTCHECK_FULL=1 for the exhaustive depth-2 sweep (see EXPERIMENTS.md).
-"${BUILD_DIR}"/tests/faultcheck_explorer_test --gtest_brief=1 | grep '^\[faultcheck\]'
-"${BUILD_DIR}"/tests/faultcheck_switch_test --gtest_brief=1 | grep '^\[faultcheck\]'
+# HM_FAULTCHECK_FULL=1 for the exhaustive depth-2 sweep (see EXPERIMENTS.md). Runs under
+# HM_PARALLEL=1 on purpose: schedule exploration/replay is single-threaded by design
+# (DESIGN.md §10.4), so the sweep must print its notice and produce identical results with
+# the variable set.
+HM_PARALLEL=1 "${BUILD_DIR}"/tests/faultcheck_explorer_test --gtest_brief=1 | grep '^\[faultcheck\]'
+HM_PARALLEL=1 "${BUILD_DIR}"/tests/faultcheck_switch_test --gtest_brief=1 | grep '^\[faultcheck\]'
 "${BUILD_DIR}"/tests/faultcheck_negative_test --gtest_brief=1 | grep -c '^\[faultcheck\]   FAIL' \
   | sed 's/^/[faultcheck] negative-control failing schedules (expected nonzero): /'
 

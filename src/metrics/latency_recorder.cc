@@ -6,10 +6,9 @@
 namespace halfmoon::metrics {
 
 const std::vector<SimDuration>& LatencyRecorder::Sorted() const {
-  if (dirty_) {
+  if (sorted_.size() != samples_.size()) {
     sorted_ = samples_;
     std::sort(sorted_.begin(), sorted_.end());
-    dirty_ = false;
   }
   return sorted_;
 }

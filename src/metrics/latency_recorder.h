@@ -3,6 +3,14 @@
 // This mirrors how the paper reports median and 99th-percentile latency bars. Percentiles use
 // the ceil-based nearest-rank definition, so the tail never rounds *down* (p99 of 100 samples
 // is the 100th order statistic, not the 99th).
+//
+// Threading contract (DESIGN.md §10): a recorder is single-owner — it holds no lock, and the
+// const percentile accessors rebuild a mutable cache. In parallel runs each worker thread
+// records into its own recorder, and after the join the main thread folds them with Merge;
+// never share one instance across live threads, not even for reads. The sorted cache is
+// invalidated structurally (it is stale iff its length differs from samples_, and every
+// mutation changes the length), so no mutation path — Record, Merge, Clear, in any order
+// with percentile reads — can serve a stale percentile by forgetting a dirty bit.
 
 #ifndef HALFMOON_METRICS_LATENCY_RECORDER_H_
 #define HALFMOON_METRICS_LATENCY_RECORDER_H_
@@ -16,22 +24,20 @@ namespace halfmoon::metrics {
 
 class LatencyRecorder {
  public:
-  void Record(SimDuration latency) {
-    samples_.push_back(latency);
-    dirty_ = true;
-  }
+  void Record(SimDuration latency) { samples_.push_back(latency); }
 
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
   void Clear() {
     samples_.clear();
     sorted_.clear();
-    dirty_ = false;
   }
 
-  // Folds another recorder's samples into this one (per-shard / per-node recorders combined
-  // for cluster-wide percentiles). Equivalent to replaying other's Record calls: percentiles
-  // afterwards are computed over the union of both sample sets.
+  // Folds another recorder's samples into this one (per-shard / per-node / per-thread
+  // recorders combined for cluster-wide percentiles; the caller must own both, e.g. after
+  // joining the worker threads). Equivalent to replaying other's Record calls: percentiles
+  // afterwards are computed over the union of both sample sets, including after a Percentile
+  // call already built this recorder's sorted cache.
   void Merge(const LatencyRecorder& other) {
     if (other.samples_.empty()) return;
     if (&other == this) {
@@ -41,7 +47,6 @@ class LatencyRecorder {
     } else {
       samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
     }
-    dirty_ = true;
   }
 
   // Percentile in [0, 100]. Returns 0 on an empty recorder.
@@ -57,13 +62,14 @@ class LatencyRecorder {
   const std::vector<SimDuration>& samples() const { return samples_; }
 
  private:
-  // The sorted view, rebuilt at most once per batch of Records no matter how many
-  // percentiles are read (the old implementation copied and partially re-sorted per call).
+  // The sorted view, rebuilt at most once per batch of mutations no matter how many
+  // percentiles are read. Staleness is structural — length mismatch — rather than a dirty
+  // bit a future mutation path could forget to set: Record and Merge only ever grow
+  // samples_, Clear empties both, so equal lengths imply equal contents.
   const std::vector<SimDuration>& Sorted() const;
 
   std::vector<SimDuration> samples_;
   mutable std::vector<SimDuration> sorted_;
-  mutable bool dirty_ = false;
 };
 
 }  // namespace halfmoon::metrics

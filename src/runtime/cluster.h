@@ -36,6 +36,14 @@ namespace halfmoon::runtime {
 
 // Default shard count for the shared log: the HM_SHARDS environment variable (so CI can run
 // the whole tier-1 suite sharded), 1 otherwise.
+//
+// Note on HM_PARALLEL (DESIGN.md §10): the full-protocol Cluster always runs on ONE
+// single-threaded scheduler regardless of that variable — protocol execution shares state
+// synchronously across components (tag interning, completion bookkeeping, cross-shard
+// reads), which is what keeps faultcheck schedules replayable. HM_PARALLEL selects worker
+// threads only in runtime::ParallelCluster, the shard-parallel log layer (see
+// parallel_cluster.h); with it unset or 0 every code path in the repo is bit-identical to
+// the pre-parallel implementation.
 inline int DefaultLogShards() {
   const char* env = std::getenv("HM_SHARDS");
   if (env == nullptr || *env == '\0') return 1;

@@ -21,6 +21,7 @@
 #ifndef HALFMOON_SHAREDLOG_LOG_CLIENT_H_
 #define HALFMOON_SHAREDLOG_LOG_CLIENT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -83,6 +84,29 @@ struct LogClientStats {
   int64_t append_rounds = 0;
   int64_t batched_requests = 0;
   int64_t max_round_occupancy = 0;
+
+  // Folds another client's counters into this one. Like LatencyRecorder::Merge this is the
+  // parallel-mode aggregation primitive: each worker thread's clients count into their own
+  // stats, and the main thread folds them after the join (DESIGN.md §10). Order-independent.
+  void Add(const LogClientStats& other) {
+    appends += other.appends;
+    cond_appends += other.cond_appends;
+    cond_append_conflicts += other.cond_append_conflicts;
+    read_prev_cached += other.read_prev_cached;
+    read_prev_uncached += other.read_prev_uncached;
+    read_next += other.read_next;
+    stream_reads += other.stream_reads;
+    trims += other.trims;
+    reads_index_local += other.reads_index_local;
+    reads_storage += other.reads_storage;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    read_record_shared += other.read_record_shared;
+    read_record_copies += other.read_record_copies;
+    append_rounds += other.append_rounds;
+    batched_requests += other.batched_requests;
+    max_round_occupancy = std::max(max_round_occupancy, other.max_round_occupancy);
+  }
 };
 
 class LogClient {

@@ -1,0 +1,100 @@
+#include "src/sim/parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace halfmoon::sim {
+
+ParallelEngine::ParallelEngine(int workers, SimDuration lookahead, QueueMode mode)
+    : lookahead_(lookahead),
+      bounds_barrier_(workers, BoundsPhase{this}),
+      window_barrier_(workers, WindowPhase{this}) {
+  HM_CHECK(workers >= 1);
+  HM_CHECK(lookahead > 0);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(mode));
+  }
+}
+
+void ParallelEngine::ComputeWindow() {
+  SimTime m = Scheduler::kMaxSimTime;
+  for (const auto& worker : workers_) m = std::min(m, worker->next);
+  if (m == Scheduler::kMaxSimTime) {
+    done_ = true;
+    return;
+  }
+  // The window is [m, m + lookahead); saturate instead of overflowing near the far future.
+  horizon_ = m > Scheduler::kMaxSimTime - lookahead_ ? Scheduler::kMaxSimTime : m + lookahead_;
+  ++windows_;
+}
+
+void ParallelEngine::RouteMessages() {
+  for (auto& worker : workers_) {
+    for (CrossMsg& msg : worker->outbox) {
+      ++messages_routed_;
+      workers_[static_cast<size_t>(msg.to)]->staged.push_back(std::move(msg));
+    }
+    worker->outbox.clear();
+  }
+}
+
+void ParallelEngine::DeliverStaged(Worker& worker) {
+  if (worker.staged.empty()) return;
+  // Merge order is a pure function of message identity, so delivery — and therefore the
+  // (time, seq) order in the destination queue — is identical on every run.
+  std::sort(worker.staged.begin(), worker.staged.end(),
+            [](const CrossMsg& a, const CrossMsg& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.from != b.from) return a.from < b.from;
+              return a.seq < b.seq;
+            });
+  for (CrossMsg& msg : worker.staged) {
+    worker.sched.PostAt(msg.time, std::move(msg.fn));
+  }
+  worker.staged.clear();
+}
+
+void ParallelEngine::WorkerLoop(int w) {
+  Worker& worker = *workers_[static_cast<size_t>(w)];
+  while (true) {
+    DeliverStaged(worker);
+    worker.next = worker.sched.NextEventTime();
+    bounds_barrier_.arrive_and_wait();  // Completion: ComputeWindow().
+    if (done_) return;
+    worker.sched.RunWindow(horizon_);
+    window_barrier_.arrive_and_wait();  // Completion: RouteMessages().
+  }
+}
+
+SimTime ParallelEngine::Run() {
+  HM_CHECK_MSG(!ran_, "ParallelEngine::Run is single-shot");
+  ran_ = true;
+  if (workers_.size() == 1) {
+    // Degenerate single-worker mode: today's scheduler loop, bit for bit. Self-sends already
+    // went straight into the queue, so there is nothing to synchronize with.
+    workers_[0]->sched.Run();
+    return workers_[0]->sched.Now();
+  }
+  // Route any messages Sent from the main thread before Run(): they are sitting in outboxes,
+  // which the first bounds computation would not see (workers publish bounds from their local
+  // queues AFTER draining staged messages, and outboxes normally drain at window barriers).
+  RouteMessages();
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  for (int w = 0; w < static_cast<int>(workers_.size()); ++w) {
+    threads.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  for (std::thread& t : threads) t.join();
+  SimTime end = 0;
+  for (const auto& worker : workers_) end = std::max(end, worker->sched.Now());
+  return end;
+}
+
+uint64_t ParallelEngine::TotalEventsProcessed() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) total += worker->sched.events_processed();
+  return total;
+}
+
+}  // namespace halfmoon::sim

@@ -21,6 +21,24 @@ inline bool FullSweep() {
   return env != nullptr && *env != '\0' && std::string_view(env) != "0";
 }
 
+// The faultcheck explorer always executes protocol runs on the single-threaded scheduler:
+// injected schedules address events by global (time, seq) indices of ONE event loop, which
+// is exactly what makes a printed failing schedule replayable (DESIGN.md §10.4). HM_PARALLEL
+// therefore does not change explorer results — this prints a one-line notice in the sweep
+// reports when the variable is set, so a log reader is not left wondering whether the sweep
+// ran differently.
+inline void NoteParallelEnv() {
+  static bool noted = false;
+  if (noted) return;
+  noted = true;
+  const char* env = std::getenv("HM_PARALLEL");
+  if (env != nullptr && *env != '\0' && std::string_view(env) != "0") {
+    std::cout << "[faultcheck] HM_PARALLEL=" << env
+              << " ignored: schedule exploration/replay is single-threaded by design"
+                 " (DESIGN.md §10.4)\n";
+  }
+}
+
 // Applies smoke bounds unless the full sweep is requested. The defaults keep each suite in
 // tier-1 time budget; pass larger strides for heavyweight workloads.
 inline ExplorerOptions Bounded(ExplorerOptions options, int first_stride = 2,
@@ -36,6 +54,7 @@ inline ExplorerOptions Bounded(ExplorerOptions options, int first_stride = 2,
 // Prints the per-family explored-schedule counts (surfaced in CI logs / check.sh) and every
 // failing schedule in replayable printed form.
 inline void PrintReport(const std::string& label, const ExplorerReport& report) {
+  NoteParallelEnv();
   std::cout << "[faultcheck] " << label << ": " << report.Summary() << "\n";
   for (const FailingSchedule& failure : report.failures) {
     std::cout << "[faultcheck]   FAIL " << failure.schedule.ToString() << " -> "

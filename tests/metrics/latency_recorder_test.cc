@@ -1,5 +1,8 @@
 #include "src/metrics/latency_recorder.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/common/time.h"
@@ -142,6 +145,44 @@ TEST(LatencyRecorderTest, MergeEmptyAndSelf) {
   rec.Merge(rec);  // Self-merge doubles the sample set.
   EXPECT_EQ(rec.count(), 2u);
   EXPECT_EQ(rec.Median(), Milliseconds(7));
+}
+
+TEST(LatencyRecorderTest, ClearThenRefillInvalidatesCache) {
+  // Structural invalidation must survive Clear: after emptying both vectors, a refill to any
+  // length (including the ORIGINAL length) rebuilds the sorted view from the new samples.
+  LatencyRecorder rec;
+  for (int v : {30, 10, 20}) rec.Record(Milliseconds(v));
+  EXPECT_EQ(rec.Median(), Milliseconds(20));  // Builds the cache at length 3.
+  rec.Clear();
+  for (int v : {90, 70, 80}) rec.Record(Milliseconds(v));  // Length 3 again.
+  EXPECT_EQ(rec.Median(), Milliseconds(80));
+  EXPECT_EQ(rec.Percentile(0), Milliseconds(70));
+}
+
+TEST(LatencyRecorderTest, ThreadLocalRecordersFoldAfterJoin) {
+  // The DESIGN.md §10 aggregation pattern: each worker thread records into its OWN recorder,
+  // the main thread Merges after joining. The fold must equal one recorder that saw every
+  // sample, regardless of how the OS interleaved the workers.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<LatencyRecorder> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &per_thread] {
+      for (int i = 0; i < kPerThread; ++i) {
+        per_thread[static_cast<size_t>(t)].Record(Milliseconds(t * kPerThread + i + 1));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  LatencyRecorder merged, reference;
+  for (const LatencyRecorder& rec : per_thread) merged.Merge(rec);
+  for (int i = 1; i <= kThreads * kPerThread; ++i) reference.Record(Milliseconds(i));
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_EQ(merged.Median(), reference.Median());
+  EXPECT_EQ(merged.P99(), reference.P99());
+  EXPECT_DOUBLE_EQ(merged.MeanMs(), reference.MeanMs());
 }
 
 TEST(LatencyRecorderTest, MillisecondHelpers) {

@@ -1,0 +1,179 @@
+// Cross-mode and cross-run pins for the shard-parallel cluster (DESIGN.md §10).
+//
+// Contracts:
+//   1. Content equivalence across modes: the same seed through HM_PARALLEL=0 (one shared
+//      single-threaded scheduler) and HM_PARALLEL=1 (one OS thread per partition under the
+//      conservative engine) commits the same records in the same per-tag order — pinned by
+//      the FNV content checksum, and by equal event counts and virtual end times (both modes
+//      run the same events at the same timestamps; only wall-clock interleaving differs).
+//   2. Cross-run determinism in parallel mode: real threads race for real, so repeated runs
+//      must agree bit-for-bit (checksum, events, end time) — the engine's determinism claim.
+//   3. Degeneration: partitions=1 parallel mode runs today's scheduler loop exactly.
+//
+// The "[parallel]" lines are grepped by scripts/check.sh the same way the "[shards]" lines
+// of sharded_equivalence_test are: any MISMATCH (or missing match) fails the smoke.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/value.h"
+#include "src/runtime/parallel_cluster.h"
+#include "src/sharedlog/log_record.h"
+#include "src/sim/task.h"
+
+namespace halfmoon::runtime {
+namespace {
+
+struct RunResult {
+  uint64_t checksum = 0;
+  uint64_t events = 0;
+  SimTime end = 0;
+  int64_t appends = 0;
+  int64_t remote = 0;
+  uint64_t windows = 0;
+  uint64_t messages = 0;
+};
+
+// One client's load: `ops` appends, every `remote_every`-th shipped to the next partition
+// (cross-thread in parallel mode). Tag ids live in the OWNER's registry, pre-interned by
+// BuildLoad so the coroutine never touches a foreign registry at run time.
+sim::Task<void> ClientLoad(ParallelCluster* pc, int p, int client, int ops, int remote_every,
+                           std::vector<std::vector<sharedlog::TagId>> tags) {
+  for (int op = 0; op < ops; ++op) {
+    int owner = p;
+    if (pc->partitions() > 1 && op % remote_every == 0) {
+      owner = (p + 1) % pc->partitions();
+    }
+    FieldMap fields;
+    fields.SetStr("op", "bench-append");
+    fields.SetInt("step", op);
+    fields.SetInt("src", p * 100 + client);
+    std::vector<sharedlog::TagId> record_tags = {
+        tags[static_cast<size_t>(owner)][static_cast<size_t>(p)]};
+    co_await pc->Append(p, client, owner, std::move(record_tags), std::move(fields));
+  }
+}
+
+RunResult RunWorkload(int partitions, bool parallel, uint64_t seed, int ops_per_client = 40,
+                      int remote_every = 4) {
+  ParallelClusterConfig config;
+  config.partitions = partitions;
+  config.parallel = parallel;
+  config.clients_per_partition = 2;
+  config.seed = seed;
+  ParallelCluster pc(config);
+
+  // tags[owner][src] = the stream on `owner` fed by partition `src`. Interned before Run, as
+  // the threading contract requires.
+  std::vector<std::vector<sharedlog::TagId>> tags(static_cast<size_t>(partitions));
+  for (int owner = 0; owner < partitions; ++owner) {
+    for (int src = 0; src < partitions; ++src) {
+      tags[static_cast<size_t>(owner)].push_back(
+          pc.InternTag(owner, "p" + std::to_string(owner) + "/from" + std::to_string(src)));
+    }
+  }
+  for (int p = 0; p < partitions; ++p) {
+    for (int c = 0; c < config.clients_per_partition; ++c) {
+      pc.Spawn(p, ClientLoad(&pc, p, c, ops_per_client, remote_every, tags));
+    }
+  }
+
+  RunResult result;
+  result.end = pc.Run();
+  result.checksum = pc.ContentChecksum();
+  result.events = pc.TotalEventsProcessed();
+  result.appends = pc.TotalLogAppends();
+  result.remote = pc.remote_appends();
+  result.windows = pc.windows();
+  result.messages = pc.messages_routed();
+
+  // Sanity on the aggregation fold: every append recorded exactly one end-to-end latency.
+  EXPECT_EQ(pc.MergedAppendLatency().count(), static_cast<size_t>(result.appends));
+  return result;
+}
+
+TEST(ParallelClusterTest, ModesCommitIdenticalContent) {
+  // The cross-mode pin: HM_PARALLEL=0 and HM_PARALLEL=1 with the same seed commit the same
+  // records in the same per-tag order, run the same events, and end at the same virtual time.
+  RunResult single = RunWorkload(/*partitions=*/4, /*parallel=*/false, /*seed=*/7);
+  RunResult parallel = RunWorkload(/*partitions=*/4, /*parallel=*/true, /*seed=*/7);
+  EXPECT_EQ(parallel.checksum, single.checksum);
+  EXPECT_EQ(parallel.events, single.events);
+  EXPECT_EQ(parallel.end, single.end);
+  EXPECT_EQ(parallel.appends, single.appends);
+  EXPECT_EQ(parallel.remote, single.remote);
+  EXPECT_GT(parallel.remote, 0) << "the workload must actually cross partitions";
+  EXPECT_GT(parallel.windows, 0u);
+  EXPECT_EQ(parallel.messages, 2u * static_cast<uint64_t>(parallel.remote))
+      << "each remote append is one request and one reply message";
+  std::printf("[parallel] seed=7 parts=4 mode0=%016llx mode1=%016llx %s\n",
+              static_cast<unsigned long long>(single.checksum),
+              static_cast<unsigned long long>(parallel.checksum),
+              single.checksum == parallel.checksum ? "match" : "MISMATCH");
+}
+
+TEST(ParallelClusterTest, ParallelRunsAreDeterministic) {
+  // Cross-run: repeated parallel runs must agree bit-for-bit despite OS thread racing.
+  RunResult reference = RunWorkload(4, true, /*seed=*/11);
+  for (int run = 0; run < 3; ++run) {
+    RunResult repeat = RunWorkload(4, true, /*seed=*/11);
+    EXPECT_EQ(repeat.checksum, reference.checksum) << "run " << run;
+    EXPECT_EQ(repeat.events, reference.events) << "run " << run;
+    EXPECT_EQ(repeat.end, reference.end) << "run " << run;
+    EXPECT_EQ(repeat.windows, reference.windows) << "run " << run;
+  }
+  std::printf("[parallel] seed=11 parts=4 cross-run checksum=%016llx match\n",
+              static_cast<unsigned long long>(reference.checksum));
+}
+
+TEST(ParallelClusterTest, SeedsProduceDistinctContent) {
+  // Negative control: the checksum is not a constant — different seeds, different content.
+  EXPECT_NE(RunWorkload(2, true, 7).checksum, RunWorkload(2, true, 8).checksum);
+}
+
+TEST(ParallelClusterTest, SinglePartitionDegeneratesExactly) {
+  // partitions=1: parallel mode spawns no threads and must be today's scheduler bit for bit.
+  RunResult single = RunWorkload(1, false, /*seed=*/3);
+  RunResult parallel = RunWorkload(1, false, /*seed=*/3);
+  RunResult degenerate = RunWorkload(1, true, /*seed=*/3);
+  EXPECT_EQ(single.checksum, parallel.checksum);  // Same-mode reproducibility first.
+  EXPECT_EQ(degenerate.checksum, single.checksum);
+  EXPECT_EQ(degenerate.events, single.events);
+  EXPECT_EQ(degenerate.end, single.end);
+  EXPECT_EQ(degenerate.windows, 0u) << "1 partition must not pay for barriers";
+  EXPECT_EQ(degenerate.remote, 0);
+}
+
+TEST(ParallelClusterTest, TwoPartitionHandoff) {
+  // Smallest cross-thread topology, heavier remote share (every 2nd append crosses): the
+  // conservative handoff must neither deadlock nor reorder per-tag streams across modes.
+  RunResult single = RunWorkload(2, false, /*seed=*/21, /*ops_per_client=*/30, /*remote_every=*/2);
+  RunResult parallel = RunWorkload(2, true, /*seed=*/21, /*ops_per_client=*/30, /*remote_every=*/2);
+  EXPECT_EQ(parallel.checksum, single.checksum);
+  EXPECT_EQ(parallel.events, single.events);
+  EXPECT_EQ(parallel.end, single.end);
+  // 2 partitions x 2 clients x 15 remote ops each (every even op of 30 crosses).
+  EXPECT_EQ(parallel.remote, 2 * 2 * 15);
+}
+
+TEST(ParallelClusterTest, DefaultParallelModeReadsEnvironment) {
+  // HM_PARALLEL semantics: unset/0/"" off, anything else on.
+  unsetenv("HM_PARALLEL");
+  EXPECT_FALSE(DefaultParallelMode());
+  setenv("HM_PARALLEL", "0", 1);
+  EXPECT_FALSE(DefaultParallelMode());
+  setenv("HM_PARALLEL", "", 1);
+  EXPECT_FALSE(DefaultParallelMode());
+  setenv("HM_PARALLEL", "1", 1);
+  EXPECT_TRUE(DefaultParallelMode());
+  setenv("HM_PARALLEL", "2", 1);
+  EXPECT_TRUE(DefaultParallelMode());
+  unsetenv("HM_PARALLEL");
+}
+
+}  // namespace
+}  // namespace halfmoon::runtime
