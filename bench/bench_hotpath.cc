@@ -41,6 +41,9 @@
 
 #include "bench/bench_common.h"
 #include "src/common/check.h"
+#include "src/core/advisor.h"
+#include "src/core/online_advisor.h"
+#include "src/metrics/workload_sketch.h"
 #include "src/runtime/cluster.h"
 #include "src/runtime/parallel_cluster.h"
 #include "src/sharedlog/log_client.h"
@@ -1260,6 +1263,149 @@ AuditResult RunZeroCopyAudit() {
   return AuditResult{client.stats().read_record_shared, client.stats().read_record_copies};
 }
 
+// ---------------------------------------------------------------------------
+// Advisor-drift section (DESIGN.md §11): the online cost-model advisor over a
+// million-object keyspace whose hot set drifts from read-heavy to write-heavy.
+// ---------------------------------------------------------------------------
+//
+// Direct-drive: the workload feeds the REAL hot-path sketch and the decisions run the REAL
+// AdvisorDecision with the shipped dwell/token dampers, while log cost is accounted with the
+// protocols' record-count model (HM-read: 2 records per write, reads log-free; HM-write: 1
+// record per read, writes log-free; 2 records per §4.7 object switch). This keeps a
+// 10^6-object sweep in benchmark time while measuring exactly the decision pipeline the
+// runtime ships; the end-to-end byte gate on a real cluster is online_advisor_test.
+struct AdvisorDriftResult {
+  int64_t objects = 0;
+  int64_t hot_objects = 0;
+  size_t sketch_bytes = 0;
+  int64_t advisor_bytes = 0;
+  int64_t static_read_bytes = 0;
+  int64_t static_write_bytes = 0;
+  int64_t switches = 0;
+  int64_t sweep_ticks = 0;  // Bounded keyspace-walk slices across both sweeps.
+  int64_t ids_per_tick = 0;
+  double wall_seconds = 0;
+};
+
+AdvisorDriftResult RunAdvisorDrift(double scale) {
+  AdvisorDriftResult r;
+  r.objects = std::max<int64_t>(1 << 16, static_cast<int64_t>(1'000'000 * scale));
+  r.hot_objects = 4096;
+  r.ids_per_tick = 65536;
+  constexpr int64_t kRecordBytes = 96;   // Uniform record-size model; ratios are what matter.
+  constexpr int64_t kMinOps = 16;
+  constexpr double kMargin = 0.05;
+
+  metrics::WorkloadSketchConfig sketch_config;
+  sketch_config.width = 1 << 17;  // eps*N stays below kMinOps for the phase-B window.
+  sketch_config.depth = 4;
+  metrics::WorkloadSketch sketch(sketch_config);
+  r.sketch_bytes = sketch.MemoryBytes();
+  const size_t sketch_bytes_at_start = r.sketch_bytes;
+
+  const double boundary = core::RuntimeBoundaryReadRatio(core::WorkloadProfile{});
+
+  // Per-object protocol (advisor run): everyone starts on the HM-read default. Tracked
+  // per-phase true counts feed the static-protocol cost model; the ADVISOR only ever sees
+  // the sketch estimates.
+  constexpr uint8_t kRead = 0, kWrite = 1;
+  std::vector<uint8_t> protocol(static_cast<size_t>(r.objects), kRead);
+
+  int64_t advisor_records = 0, static_read_records = 0, static_write_records = 0;
+
+  // One workload phase: each hot object performs `hot_reads`+`hot_writes`, and (optionally)
+  // every cold object one read. Costs accrue to all three accounting models at once.
+  auto run_phase = [&](int hot_reads, int hot_writes, bool touch_cold) {
+    for (int64_t o = 0; o < r.hot_objects; ++o) {
+      const uint64_t id = static_cast<uint64_t>(o);
+      for (int i = 0; i < hot_reads; ++i) sketch.RecordRead(id);
+      for (int i = 0; i < hot_writes; ++i) sketch.RecordWrite(id);
+      static_read_records += 2ll * hot_writes;
+      static_write_records += hot_reads;
+      advisor_records += protocol[o] == kRead ? 2ll * hot_writes : hot_reads;
+    }
+    if (touch_cold) {
+      for (int64_t o = r.hot_objects; o < r.objects; ++o) {
+        sketch.RecordRead(static_cast<uint64_t>(o));
+        static_write_records += 1;  // HM-write logs every read; HM-read and advisor: free.
+      }
+    }
+  };
+
+  // One full advisor sweep: the bounded incremental walk over the whole keyspace, the
+  // shipped decision rule, and the shipped dampers (dwell via last-switch epoch stamps, a
+  // token bucket sized to admit the full hot set per sweep).
+  int64_t sweep_epoch = 0;
+  std::vector<int64_t> last_switch(static_cast<size_t>(r.objects), -1);
+  double tokens = 2.0 * static_cast<double>(r.hot_objects);
+  auto run_sweep = [&]() {
+    ++sweep_epoch;
+    for (int64_t cursor = 0; cursor < r.objects; cursor += r.ids_per_tick) {
+      ++r.sweep_ticks;
+      const int64_t end = std::min(r.objects, cursor + r.ids_per_tick);
+      for (int64_t o = cursor; o < end; ++o) {
+        const uint64_t id = static_cast<uint64_t>(o);
+        std::optional<core::ProtocolKind> decision = core::AdvisorDecision(
+            static_cast<int64_t>(sketch.EstimateReads(id)),
+            static_cast<int64_t>(sketch.EstimateWrites(id)), boundary, kMargin, kMinOps);
+        if (!decision.has_value()) continue;
+        const uint8_t want =
+            *decision == core::ProtocolKind::kHalfmoonRead ? kRead : kWrite;
+        if (want == protocol[o]) continue;
+        if (last_switch[o] == sweep_epoch) continue;  // Dwell: once per sweep window.
+        if (tokens < 1.0) continue;
+        tokens -= 1.0;
+        last_switch[o] = sweep_epoch;
+        protocol[o] = want;
+        advisor_records += 2;  // BEGIN + END transition records.
+        ++r.switches;
+      }
+    }
+  };
+
+  auto start = std::chrono::steady_clock::now();
+
+  // Phase A: read-heavy hot set over the full keyspace; the sweep must leave everything on
+  // the HM-read default.
+  run_phase(/*hot_reads=*/180, /*hot_writes=*/20, /*touch_cold=*/true);
+  run_sweep();
+  // Count-min estimates only overcount, so over a million-object tail a few cold objects can
+  // collide with hot buckets in every row and draw a spurious switch; the gate bounds that
+  // tail (< 1/64 of the hot set) rather than demanding sketch exactness.
+  const int64_t spurious_cap = r.hot_objects / 64;
+  HM_CHECK_MSG(r.switches <= spurious_cap,
+               "advisor switched objects on the read-heavy phase");
+
+  // The mix drifts write-heavy: age out the old window, show one drift chunk, sweep (the
+  // hot set flips to HM-write), then the write-heavy tail runs on the switched protocol.
+  sketch.AdvanceEpoch();
+  sketch.AdvanceEpoch();
+  run_phase(/*hot_reads=*/5, /*hot_writes=*/45, /*touch_cold=*/false);
+  run_sweep();
+  for (int64_t o = 0; o < r.hot_objects; ++o) {
+    HM_CHECK_MSG(protocol[o] == kWrite, "a hot object did not switch after the drift");
+  }
+  HM_CHECK_MSG(r.switches <= r.hot_objects + 2 * spurious_cap,
+               "spurious cold-object switches exceeded the sketch-noise bound");
+  run_phase(/*hot_reads=*/15, /*hot_writes=*/135, /*touch_cold=*/false);
+
+  r.wall_seconds = SecondsSince(start);
+  r.advisor_bytes = advisor_records * kRecordBytes;
+  r.static_read_bytes = static_read_records * kRecordBytes;
+  r.static_write_bytes = static_write_records * kRecordBytes;
+
+  // The §4.6 gates: strictly fewer simulated log bytes than BOTH static assignments, a
+  // bounded switch count, and sketch memory independent of the keyspace size.
+  HM_CHECK_MSG(r.advisor_bytes < r.static_read_bytes,
+               "advisor did not beat static Halfmoon-read");
+  HM_CHECK_MSG(r.advisor_bytes < r.static_write_bytes,
+               "advisor did not beat static Halfmoon-write");
+  HM_CHECK_MSG(r.switches <= 2 * r.hot_objects, "switch count exceeded the cap");
+  HM_CHECK_MSG(sketch.MemoryBytes() == sketch_bytes_at_start,
+               "sketch memory grew with the keyspace");
+  return r;
+}
+
 void Report() {
   double scale = BenchScale();
   WorkloadShape shape;
@@ -1414,6 +1560,9 @@ void Report() {
   AuditResult audit = RunZeroCopyAudit();
   HM_CHECK_MSG(audit.copies == 0, "read path copied a record");
 
+  // Section 6: the online advisor over a drifting million-object keyspace (gates inside).
+  AdvisorDriftResult drift = RunAdvisorDrift(scale);
+
   double base_ops = static_cast<double>(base.ops) / base.seconds;
   double opt_ops = static_cast<double>(opt.ops) / opt.seconds;
   double pr1_ops = static_cast<double>(pr1_res.ops) / pr1_res.seconds;
@@ -1472,6 +1621,21 @@ void Report() {
               opt_eps, opt_eps / base_eps);
   std::printf("  zero-copy:   read_record_shared=%lld read_record_copies=%lld\n",
               static_cast<long long>(audit.shared), static_cast<long long>(audit.copies));
+  std::printf("  advisor drift: %lld objects (%lld hot), advisor %lld B vs static-read"
+              " %lld B / static-write %lld B (%.2fx / %.2fx), %lld switches, %lld ticks,"
+              " sketch %zu B, %.2fs\n",
+              static_cast<long long>(drift.objects),
+              static_cast<long long>(drift.hot_objects),
+              static_cast<long long>(drift.advisor_bytes),
+              static_cast<long long>(drift.static_read_bytes),
+              static_cast<long long>(drift.static_write_bytes),
+              static_cast<double>(drift.static_read_bytes) /
+                  static_cast<double>(drift.advisor_bytes),
+              static_cast<double>(drift.static_write_bytes) /
+                  static_cast<double>(drift.advisor_bytes),
+              static_cast<long long>(drift.switches),
+              static_cast<long long>(drift.sweep_ticks), drift.sketch_bytes,
+              drift.wall_seconds);
 
   FILE* json = std::fopen("BENCH_hotpath.json", "w");
   HM_CHECK(json != nullptr);
@@ -1514,6 +1678,11 @@ void Report() {
                "               \"speedup\": %.1f, \"live_inits\": %zu},\n"
                "  \"propagation\": {\"commits\": %lld, \"ticks\": %lld,\n"
                "                  \"coalescing_ratio\": %.3f},\n"
+               "  \"advisor_drift\": {\"objects\": %lld, \"hot_objects\": %lld,\n"
+               "                   \"advisor_bytes\": %lld, \"static_read_bytes\": %lld,\n"
+               "                   \"static_write_bytes\": %lld, \"switches\": %lld,\n"
+               "                   \"sweep_ticks\": %lld, \"ids_per_tick\": %lld,\n"
+               "                   \"sketch_bytes\": %zu, \"gate\": \"advisor < both statics\"},\n"
                "  \"read_record_shared\": %lld,\n"
                "  \"read_record_copies\": %lld\n"
                "}\n",
@@ -1546,6 +1715,14 @@ void Report() {
                frontier.scan_ns / frontier.incremental_ns, frontier.live_inits,
                static_cast<long long>(coalesced.commits),
                static_cast<long long>(coalesced.ticks), coalescing_ratio,
+               static_cast<long long>(drift.objects),
+               static_cast<long long>(drift.hot_objects),
+               static_cast<long long>(drift.advisor_bytes),
+               static_cast<long long>(drift.static_read_bytes),
+               static_cast<long long>(drift.static_write_bytes),
+               static_cast<long long>(drift.switches),
+               static_cast<long long>(drift.sweep_ticks),
+               static_cast<long long>(drift.ids_per_tick), drift.sketch_bytes,
                static_cast<long long>(audit.shared), static_cast<long long>(audit.copies));
   std::fclose(json);
   std::printf("  wrote BENCH_hotpath.json\n");

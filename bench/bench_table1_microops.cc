@@ -11,7 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "src/core/ssf_runtime.h"
 #include "src/metrics/latency_recorder.h"
+#include "src/runtime/cluster.h"
 #include "src/sharedlog/log_client.h"
 
 namespace halfmoon::bench {
@@ -166,6 +168,57 @@ void PrintTable1() {
   std::printf("\n");
 }
 
+// Logged-bytes-by-class audit: a small read-modify-write workload on a real cluster, one run
+// per protocol, with committed bytes sliced by append class (class 0 = control records —
+// init/invoke/switch; class 1+kind = that protocol's own records; see core::LogAppendClass).
+// The §4.6 storage comparison between protocols is exactly the protocol-class column, and
+// the slices must add up to the cluster's total appended bytes.
+void PrintLoggedBytesAudit() {
+  std::printf("== Logged bytes by append class (simulated, 6 counter increments) ==\n");
+  metrics::TablePrinter table(
+      {"protocol", "total_bytes", "control_bytes", "protocol_bytes", "protocol_share"});
+  const core::ProtocolKind protocols[] = {
+      core::ProtocolKind::kBoki,
+      core::ProtocolKind::kHalfmoonRead,
+      core::ProtocolKind::kHalfmoonWrite,
+      core::ProtocolKind::kTransitional,
+  };
+  for (core::ProtocolKind protocol : protocols) {
+    runtime::Cluster cluster{runtime::ClusterConfig{}};
+    core::RuntimeConfig rcfg;
+    rcfg.default_protocol = protocol;
+    core::SsfRuntime runtime(&cluster, rcfg);
+    runtime.PopulateObject("c", "0");
+    runtime.RegisterFunction("inc", [](core::SsfContext& ctx) -> sim::Task<Value> {
+      Value v = co_await ctx.Read("c");
+      co_await ctx.Write("c", std::to_string(std::stoll(v) + 1));
+      co_return v;
+    });
+    for (int i = 0; i < 6; ++i) {
+      cluster.scheduler().Spawn([](core::SsfRuntime* rt) -> sim::Task<void> {
+        co_await rt->InvokeSsf("inc", "");
+      }(&runtime));
+      cluster.scheduler().Run();
+    }
+
+    const int64_t total = cluster.TotalLoggedBytes();
+    const int64_t control = cluster.TotalLoggedBytesByClass(0);
+    const int64_t own = cluster.TotalLoggedBytesByClass(core::LogAppendClass(protocol));
+    // Every byte must be attributed: control + the per-protocol classes cover the total.
+    int64_t by_class = control;
+    for (core::ProtocolKind k : protocols) {
+      by_class += cluster.TotalLoggedBytesByClass(core::LogAppendClass(k));
+    }
+    HM_CHECK_MSG(by_class == total, "append-class slices do not sum to total logged bytes");
+    table.AddRow({core::ProtocolName(protocol), std::to_string(total),
+                  std::to_string(control), std::to_string(own),
+                  Fmt(total > 0 ? static_cast<double>(own) / static_cast<double>(total)
+                                : 0.0)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
 void BM_MicroOp(benchmark::State& state) {
   MicroFixture fx;
   auto op = static_cast<MicroOp>(state.range(0));
@@ -215,6 +268,7 @@ BENCHMARK(halfmoon::bench::BM_MicroOp)
 
 int main(int argc, char** argv) {
   halfmoon::bench::PrintTable1();
+  halfmoon::bench::PrintLoggedBytesAudit();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -52,7 +52,20 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure
 # the variable set.
 HM_PARALLEL=1 "${BUILD_DIR}"/tests/faultcheck_explorer_test --gtest_brief=1 | grep '^\[faultcheck\]'
 HM_PARALLEL=1 "${BUILD_DIR}"/tests/faultcheck_switch_test --gtest_brief=1 | grep '^\[faultcheck\]'
+"${BUILD_DIR}"/tests/faultcheck_advisor_test --gtest_brief=1 | grep '^\[faultcheck\]'
 "${BUILD_DIR}"/tests/faultcheck_negative_test --gtest_brief=1 | grep -c '^\[faultcheck\]   FAIL' \
   | sed 's/^/[faultcheck] negative-control failing schedules (expected nonzero): /'
+
+# Advisor smoke (DESIGN.md §11): the drift byte gate (advisor strictly below both static
+# protocols), the hysteresis/dwell counters, and the HM_ADVISOR=0 golden content checksum,
+# surfaced via their '[advisor]' summary lines. A missing 'win' line — the byte gate — or a
+# missing pinned-checksum line fails the run. Runs only the advisor-aware binaries: the
+# HM_ADVISOR default would perturb the golden timing pins of the full suite.
+"${BUILD_DIR}"/tests/online_advisor_test --gtest_brief=1 | grep '^\[advisor\]' \
+  | tee /dev/stderr | grep -q ' win' \
+  || { echo "check.sh: FAIL — advisor drift byte gate did not report a win" >&2; exit 1; }
+HM_ADVISOR=1 "${BUILD_DIR}"/tests/faultcheck_advisor_test --gtest_brief=1 \
+  | grep '^\[faultcheck\]' \
+  | sed 's/^\[faultcheck\]/[advisor]/;s/$/ (HM_ADVISOR=1)/'
 
 echo "check.sh: all tests passed"

@@ -1,0 +1,32 @@
+// Centralized HM_* environment-variable parsing.
+//
+// Runtime knobs (HM_SHARDS, HM_PARALLEL, HM_ADVISOR, HM_FAULTCHECK_FULL, ...) used to
+// hand-roll getenv+parse at each consumer; these helpers are the single implementation.
+// Header-only and dependency-free so every layer (sim, sharedlog, runtime, core, tests)
+// can include it without cycles — core/env.h, for example, includes runtime/cluster.h,
+// which itself needs EnvInt for its shard-count default.
+
+#ifndef HALFMOON_COMMON_ENV_H_
+#define HALFMOON_COMMON_ENV_H_
+
+#include <cstdlib>
+
+namespace halfmoon {
+
+// Integer-valued knob: unset or unparsable -> fallback; parsed values clamp to min_value.
+inline int EnvInt(const char* name, int min_value, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  int value = std::atoi(raw);
+  return value < min_value ? min_value : value;
+}
+
+// Boolean knob: on when set to anything non-empty not starting with '0'.
+inline bool EnvFlag(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && *raw != '\0' && *raw != '0';
+}
+
+}  // namespace halfmoon
+
+#endif  // HALFMOON_COMMON_ENV_H_

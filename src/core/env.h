@@ -31,6 +31,11 @@ enum class ProtocolKind {
 
 const char* ProtocolName(ProtocolKind kind);
 
+// Append-class id under which a protocol's log records are accounted (see
+// LogClientStats::appended_bytes_by_class). Class 0 is reserved for control records (init,
+// invoke pre/post, switch transitions), so protocol classes start at 1.
+constexpr int LogAppendClass(ProtocolKind kind) { return 1 + static_cast<int>(kind); }
+
 // Outcome of consulting the transition log for an object scope (§4.7).
 struct ProtocolResolution {
   ProtocolKind kind = ProtocolKind::kHalfmoonRead;
@@ -63,6 +68,11 @@ struct Env {
 
   // Cached result of the transition-log lookup (one per SSF, first state access; §4.7).
   std::optional<ProtocolResolution> resolution;
+
+  // Advisor mode (DESIGN.md §11): per-object resolutions, keyed by the object's transition
+  // TagId ("switch:k:<key>"). Cached for this attempt only; every entry derives from
+  // init_cursor_ts, so re-executions resolve each object identically.
+  std::unordered_map<sharedlog::TagId, ProtocolResolution> object_resolutions;
 
   // §4.4 ordered-writes extension state: the key of the previous operation when it was a
   // log-free write (empty otherwise). When the next write targets a *different* object, the

@@ -74,6 +74,7 @@ sim::Task<void> HalfmoonReadWrite(Env& env, const std::string& key, Value value)
   pre_fields.SetStr("op", "write-pre");
   pre_fields.SetInt("step", env.step);
   pre_fields.SetStr("version", env.RandomId());
+  env.log().set_append_class(LogAppendClass(ProtocolKind::kHalfmoonRead));
   StepLogResult pre = co_await LogStep(env, sharedlog::NoTags(), std::move(pre_fields));
   const std::string& version = pre.record->fields.GetStr("version");
 
@@ -86,6 +87,7 @@ sim::Task<void> HalfmoonReadWrite(Env& env, const std::string& key, Value value)
   TagId write_tag = env.WriteTag(key);
   if (const LogRecord* cached = PeekNextLog(env);
       cached != nullptr && cached->op == sharedlog::kOpWrite) {
+    env.log().set_append_class(LogAppendClass(ProtocolKind::kHalfmoonRead));
     co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
     co_return;
   }
@@ -96,6 +98,7 @@ sim::Task<void> HalfmoonReadWrite(Env& env, const std::string& key, Value value)
   env.MaybeCrash("hmr.write.after_db");
   // Commit: the record appears in the step log and in the object's write log.
   if (!env.drop_commit_append) {  // Faultcheck negative control: lose the commit.
+    env.log().set_append_class(LogAppendClass(ProtocolKind::kHalfmoonRead));
     co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
   }
   env.MaybeCrash("hmr.write.after_log");
@@ -116,6 +119,7 @@ sim::Task<Value> HalfmoonWriteRead(Env& env, const std::string& key, bool post_s
 
   if (const LogRecord* cached = PeekNextLog(env); cached != nullptr) {
     // Replay: recover the previous result from the step log (Figure 7, lines 10-12).
+    env.log().set_append_class(LogAppendClass(ProtocolKind::kHalfmoonWrite));
     StepLogResult replayed = co_await LogStep(env, sharedlog::NoTags(), std::move(fields));
     co_return replayed.record->fields.GetStr("data");
   }
@@ -131,6 +135,7 @@ sim::Task<Value> HalfmoonWriteRead(Env& env, const std::string& key, bool post_s
   env.MaybeCrash("hmw.read.after_db");
 
   fields.SetStr("data", value);
+  env.log().set_append_class(LogAppendClass(ProtocolKind::kHalfmoonWrite));
   StepLogResult logged = co_await LogStep(env, sharedlog::NoTags(), std::move(fields));
   if (logged.recovered) {
     // A peer logged this read first; adopt its result so all instances agree (§5.1).
@@ -151,6 +156,7 @@ sim::Task<void> HalfmoonWriteWrite(Env& env, const std::string& key, Value value
     FieldMap sync_fields;
     sync_fields.SetStr("op", "sync");
     sync_fields.SetInt("step", env.step);
+    env.log().set_append_class(LogAppendClass(ProtocolKind::kHalfmoonWrite));
     co_await LogStep(env, sharedlog::NoTags(), std::move(sync_fields));
     env.consecutive_writes = 0;
   }
@@ -184,6 +190,7 @@ sim::Task<Value> BokiRead(Env& env, const std::string& key) {
   fields.SetStr("op", "read");
   fields.SetInt("step", env.step);
   fields.SetStr("data", value);
+  env.log().set_append_class(LogAppendClass(ProtocolKind::kBoki));
   SeqNum seqnum = co_await env.log().Append(sharedlog::OneTag(env.step_tag), std::move(fields));
   // Boki's peer-race resolution: honor the first record logged for this step (§5.1). The
   // check rides on the append reply (auxiliary data), so it costs no extra round.
@@ -208,6 +215,7 @@ sim::Task<void> BokiWrite(Env& env, const std::string& key, Value value) {
     FieldMap pre_fields;
     pre_fields.SetStr("op", "write-pre");
     pre_fields.SetInt("step", env.step);
+    env.log().set_append_class(LogAppendClass(ProtocolKind::kBoki));
     version_seq =
         co_await env.log().Append(sharedlog::OneTag(env.step_tag), std::move(pre_fields));
     LogRecordPtr first =
@@ -228,6 +236,7 @@ sim::Task<void> BokiWrite(Env& env, const std::string& key, Value value) {
   FieldMap post_fields;
   post_fields.SetStr("op", "write");
   post_fields.SetInt("step", env.step);
+  env.log().set_append_class(LogAppendClass(ProtocolKind::kBoki));
   co_await env.log().Append(sharedlog::OneTag(env.step_tag), std::move(post_fields));
   env.MaybeCrash("boki.write.after_log");
 }
@@ -289,6 +298,7 @@ sim::Task<Value> TransitionalRead(Env& env, const std::string& key) {
   fields.SetInt("step", env.step);
 
   if (const LogRecord* cached = PeekNextLog(env); cached != nullptr) {
+    env.log().set_append_class(LogAppendClass(ProtocolKind::kTransitional));
     StepLogResult replayed = co_await LogStep(env, sharedlog::NoTags(), std::move(fields));
     co_return replayed.record->fields.GetStr("data");
   }
@@ -298,6 +308,7 @@ sim::Task<Value> TransitionalRead(Env& env, const std::string& key) {
   env.MaybeCrash("trans.read.after_db");
 
   fields.SetStr("data", value);
+  env.log().set_append_class(LogAppendClass(ProtocolKind::kTransitional));
   StepLogResult logged = co_await LogStep(env, sharedlog::NoTags(), std::move(fields));
   if (logged.recovered) {
     value = logged.record->fields.GetStr("data");
@@ -323,12 +334,14 @@ sim::Task<void> TransitionalWrite(Env& env, const std::string& key, Value value)
   post_fields.SetStr("version", version);
 
   env.MaybeCrash("trans.write.before");
+  env.log().set_append_class(LogAppendClass(ProtocolKind::kTransitional));
   co_await LogStep(env, sharedlog::NoTags(), std::move(pre_fields));
 
   TagId write_tag = env.WriteTag(key);
   if (const LogRecord* cached = PeekNextLog(env);
       cached != nullptr && cached->op == sharedlog::kOpWrite) {
     // Replay: both external effects (the version and the LATEST slot) already applied.
+    env.log().set_append_class(LogAppendClass(ProtocolKind::kTransitional));
     co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
     co_return;
   }
@@ -339,6 +352,7 @@ sim::Task<void> TransitionalWrite(Env& env, const std::string& key, Value value)
   env.MaybeCrash("trans.write.after_version");
   co_await env.kv().CondPut(key, std::move(value), latest_version);
   env.MaybeCrash("trans.write.after_latest");
+  env.log().set_append_class(LogAppendClass(ProtocolKind::kTransitional));
   co_await LogStep(env, sharedlog::OneTag(write_tag), std::move(post_fields));
   env.MaybeCrash("trans.write.after_log");
 }

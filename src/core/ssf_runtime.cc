@@ -32,7 +32,7 @@ class ContextImpl final : public SsfContext {
       : runtime_(runtime), env_(env), input_(input), root_id_(std::move(root_id)) {}
 
   sim::Task<Value> Read(std::string key) override {
-    ProtocolResolution res = co_await Resolve();
+    ProtocolResolution res = co_await ResolveFor(key, /*is_read=*/true);
     switch (res.kind) {
       case ProtocolKind::kUnsafe:
         co_return co_await protocols::UnsafeRead(*env_, key);
@@ -49,7 +49,7 @@ class ContextImpl final : public SsfContext {
   }
 
   sim::Task<void> Write(std::string key, Value value) override {
-    ProtocolResolution res = co_await Resolve();
+    ProtocolResolution res = co_await ResolveFor(key, /*is_read=*/false);
     switch (res.kind) {
       case ProtocolKind::kUnsafe:
         co_return co_await protocols::UnsafeWrite(*env_, key, std::move(value));
@@ -342,6 +342,39 @@ class ContextImpl final : public SsfContext {
     co_return res;
   }
 
+  // Advisor mode (DESIGN.md §11): counts the access in the workload sketch and resolves the
+  // protocol per OBJECT through the object's own "switch:k:<key>" transition stream, using
+  // the same init-cursorTS bound as the per-scope path so re-executions resolve identically.
+  // Resolutions are cached per attempt. Static modes fall through to Resolve().
+  sim::Task<ProtocolResolution> ResolveFor(const std::string& key, bool is_read) {
+    const RuntimeConfig& config = runtime_->config();
+    if (!config.advisor) co_return co_await Resolve();
+    runtime_->RecordAccess(env_->WriteTag(key), is_read);
+    ProtocolResolution res;
+    if (config.default_protocol == ProtocolKind::kUnsafe ||
+        config.default_protocol == ProtocolKind::kBoki) {
+      res.kind = config.default_protocol;
+      co_return res;
+    }
+    sharedlog::TagId transition_tag = runtime_->ObjectTransitionTag(key);
+    if (auto it = env_->object_resolutions.find(transition_tag);
+        it != env_->object_resolutions.end()) {
+      co_return it->second;
+    }
+    LogRecordPtr record = co_await env_->log().ReadPrev(transition_tag, env_->init_cursor_ts);
+    if (record == nullptr) {
+      res.kind = config.default_protocol;
+    } else if (record->op == sharedlog::kOpSwitchEnd) {
+      res.kind = KindFromInt(record->fields.GetInt("target"));
+      res.post_switch = true;
+    } else {
+      res.kind = ProtocolKind::kTransitional;
+      res.post_switch = true;
+    }
+    env_->object_resolutions.emplace(transition_tag, res);
+    co_return res;
+  }
+
   // Invoke for the Halfmoon protocols (Figure 5, lines 31-44): a synchronous pre record pins
   // the callee's instance ID; a synchronous post record pins the result and advances cursorTS
   // monotonically across the workflow.
@@ -443,7 +476,11 @@ class ContextImpl final : public SsfContext {
 // ---------------------------------------------------------------------------
 
 SsfRuntime::SsfRuntime(runtime::Cluster* cluster, RuntimeConfig config)
-    : cluster_(cluster), config_(config), inflight_(&cluster->scheduler()) {}
+    : cluster_(cluster), config_(config), inflight_(&cluster->scheduler()) {
+  if (config_.advisor) {
+    sketch_ = std::make_unique<metrics::WorkloadSketch>(config_.sketch);
+  }
+}
 
 void SsfRuntime::RegisterFunction(std::string name, SsfBody body) {
   functions_[std::move(name)] = std::move(body);
@@ -593,7 +630,9 @@ void SsfRuntime::PopulateObject(const std::string& key, const Value& value) {
   // switching enabled both schemes coexist (§5.2) and both are seeded.
   bool single_version = config_.default_protocol != ProtocolKind::kHalfmoonRead;
   bool multi_version = config_.default_protocol == ProtocolKind::kHalfmoonRead;
-  if (config_.enable_switching) {
+  if (config_.enable_switching || config_.advisor) {
+    // Objects may end up on either protocol at runtime, so both representations coexist
+    // (§5.2) and both are seeded.
     single_version = true;
     multi_version = true;
   }

@@ -11,13 +11,21 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/core/env.h"
 #include "src/core/ssf_context.h"
+#include "src/metrics/workload_sketch.h"
 #include "src/runtime/cluster.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 
 namespace halfmoon::core {
+
+// The HM_ADVISOR environment default: enables advisor mode (per-object protocol resolution
+// + hot-path workload sketching, DESIGN.md §11) for every runtime that does not set the
+// knob explicitly. Unset / 0 keeps the runtime bit-identical to the static per-scope
+// behavior — pinned by online_advisor_test's golden checksum.
+inline bool DefaultAdvisorMode() { return EnvFlag("HM_ADVISOR"); }
 
 struct RuntimeConfig {
   ProtocolKind default_protocol = ProtocolKind::kHalfmoonRead;
@@ -49,6 +57,17 @@ struct RuntimeConfig {
   // updates never become visible on the write log. Exists to prove the consistency oracle
   // detects a broken protocol; must never be set outside tests.
   bool drop_commit_append = false;
+
+  // Advisor mode (DESIGN.md §11): every state access is counted in a space-bounded workload
+  // sketch, and protocol resolution is per OBJECT — each object's "switch:k:<key>" stream
+  // overrides default_protocol, so the background OnlineAdvisor can move individual objects
+  // between HM-read and HM-write as their read ratio drifts. Off (the default when
+  // HM_ADVISOR is unset) leaves resolution, interning order, and committed content exactly
+  // as in the static runtime.
+  bool advisor = DefaultAdvisorMode();
+
+  // Sketch geometry for advisor mode; the memory bound is a function of this alone.
+  metrics::WorkloadSketchConfig sketch;
 };
 
 struct RuntimeStats {
@@ -95,6 +114,30 @@ class SsfRuntime {
   }
   const RuntimeStats& stats() const { return stats_; }
 
+  // ---- Advisor mode (DESIGN.md §11) ----
+  bool advisor_enabled() const { return config_.advisor; }
+
+  // The hot-path workload sketch (valid only in advisor mode). Single-owner, like every
+  // other per-cluster metric: the full-protocol runtime lives on one scheduler.
+  metrics::WorkloadSketch& sketch() { return *sketch_; }
+
+  // O(depth) sketch bump for one state access. `object` is the interned write-log TagId —
+  // the same id the advisor's keyspace walk and the KV version index use.
+  void RecordAccess(sharedlog::TagId object, bool is_read) {
+    if (is_read) {
+      sketch_->RecordRead(object);
+    } else {
+      sketch_->RecordWrite(object);
+    }
+  }
+
+  // Interned id of `key`'s per-object transition stream ("switch:k:<key>"), built without
+  // materializing the concatenated name.
+  sharedlog::TagId ObjectTransitionTag(const std::string& key) {
+    return cluster_->log_space().tags().InternPrefixed(sharedlog::kObjectTransitionPrefix,
+                                                       key);
+  }
+
   // Outstanding top-level invocations; benchmarks drain this before reading metrics.
   sim::WaitGroup& inflight() { return inflight_; }
 
@@ -137,6 +180,7 @@ class SsfRuntime {
   sim::WaitGroup inflight_;
   uint64_t next_invocation_ = 0;
   sharedlog::TagId transition_tag_ = sharedlog::kInvalidTagId;
+  std::unique_ptr<metrics::WorkloadSketch> sketch_;  // Non-null iff advisor mode.
 };
 
 }  // namespace halfmoon::core

@@ -47,4 +47,55 @@ sim::Task<SwitchReport> SwitchManager::SwitchTo(ProtocolKind target) {
   co_return report;
 }
 
+sim::Task<ObjectSwitchReport> SwitchManager::SwitchObject(sharedlog::TagId transition_tag,
+                                                          ProtocolKind target) {
+  HM_CHECK_MSG(target == ProtocolKind::kHalfmoonRead || target == ProtocolKind::kHalfmoonWrite,
+               "switching targets must be Halfmoon protocols");
+  ObjectSwitchReport report;
+  report.transition_tag = transition_tag;
+  report.target = target;
+  if (!objects_in_progress_.insert(transition_tag).second) {
+    co_return report;  // This object's transition is already in flight: busy.
+  }
+
+  sharedlog::LogClient& log = cluster_->node(0).log();
+
+  // The advisor daemon dies before appending anything: nothing changed for the object.
+  if (cluster_->failure_injector().ShouldCrash(cluster_->rng(), "advisor.fire")) {
+    objects_in_progress_.erase(transition_tag);
+    co_return report;
+  }
+
+  FieldMap begin_fields;
+  begin_fields.SetStr("op", "BEGIN");
+  begin_fields.SetInt("step", 0);
+  begin_fields.SetInt("target", static_cast<int64_t>(target));
+  report.begin_seqnum =
+      co_await log.Append(sharedlog::OneTag(transition_tag), std::move(begin_fields));
+  report.began = true;
+
+  // Pauseless wait, exactly as in the per-scope switch: SSFs that started after the BEGIN
+  // already resolve this object to the transitional protocol.
+  while (cluster_->RunningFrontier() < report.begin_seqnum) {
+    co_await cluster_->scheduler().Delay(Milliseconds(2));
+  }
+
+  // The daemon dies after BEGIN: the object stays transitional until a later switch.
+  if (cluster_->failure_injector().ShouldCrash(cluster_->rng(), "advisor.mid_switch")) {
+    objects_in_progress_.erase(transition_tag);
+    co_return report;
+  }
+
+  FieldMap end_fields;
+  end_fields.SetStr("op", "END");
+  end_fields.SetInt("step", 0);
+  end_fields.SetInt("target", static_cast<int64_t>(target));
+  report.end_seqnum =
+      co_await log.Append(sharedlog::OneTag(transition_tag), std::move(end_fields));
+  report.completed = true;
+  ++object_switches_completed_;
+  objects_in_progress_.erase(transition_tag);
+  co_return report;
+}
+
 }  // namespace halfmoon::core

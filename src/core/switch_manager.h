@@ -9,7 +9,9 @@
 #ifndef HALFMOON_CORE_SWITCH_MANAGER_H_
 #define HALFMOON_CORE_SWITCH_MANAGER_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/env.h"
@@ -28,6 +30,18 @@ struct SwitchReport {
   SimDuration SwitchingDelay() const { return end_time - begin_time; }
 };
 
+// Outcome of a per-object switch (advisor mode, DESIGN.md §11). `began && !completed` means
+// the advisor daemon died between BEGIN and END: the object resolves to the transitional
+// protocol — a correct (if slower) state — until a later switch completes.
+struct ObjectSwitchReport {
+  sharedlog::TagId transition_tag = sharedlog::kInvalidTagId;
+  ProtocolKind target = ProtocolKind::kHalfmoonRead;
+  bool began = false;
+  bool completed = false;
+  sharedlog::SeqNum begin_seqnum = 0;
+  sharedlog::SeqNum end_seqnum = 0;
+};
+
 class SwitchManager {
  public:
   SwitchManager(runtime::Cluster* cluster, std::string scope)
@@ -36,6 +50,25 @@ class SwitchManager {
   // Switches the scope to `target`. Returns once the END record is durable; the system keeps
   // serving throughout. Concurrent switches on one scope are not allowed.
   sim::Task<SwitchReport> SwitchTo(ProtocolKind target);
+
+  // Per-object §4.7 switch on the object's own transition stream ("switch:k:<key>",
+  // advisor mode). Same BEGIN → frontier-wait → END shape as SwitchTo, but switches on
+  // DISTINCT objects may run concurrently; a second switch on an object whose transition is
+  // still in flight returns immediately with began == false (busy — the advisor retries on
+  // a later sweep). The two crash sites ("advisor.fire" before BEGIN, "advisor.mid_switch"
+  // between BEGIN and END) model the advisor daemon dying mid-transition; an abandoned
+  // switch leaves the object transitional, which the consistency oracle accepts.
+  sim::Task<ObjectSwitchReport> SwitchObject(sharedlog::TagId transition_tag,
+                                             ProtocolKind target);
+
+  // True while a SwitchObject on this stream is in flight (the advisor skips such objects;
+  // a BEGIN-terminated stream with no switch in flight means an abandoned transition that a
+  // fresh SwitchObject may complete).
+  bool ObjectSwitchInFlight(sharedlog::TagId transition_tag) const {
+    return objects_in_progress_.contains(transition_tag);
+  }
+
+  int64_t object_switches_completed() const { return object_switches_completed_; }
 
   const std::vector<SwitchReport>& history() const { return history_; }
 
@@ -46,6 +79,8 @@ class SwitchManager {
   sharedlog::TagId transition_tag_ = sharedlog::kInvalidTagId;
   bool in_progress_ = false;
   std::vector<SwitchReport> history_;
+  std::unordered_set<sharedlog::TagId> objects_in_progress_;
+  int64_t object_switches_completed_ = 0;
 };
 
 }  // namespace halfmoon::core

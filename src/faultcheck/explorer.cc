@@ -24,6 +24,11 @@ sim::Task<void> DriveSwitch(core::SwitchManager* switcher, core::ProtocolKind ta
   co_await switcher->SwitchTo(target);
 }
 
+sim::Task<void> DriveObjectSwitch(core::SwitchManager* switcher, sharedlog::TagId tag,
+                                  core::ProtocolKind target) {
+  co_await switcher->SwitchObject(tag, target);
+}
+
 }  // namespace
 
 std::string ExplorerReport::Summary() const {
@@ -33,7 +38,8 @@ std::string ExplorerReport::Summary() const {
                     " pairs=" + std::to_string(explored_pairs) +
                     " peer=" + std::to_string(explored_peer) +
                     " gc=" + std::to_string(explored_gc) +
-                    " switch=" + std::to_string(explored_switch) + ")" +
+                    " switch=" + std::to_string(explored_switch) +
+                    " advisor=" + std::to_string(explored_advisor) + ")" +
                     " failures=" + std::to_string(failures.size());
   return out;
 }
@@ -54,6 +60,7 @@ Explorer::RunOutcome Explorer::RunSchedule(const Schedule& schedule, bool record
   rcfg.enable_switching = options_.enable_switching;
   rcfg.duplicate_delay = options_.duplicate_delay;
   rcfg.drop_commit_append = options_.drop_commit_append;
+  rcfg.advisor = options_.advisor_mode;
   core::SsfRuntime runtime(&cluster, rcfg);
   core::GcService gc(&cluster, Milliseconds(50));
   core::SwitchManager switcher(&cluster, rcfg.switch_scope);
@@ -81,6 +88,18 @@ Explorer::RunOutcome Explorer::RunSchedule(const Schedule& schedule, bool record
           cluster.scheduler().Spawn(DriveSwitch(&switcher, target));
         });
         break;
+      case FaultKind::kAdvisorFire:
+        // Models the advisor deciding to move every object at once — the densest possible
+        // burst of per-object transitions racing the workload (and any scheduled crash).
+        HM_CHECK_MSG(options_.advisor_mode, "advisor fault points require advisor_mode");
+        injector.RunAtHit(point.at_hit,
+                          [&cluster, &runtime, &switcher, target = point.target, this] {
+                            for (const std::string& key : workload_.keys) {
+                              cluster.scheduler().Spawn(DriveObjectSwitch(
+                                  &switcher, runtime.ObjectTransitionTag(key), target));
+                            }
+                          });
+        break;
     }
   }
 
@@ -101,12 +120,15 @@ Explorer::RunOutcome Explorer::RunSchedule(const Schedule& schedule, bool record
   injector.EnableTrace(false);
   injector.ClearCrashSchedule();
 
+  // Advisor-mode runs may have moved individual objects mid-stream, so the oracle must use
+  // its switching-aware (dual-read) final-state comparison just as for scope switches.
+  const bool oracle_switching = options_.enable_switching || options_.advisor_mode;
   outcome.verdict = CheckConsistency(cluster, workload_, options_.protocol,
-                                     options_.enable_switching, results);
+                                     oracle_switching, results);
   if (outcome.verdict.ok && options_.final_gc_check) {
     gc.RunOnce();
     outcome.verdict = CheckConsistency(cluster, workload_, options_.protocol,
-                                       options_.enable_switching, results);
+                                       oracle_switching, results);
     if (!outcome.verdict.ok) {
       outcome.verdict.failure = "after final GC scan: " + outcome.verdict.failure;
     }
@@ -208,6 +230,22 @@ ExplorerReport Explorer::Run() {
         with_gc.points.push_back(FaultPoint::GcScan(hit));
         ++report.explored_gc;
         NoteVerdict(with_gc, RunSchedule(with_gc).verdict, &report);
+      }
+    }
+
+    if (options_.crash_plus_advisor && options_.advisor_mode) {
+      // Advisor fire before the crash (the crash lands while per-object transitions are in
+      // flight), at it, and during recovery (retries resolve per-object protocols while the
+      // transition streams grow).
+      std::vector<int64_t> hits;
+      if (i > 0) hits.push_back(0);
+      hits.push_back(static_cast<int64_t>(i));
+      for (size_t j : seconds) hits.push_back(static_cast<int64_t>(j));
+      for (int64_t hit : hits) {
+        Schedule with_advisor = first;
+        with_advisor.points.push_back(FaultPoint::AdvisorFire(options_.switch_target, hit));
+        ++report.explored_advisor;
+        NoteVerdict(with_advisor, RunSchedule(with_advisor).verdict, &report);
       }
     }
 

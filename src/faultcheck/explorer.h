@@ -45,11 +45,16 @@ struct ExplorerOptions {
   // Testing-only protocol mutation, plumbed to RuntimeConfig (the negative control).
   bool drop_commit_append = false;
 
+  // Runs every cluster with RuntimeConfig::advisor on: SSFs resolve per-object protocols
+  // from "switch:k:<key>" transition streams, and kAdvisorFire points become meaningful.
+  bool advisor_mode = false;
+
   // Which depth-2 families to enumerate.
   bool crash_pairs = true;
   bool crash_plus_peer = true;
   bool crash_plus_gc = true;
-  bool crash_plus_switch = false;  // Only meaningful with enable_switching.
+  bool crash_plus_switch = false;   // Only meaningful with enable_switching.
+  bool crash_plus_advisor = false;  // Only meaningful with advisor_mode.
 
   // Sweep bounds for smoke mode. Strides subsample candidates; second_limit caps the number
   // of second-fault positions per first crash (-1 = unbounded). The full sweep sets all
@@ -79,11 +84,12 @@ struct ExplorerReport {
   int64_t explored_peer = 0;
   int64_t explored_gc = 0;
   int64_t explored_switch = 0;
+  int64_t explored_advisor = 0;
   std::vector<FailingSchedule> failures;
 
   int64_t TotalExplored() const {
     return explored_none + explored_single + explored_pairs + explored_peer + explored_gc +
-           explored_switch;
+           explored_switch + explored_advisor;
   }
   bool AllPassed() const { return failures.empty(); }
 

@@ -55,6 +55,14 @@ std::optional<FaultPoint> ParsePoint(std::string_view token) {
     if (!target.has_value() || !hit.has_value()) return std::nullopt;
     return FaultPoint::SwitchBegin(*target, *hit);
   }
+  if (token.starts_with("advisor[")) {
+    size_t close = token.find("]@");
+    if (close == std::string_view::npos) return std::nullopt;
+    std::optional<core::ProtocolKind> target = ProtocolFromName(token.substr(8, close - 8));
+    std::optional<int64_t> hit = ParseInt(token.substr(close + 2));
+    if (!target.has_value() || !hit.has_value()) return std::nullopt;
+    return FaultPoint::AdvisorFire(*target, *hit);
+  }
   return std::nullopt;
 }
 
@@ -90,6 +98,14 @@ FaultPoint FaultPoint::SwitchBegin(core::ProtocolKind target, int64_t at_hit) {
   return p;
 }
 
+FaultPoint FaultPoint::AdvisorFire(core::ProtocolKind target, int64_t at_hit) {
+  FaultPoint p;
+  p.kind = FaultKind::kAdvisorFire;
+  p.target = target;
+  p.at_hit = at_hit;
+  return p;
+}
+
 std::string FaultPoint::ToString() const {
   switch (kind) {
     case FaultKind::kCrash:
@@ -100,6 +116,9 @@ std::string FaultPoint::ToString() const {
       return "gc@" + std::to_string(at_hit);
     case FaultKind::kSwitchBegin:
       return std::string("switch[") + core::ProtocolName(target) + "]@" +
+             std::to_string(at_hit);
+    case FaultKind::kAdvisorFire:
+      return std::string("advisor[") + core::ProtocolName(target) + "]@" +
              std::to_string(at_hit);
   }
   return "?";

@@ -26,6 +26,7 @@ enum class FaultKind {
   kPeerSpawn,    // Arm a duplicate (peer) instance at the first opportunity after a hit.
   kGcScan,       // Run one full GC scan when the global hit counter reaches at_hit.
   kSwitchBegin,  // Start a protocol switch to `target` when the counter reaches at_hit.
+  kAdvisorFire,  // Fire advisor per-object switches (every workload key) at at_hit.
 };
 
 struct FaultPoint {
@@ -41,8 +42,10 @@ struct FaultPoint {
   static FaultPoint PeerSpawn(int64_t at_hit);
   static FaultPoint GcScan(int64_t at_hit);
   static FaultPoint SwitchBegin(core::ProtocolKind target, int64_t at_hit);
+  static FaultPoint AdvisorFire(core::ProtocolKind target, int64_t at_hit);
 
-  // crash(<site>#<occ>) | peer@<hit> | gc@<hit> | switch[<protocol>]@<hit>
+  // crash(<site>#<occ>) | peer@<hit> | gc@<hit> | switch[<protocol>]@<hit> |
+  // advisor[<protocol>]@<hit>
   std::string ToString() const;
 };
 

@@ -47,6 +47,10 @@ const std::vector<std::string_view>& KnownCrashSites() {
       "invoke_all.after_prelog",
       "invoke_all.after_calls",
       "invoke_all.after_postlog",
+      // Online advisor per-object switches (src/core/switch_manager.cc, SwitchObject): the
+      // advisor daemon dying before BEGIN / between BEGIN and END (DESIGN.md §11).
+      "advisor.fire",
+      "advisor.mid_switch",
   };
   return kSites;
 }

@@ -148,6 +148,23 @@ int64_t Cluster::TotalLogAppends() const {
   return total;
 }
 
+int64_t Cluster::TotalLoggedBytes() const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->log().stats().appended_bytes;
+  }
+  return total;
+}
+
+int64_t Cluster::TotalLoggedBytesByClass(int cls) const {
+  int64_t total = 0;
+  for (const auto& node : nodes_) {
+    const auto& by_class = node->log().stats().appended_bytes_by_class;
+    if (cls >= 0 && cls < static_cast<int>(by_class.size())) total += by_class[cls];
+  }
+  return total;
+}
+
 int64_t Cluster::TotalLogReads() const {
   int64_t total = 0;
   for (const auto& node : nodes_) {

@@ -9,7 +9,6 @@
 #define HALFMOON_RUNTIME_CLUSTER_H_
 
 #include <cstdint>
-#include <cstdlib>
 #include <deque>
 #include <limits>
 #include <map>
@@ -21,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/common/latency_model.h"
 #include "src/common/rng.h"
 #include "src/kvstore/kv_client.h"
@@ -44,12 +44,7 @@ namespace halfmoon::runtime {
 // threads only in runtime::ParallelCluster, the shard-parallel log layer (see
 // parallel_cluster.h); with it unset or 0 every code path in the repo is bit-identical to
 // the pre-parallel implementation.
-inline int DefaultLogShards() {
-  const char* env = std::getenv("HM_SHARDS");
-  if (env == nullptr || *env == '\0') return 1;
-  int value = std::atoi(env);
-  return value >= 1 ? value : 1;
-}
+inline int DefaultLogShards() { return EnvInt("HM_SHARDS", 1, 1); }
 
 struct ClusterConfig {
   // §6: eight function nodes; worker slots bound per-node concurrency.
@@ -213,6 +208,12 @@ class Cluster {
   int64_t TotalLogAppends() const;
   int64_t TotalLogReads() const;
   int64_t TotalDbOps() const;
+
+  // Simulated bytes of committed log records across all nodes — the §4.6 storage currency.
+  // The per-class variant slices by append class (see LogClientStats::appended_bytes_by_class;
+  // protocol classes come from core::LogAppendClass).
+  int64_t TotalLoggedBytes() const;
+  int64_t TotalLoggedBytesByClass(int cls) const;
 
   // Aggregate external-state traffic, split by direction (feeds the auto-switch advisor's
   // read/write-intensity estimate).

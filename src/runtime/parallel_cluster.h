@@ -27,11 +27,11 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/common/latency_model.h"
 #include "src/common/rng.h"
 #include "src/metrics/latency_recorder.h"
@@ -46,10 +46,7 @@ namespace halfmoon::runtime {
 // The HM_PARALLEL environment default: 1 (or any non-empty value other than 0) turns real
 // worker threads on for the components that support them; 0/unset keeps every experiment on
 // the single-threaded scheduler, bit-identical to the pre-parallel repo.
-inline bool DefaultParallelMode() {
-  const char* env = std::getenv("HM_PARALLEL");
-  return env != nullptr && *env != '\0' && *env != '0';
-}
+inline bool DefaultParallelMode() { return EnvFlag("HM_PARALLEL"); }
 
 struct ParallelClusterConfig {
   // Worker threads == log shards. Each partition is a full log stack (shard + sequencer +

@@ -25,11 +25,15 @@ sim::Task<void> LogClient::StorageRound(SimDuration total_latency) {
 
 sim::Task<SeqNum> LogClient::Append(std::vector<TagId> tags, FieldMap fields) {
   ++stats_.appends;
+  // Byte accounting: class and size snapshot before any suspension (and before the moves).
+  const int cls = std::exchange(append_class_, 0);
+  const int64_t bytes = RecordBytes(tags, fields);
   if (!batchers_.empty()) {
     AppendBatcher* batcher = BatcherForTag(tags[0]);
     LogSpace::GroupRequest request;
     request.entries.push_back(LogSpace::BatchEntry{std::move(tags), std::move(fields)});
     LogSpace::GroupVerdict verdict = co_await batcher->Submit(std::move(request));
+    NoteAppendedBytes(cls, bytes);
     if (read_cache_enabled_) CacheCommitted(space_->Get(verdict.seqnum));
     co_return verdict.seqnum;  // Unconditional requests always commit.
   }
@@ -39,6 +43,7 @@ sim::Task<SeqNum> LogClient::Append(std::vector<TagId> tags, FieldMap fields) {
   co_await scheduler_->Delay(leg);          // Request travels to the sequencer.
   co_await SequencerRoundAt(station, total);  // Ordering + replication to storage nodes.
   SeqNum seqnum = space_->Append(scheduler_->Now(), std::move(tags), std::move(fields));
+  NoteAppendedBytes(cls, bytes);
   AdvanceIndex(seqnum);                     // The appender learns its own seqnum with the reply.
   if (read_cache_enabled_) CacheCommitted(space_->Get(seqnum));
   co_await scheduler_->Delay(leg);          // Reply.
@@ -48,12 +53,16 @@ sim::Task<SeqNum> LogClient::Append(std::vector<TagId> tags, FieldMap fields) {
 sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<TagId> tags, FieldMap fields,
                                                   TagId cond_tag, size_t cond_pos) {
   ++stats_.cond_appends;
+  const int cls = std::exchange(append_class_, 0);
+  const int64_t bytes = RecordBytes(tags, fields);
   if (!batchers_.empty()) {
     LogSpace::GroupRequest request;
     request.entries.push_back(LogSpace::BatchEntry{std::move(tags), std::move(fields)});
     request.cond_tag = cond_tag;
     request.cond_pos = cond_pos;
-    co_return co_await SubmitCond(std::move(request));
+    CondAppendResult result = co_await SubmitCond(std::move(request));
+    if (result.ok) NoteAppendedBytes(cls, bytes);
+    co_return result;
   }
   sim::ServiceStation* station = SequencerStationForTag(cond_tag);
   SimDuration total = models_->log_append.Sample(*rng_);
@@ -64,6 +73,7 @@ sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<TagId> tags, Field
       space_->CondAppend(scheduler_->Now(), std::move(tags), std::move(fields), cond_tag,
                          cond_pos);
   if (result.ok) {
+    NoteAppendedBytes(cls, bytes);
     AdvanceIndex(result.seqnum);
     CacheCommitted(result.record);
   } else {
@@ -99,12 +109,17 @@ sim::Task<CondAppendResult> LogClient::SubmitCond(LogSpace::GroupRequest request
 sim::Task<CondAppendResult> LogClient::CondAppendBatch(std::vector<LogSpace::BatchEntry> batch,
                                                        TagId cond_tag, size_t cond_pos) {
   stats_.cond_appends += static_cast<int64_t>(batch.size());
+  const int cls = std::exchange(append_class_, 0);
+  int64_t bytes = 0;
+  for (const LogSpace::BatchEntry& entry : batch) bytes += RecordBytes(entry.tags, entry.fields);
   if (!batchers_.empty()) {
     LogSpace::GroupRequest request;
     request.entries = std::move(batch);
     request.cond_tag = cond_tag;
     request.cond_pos = cond_pos;
-    co_return co_await SubmitCond(std::move(request));
+    CondAppendResult result = co_await SubmitCond(std::move(request));
+    if (result.ok) NoteAppendedBytes(cls, bytes);
+    co_return result;
   }
   sim::ServiceStation* station = SequencerStationForTag(cond_tag);
   size_t entries = batch.size();
@@ -115,6 +130,7 @@ sim::Task<CondAppendResult> LogClient::CondAppendBatch(std::vector<LogSpace::Bat
   CondAppendResult result =
       space_->CondAppendBatch(scheduler_->Now(), std::move(batch), cond_tag, cond_pos);
   if (result.ok) {
+    NoteAppendedBytes(cls, bytes);
     // The batch commits in one round; the replica learns its seqnums with the reply.
     AdvanceIndex(space_->next_seqnum() - 1);
     CacheBatch(result.seqnum, entries);
@@ -128,12 +144,16 @@ sim::Task<CondAppendResult> LogClient::CondAppendBatch(std::vector<LogSpace::Bat
 sim::Task<SeqNum> LogClient::AppendBatch(std::vector<LogSpace::BatchEntry> batch) {
   HM_CHECK(!batch.empty());
   stats_.appends += static_cast<int64_t>(batch.size());
+  const int cls = std::exchange(append_class_, 0);
+  int64_t bytes = 0;
+  for (const LogSpace::BatchEntry& entry : batch) bytes += RecordBytes(entry.tags, entry.fields);
   if (!batchers_.empty()) {
     AppendBatcher* batcher = BatcherForTag(batch[0].tags.empty() ? kInitTagId : batch[0].tags[0]);
     size_t entries = batch.size();
     LogSpace::GroupRequest request;
     request.entries = std::move(batch);
     LogSpace::GroupVerdict verdict = co_await batcher->Submit(std::move(request));
+    NoteAppendedBytes(cls, bytes);
     CacheBatch(verdict.seqnum, entries);
     co_return verdict.seqnum;
   }
@@ -145,6 +165,7 @@ sim::Task<SeqNum> LogClient::AppendBatch(std::vector<LogSpace::BatchEntry> batch
   co_await scheduler_->Delay(leg);
   co_await SequencerRoundAt(station, total);
   SeqNum first = space_->AppendBatch(scheduler_->Now(), std::move(batch));
+  NoteAppendedBytes(cls, bytes);
   AdvanceIndex(space_->next_seqnum() - 1);
   CacheBatch(first, entries);
   co_await scheduler_->Delay(leg);

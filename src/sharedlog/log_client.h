@@ -22,6 +22,7 @@
 #define HALFMOON_SHAREDLOG_LOG_CLIENT_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -84,6 +85,16 @@ struct LogClientStats {
   int64_t append_rounds = 0;
   int64_t batched_requests = 0;
   int64_t max_round_occupancy = 0;
+  // Simulated logged bytes: LogRecord::ByteSize of every record this client successfully
+  // committed (conditional appends that lose their race contribute nothing), in total and
+  // split by append class. Class 0 is control/runtime machinery (init records, invoke
+  // steps, switch BEGIN/END); the core layer stamps protocol classes (1 + ProtocolKind)
+  // via LogClient::set_append_class. "Log-optimal" (§4.3) is a claim about bytes, not
+  // record counts — these counters are what the bench_table1 audit and the advisor drift
+  // gate measure.
+  static constexpr int kAppendClasses = 8;
+  int64_t appended_bytes = 0;
+  std::array<int64_t, kAppendClasses> appended_bytes_by_class{};
 
   // Folds another client's counters into this one. Like LatencyRecorder::Merge this is the
   // parallel-mode aggregation primitive: each worker thread's clients count into their own
@@ -106,6 +117,10 @@ struct LogClientStats {
     append_rounds += other.append_rounds;
     batched_requests += other.batched_requests;
     max_round_occupancy = std::max(max_round_occupancy, other.max_round_occupancy);
+    appended_bytes += other.appended_bytes;
+    for (int c = 0; c < kAppendClasses; ++c) {
+      appended_bytes_by_class[c] += other.appended_bytes_by_class[c];
+    }
   }
 };
 
@@ -233,6 +248,16 @@ class LogClient {
   const LogClientStats& stats() const { return stats_; }
   LogClientStats& mutable_stats() { return stats_; }
 
+  // Byte-attribution class for this client's NEXT append (0 = control, the default). Each
+  // append path consumes the stamp in its pre-suspension prologue and resets it to 0, so an
+  // unstamped append is always control. The caller must stamp synchronously immediately
+  // before the append call — no co_await in between — which makes the pairing correct even
+  // with other coroutines interleaving on the same client. (A stamped call that turns out
+  // to append nothing, e.g. a replayed step, leaves the stamp for the client's next append;
+  // that only shifts attribution of one control record during crash replay.)
+  void set_append_class(int cls) { append_class_ = cls; }
+  int append_class() const { return append_class_; }
+
   bool read_cache_enabled() const { return read_cache_enabled_; }
 
   // Non-null iff node-local group commit is enabled for this client (shard 0's batcher in
@@ -265,6 +290,19 @@ class LogClient {
   sim::Task<void> StorageRound(SimDuration total_latency);
   sim::Task<CondAppendResult> SubmitCond(LogSpace::GroupRequest request);
 
+  // Exactly LogRecord::ByteSize for the record these tags/fields will commit as. Computed
+  // in the append prologues BEFORE tags/fields are moved into the request, and credited to
+  // the stats only once the commit verdict is known.
+  static int64_t RecordBytes(const std::vector<TagId>& tags, const FieldMap& fields) {
+    return static_cast<int64_t>(sizeof(SeqNum) + 8 + tags.size() * sizeof(TagId) +
+                                fields.ByteSize());
+  }
+  void NoteAppendedBytes(int cls, int64_t bytes) {
+    stats_.appended_bytes += bytes;
+    if (cls < 0 || cls >= LogClientStats::kAppendClasses) cls = 0;
+    stats_.appended_bytes_by_class[cls] += bytes;
+  }
+
   // Payload-cache maintenance: committed records are the freshest for each of their tags at
   // commit time, so read-your-writes hits come for free.
   void CacheCommitted(const LogRecordPtr& record) {
@@ -291,6 +329,7 @@ class LogClient {
   // trimmed records fail validation and get overwritten on the next miss.
   bool read_cache_enabled_ = false;
   std::unordered_map<TagId, LogRecordPtr> read_cache_;
+  int append_class_ = 0;
   LogClientStats stats_;
 };
 

@@ -62,6 +62,12 @@ inline std::string WriteLogTag(const std::string& key) { return "k:" + key; }
 inline std::string TransitionLogTag(const std::string& scope) { return "switch:" + scope; }
 inline constexpr std::string_view kWriteLogPrefix = "k:";
 inline constexpr std::string_view kTransitionLogPrefix = "switch:";
+// Per-object transition sub-streams for the online advisor (DESIGN.md §11): the transition
+// log of object "k:<key>" is "switch:k:<key>", so the global per-scope stream and the
+// per-object streams share the transition prefix but never collide with each other (scopes
+// never start with "k:").
+inline std::string ObjectTransitionLogTag(const std::string& key) { return "switch:k:" + key; }
+inline constexpr std::string_view kObjectTransitionPrefix = "switch:k:";
 // Every Init record is also tagged into one global stream so the switch manager and the GC can
 // enumerate running SSFs (§4.7 "scans the init log records").
 inline std::string InitLogTag() { return "ssf.init"; }

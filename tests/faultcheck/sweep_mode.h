@@ -10,16 +10,13 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
-#include <string_view>
 
+#include "src/common/env.h"
 #include "src/faultcheck/explorer.h"
 
 namespace halfmoon::faultcheck {
 
-inline bool FullSweep() {
-  const char* env = std::getenv("HM_FAULTCHECK_FULL");
-  return env != nullptr && *env != '\0' && std::string_view(env) != "0";
-}
+inline bool FullSweep() { return EnvFlag("HM_FAULTCHECK_FULL"); }
 
 // The faultcheck explorer always executes protocol runs on the single-threaded scheduler:
 // injected schedules address events by global (time, seq) indices of ONE event loop, which
@@ -32,7 +29,7 @@ inline void NoteParallelEnv() {
   if (noted) return;
   noted = true;
   const char* env = std::getenv("HM_PARALLEL");
-  if (env != nullptr && *env != '\0' && std::string_view(env) != "0") {
+  if (EnvFlag("HM_PARALLEL")) {
     std::cout << "[faultcheck] HM_PARALLEL=" << env
               << " ignored: schedule exploration/replay is single-threaded by design"
                  " (DESIGN.md §10.4)\n";
