@@ -1038,6 +1038,9 @@ ShardRunResult RunShardScaling(int shards, const DrivenShape& shape) {
   config.function_nodes = shape.nodes;
   config.seed = 1;
   config.log_shards = shards;
+  config.append_batch_pipeline = 1;  // The PR 5 baseline: serial rounds, shard scaling only
+                                     // (the pipeline section measures depth; pinned so the
+                                     // CI HM_PIPELINE legs don't move this gate).
   runtime::Cluster cluster(config);
 
   int total_workers = shape.nodes * shape.workers_per_node;
@@ -1061,6 +1064,76 @@ ShardRunResult RunShardScaling(int shards, const DrivenShape& shape) {
   }
   // Per-worker streams are single-writer, so their step sequences are program order under
   // any shard count; fold them order-independently across workers.
+  for (int w = 0; w < total_workers; ++w) {
+    uint64_t h = 1469598103934665603ull;
+    for (const LogRecordPtr& record :
+         cluster.log_space().ReadStreamUpTo(worker_tags[w], sharedlog::kMaxSeqNum)) {
+      h = (h ^ static_cast<uint64_t>(record->fields.GetInt("step"))) * 1099511628211ull;
+    }
+    out.checksum ^= h;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline section: the same round-limited append storm against the serial group-commit
+// engine (pipeline depth 1, the PR 3 baseline) and the pipelined engine (depth 4). One
+// explicit shard so the single sequencer is the bottleneck, and more concurrent workers per
+// node than max_batch so the pending queue always holds more than one full round — the
+// regime where overlapping rounds pays. Committed content and the final seqnum must be
+// depth-invariant (the FIFO commit-ticket assertion at full scale); the measured quantity is
+// simulated throughput, so the >= 1.5x gate below is deterministic, not a wall-clock guess.
+// ---------------------------------------------------------------------------
+
+struct PipelineRunResult {
+  uint64_t appends = 0;
+  SimTime end_time = 0;
+  uint64_t checksum = 0;   // Order-independent fold of per-worker stream contents.
+  uint64_t next_seqnum = 0;
+  int64_t append_rounds = 0;
+  int64_t rounds_overlapped = 0;
+  int64_t max_inflight = 0;
+  int64_t ctrl_raised = 0;
+  int64_t ctrl_widened = 0;
+  int64_t ctrl_narrowed = 0;
+  int64_t ctrl_lowered = 0;
+};
+
+PipelineRunResult RunPipelineStorm(int depth, const DrivenShape& shape) {
+  runtime::ClusterConfig config;
+  config.function_nodes = shape.nodes;
+  config.seed = 1;
+  config.log_shards = 1;                 // One sequencer: the round-limited regime.
+  config.append_batch_pipeline = depth;  // Pinned, independent of HM_PIPELINE.
+  runtime::Cluster cluster(config);
+
+  int total_workers = shape.nodes * shape.workers_per_node;
+  std::vector<TagId> worker_tags;
+  worker_tags.reserve(total_workers);
+  for (int w = 0; w < total_workers; ++w) {
+    worker_tags.push_back(cluster.log_space().tags().Intern("w:" + std::to_string(w)));
+  }
+  for (int w = 0; w < total_workers; ++w) {
+    TagId obj = cluster.log_space().tags().InternPrefixed("k:", std::to_string(w % 64));
+    cluster.scheduler().Spawn(ShardWorker(&cluster, w % shape.nodes, worker_tags[w], obj,
+                                          shape.ops_per_worker));
+  }
+  cluster.scheduler().Run();
+
+  PipelineRunResult out;
+  out.end_time = cluster.scheduler().Now();
+  out.appends = static_cast<uint64_t>(cluster.TotalLogAppends());
+  out.next_seqnum = cluster.log_space().next_seqnum();
+  for (int n = 0; n < cluster.node_count(); ++n) {
+    const sharedlog::LogClientStats& stats = cluster.node(n).log().stats();
+    out.append_rounds += stats.append_rounds;
+    out.rounds_overlapped += stats.pipeline_rounds_overlapped;
+    out.max_inflight = std::max(out.max_inflight, stats.pipeline_max_inflight);
+    out.ctrl_raised += stats.ctrl_depth_raised;
+    out.ctrl_widened += stats.ctrl_window_widened;
+    out.ctrl_narrowed += stats.ctrl_window_narrowed;
+    out.ctrl_lowered += stats.ctrl_depth_lowered;
+  }
   for (int w = 0; w < total_workers; ++w) {
     uint64_t h = 1469598103934665603ull;
     for (const LogRecordPtr& record :
@@ -1467,6 +1540,37 @@ void Report() {
   // assertion: four shards must scale log-heavy throughput by at least 1.8x.
   HM_CHECK_MSG(shard_speedup >= 1.8, "shard scaling fell below the 1.8x floor");
 
+  // Section 2f: pipelined group commit. Same offered load through one sequencer at pipeline
+  // depth 1 (the PR 3 serial engine) and depth 4; committed content and the final seqnum
+  // must be identical, and depth 4 must commit the storm at least 1.5x faster in simulated
+  // time. Deterministic, so the floor is a hard regression gate.
+  DrivenShape pipe_shape;
+  pipe_shape.nodes = 2;
+  pipe_shape.workers_per_node = 256;
+  pipe_shape.ops_per_worker = std::max(12, static_cast<int>(48 * scale));
+  PipelineRunResult pipe_d1 = RunPipelineStorm(1, pipe_shape);
+  PipelineRunResult pipe_d2 = RunPipelineStorm(2, pipe_shape);
+  PipelineRunResult pipe_d4 = RunPipelineStorm(4, pipe_shape);
+  PipelineRunResult pipe_d8 = RunPipelineStorm(8, pipe_shape);
+  for (const PipelineRunResult* r : {&pipe_d2, &pipe_d4, &pipe_d8}) {
+    HM_CHECK_MSG(pipe_d1.checksum == r->checksum,
+                 "pipelining changed committed log content");
+    HM_CHECK_MSG(pipe_d1.next_seqnum == r->next_seqnum,
+                 "pipelining changed the committed record count");
+    HM_CHECK(pipe_d1.appends == r->appends);
+  }
+  HM_CHECK_MSG(pipe_d1.rounds_overlapped == 0, "serial engine overlapped rounds");
+  auto pipe_tput = [](const PipelineRunResult& r) {
+    return static_cast<double>(r.appends) / ToSecondsDouble(r.end_time);
+  };
+  double pipe_d1_tput = pipe_tput(pipe_d1);
+  double pipe_d2_tput = pipe_tput(pipe_d2);
+  double pipe_d4_tput = pipe_tput(pipe_d4);
+  double pipe_d8_tput = pipe_tput(pipe_d8);
+  double pipe_speedup = pipe_d4_tput / pipe_d1_tput;
+  HM_CHECK_MSG(pipe_d4.rounds_overlapped > 0, "depth-4 pipeline never overlapped rounds");
+  HM_CHECK_MSG(pipe_speedup >= 1.5, "pipelined group commit fell below the 1.5x floor");
+
   // Section 2e: thread scaling on the shard-parallel workload (wall clock, best-of-3). The
   // two modes must be observably identical — same committed content, same event count — so
   // only the wall-clock ratio is a measurement; everything else is an equivalence assertion.
@@ -1593,6 +1697,16 @@ void Report() {
   std::printf("  shard scaling: 1 shard %.0f appends/vsec, 4 shards %.0f appends/vsec"
               " (%.2fx)\n",
               one_shard_tput, four_shard_tput, shard_speedup);
+  std::printf("  pipeline:    depth 1/2/4/8 = %.0f/%.0f/%.0f/%.0f appends/vsec (d4 %.2fx);"
+              " max in-flight %lld, %lld overlapped rounds, controller +%lld/-%lld depth"
+              " %lld/%lld window\n",
+              pipe_d1_tput, pipe_d2_tput, pipe_d4_tput, pipe_d8_tput, pipe_speedup,
+              static_cast<long long>(pipe_d4.max_inflight),
+              static_cast<long long>(pipe_d4.rounds_overlapped),
+              static_cast<long long>(pipe_d4.ctrl_raised),
+              static_cast<long long>(pipe_d4.ctrl_lowered),
+              static_cast<long long>(pipe_d4.ctrl_widened),
+              static_cast<long long>(pipe_d4.ctrl_narrowed));
   std::printf("  thread scaling: 1 thread %.0f ev/s, %d threads %.0f ev/s (%.2fx wall,"
               " %llu windows, %llu msgs, hw=%u, gate %s)\n",
               seq_eps, thread_workers, par_eps, thread_speedup,
@@ -1661,6 +1775,15 @@ void Report() {
                "                   \"four_shard_appends_per_vsec\": %.1f,\n"
                "                   \"speedup\": %.3f, \"appends\": %llu,\n"
                "                   \"one_shard_rounds\": %lld, \"four_shard_rounds\": %lld},\n"
+               "  \"pipeline\": {\"depth1_appends_per_vsec\": %.1f,\n"
+               "               \"depth2_appends_per_vsec\": %.1f,\n"
+               "               \"depth4_appends_per_vsec\": %.1f,\n"
+               "               \"depth8_appends_per_vsec\": %.1f, \"speedup\": %.3f,\n"
+               "               \"appends\": %llu, \"depth4_rounds\": %lld,\n"
+               "               \"rounds_overlapped\": %lld, \"max_inflight\": %lld,\n"
+               "               \"ctrl_depth_raised\": %lld, \"ctrl_depth_lowered\": %lld,\n"
+               "               \"ctrl_window_widened\": %lld, \"ctrl_window_narrowed\": %lld,\n"
+               "               \"gate\": \"speedup >= 1.5, checksum depth-invariant\"},\n"
                "  \"thread_scaling\": {\"single_events_per_sec\": %.1f,\n"
                "                    \"threads_events_per_sec\": %.1f, \"workers\": %d,\n"
                "                    \"speedup_wall\": %.3f, \"events\": %llu,\n"
@@ -1699,6 +1822,15 @@ void Report() {
                static_cast<unsigned long long>(four_shard.appends),
                static_cast<long long>(one_shard.append_rounds),
                static_cast<long long>(four_shard.append_rounds),
+               pipe_d1_tput, pipe_d2_tput, pipe_d4_tput, pipe_d8_tput, pipe_speedup,
+               static_cast<unsigned long long>(pipe_d4.appends),
+               static_cast<long long>(pipe_d4.append_rounds),
+               static_cast<long long>(pipe_d4.rounds_overlapped),
+               static_cast<long long>(pipe_d4.max_inflight),
+               static_cast<long long>(pipe_d4.ctrl_raised),
+               static_cast<long long>(pipe_d4.ctrl_lowered),
+               static_cast<long long>(pipe_d4.ctrl_widened),
+               static_cast<long long>(pipe_d4.ctrl_narrowed),
                seq_eps, par_eps, thread_workers, thread_speedup,
                static_cast<unsigned long long>(par_best.events),
                static_cast<unsigned long long>(par_best.windows),

@@ -44,6 +44,15 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure
   --gtest_brief=1 | grep '^\[parallel\]' | tee /dev/stderr | grep -q ' match' \
   || { echo "check.sh: FAIL — parallel-mode checksums diverged" >&2; exit 1; }
 
+# Pipeline smoke: the same seed through the serial (depth 1) and pipelined (depth 2/4/8)
+# group-commit engines must commit identical per-stream content (FNV checksums printed per
+# protocol/workload pair at depth 4). Any MISMATCH line — or a missing match line — fails
+# the run.
+"${BUILD_DIR}"/tests/sharded_equivalence_test \
+  --gtest_filter='ShardedEquivalenceTest.PipelineDepthsCommitIdenticalContent' \
+  --gtest_brief=1 | grep '^\[pipeline\]' | tee /dev/stderr | grep -q ' match' \
+  || { echo "check.sh: FAIL — pipeline-depth checksums diverged" >&2; exit 1; }
+
 # Faultcheck smoke: re-run the schedule-explorer suites standalone so the explored-schedule
 # counts are visible in the log (ctest swallows the stdout of passing tests). Set
 # HM_FAULTCHECK_FULL=1 for the exhaustive depth-2 sweep (see EXPERIMENTS.md). Runs under

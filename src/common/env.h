@@ -27,6 +27,21 @@ inline bool EnvFlag(const char* name) {
   return raw != nullptr && *raw != '\0' && *raw != '0';
 }
 
+// Group-commit knobs (DESIGN.md §7.5, §12). These are the environment defaults that
+// ClusterConfig / ParallelClusterConfig inherit, so benches and CI can sweep the append
+// path without code changes.
+
+// HM_PIPELINE: sequencer rounds in flight per node-shard batcher. 1 (the default) is the
+// serial engine, bit-identical to the pre-pipelining implementation.
+inline int DefaultAppendPipelineDepth() { return EnvInt("HM_PIPELINE", 1, 1); }
+
+// HM_BATCH_WINDOW: extra batching window in microseconds before a round departs. 0 keeps
+// isolated appends at exactly the unbatched latency.
+inline int DefaultAppendBatchWindowUs() { return EnvInt("HM_BATCH_WINDOW", 0, 0); }
+
+// HM_BATCH_MAX: cap on requests per sequencer round.
+inline int DefaultAppendBatchMax() { return EnvInt("HM_BATCH_MAX", 1, 64); }
+
 }  // namespace halfmoon
 
 #endif  // HALFMOON_COMMON_ENV_H_

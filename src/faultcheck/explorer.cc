@@ -53,6 +53,7 @@ Explorer::RunOutcome Explorer::RunSchedule(const Schedule& schedule, bool record
   ccfg.function_nodes = 4;
   ccfg.workers_per_node = 8;
   if (options_.log_shards > 0) ccfg.log_shards = options_.log_shards;
+  if (options_.pipeline_depth > 0) ccfg.append_batch_pipeline = options_.pipeline_depth;
   runtime::Cluster cluster(ccfg);
 
   core::RuntimeConfig rcfg;

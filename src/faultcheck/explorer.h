@@ -39,6 +39,12 @@ struct ExplorerOptions {
   // against the tag-partitioned log's cross-shard merge order.
   int log_shards = 0;
 
+  // Append-pipeline depth for every cluster the sweep spins up; 0 = inherit the environment
+  // default (HM_PIPELINE, usually 1). Sweeping depth > 1 makes the batch.depart/batch.reply
+  // sites race crashed-function retries against rounds still in flight, and the depth-2
+  // crash-pair family then covers crashes between two concurrently in-flight rounds.
+  int pipeline_depth = 0;
+
   // Platform timing: a tight duplicate delay makes scheduled peers actually race.
   SimDuration duplicate_delay = Milliseconds(1);
 

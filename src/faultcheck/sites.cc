@@ -51,6 +51,13 @@ const std::vector<std::string_view>& KnownCrashSites() {
       // advisor daemon dying before BEGIN / between BEGIN and END (DESIGN.md §11).
       "advisor.fire",
       "advisor.mid_switch",
+      // Group-commit rounds (src/sharedlog/append_batcher.cc, via the crash hooks Cluster
+      // installs). depart: a protocol append's submitter dies as its round leaves the node —
+      // the record still departs and may commit, so the crashed function's retry races the
+      // in-flight round (with pipeline_depth > 1, possibly several in-flight rounds).
+      // reply: the round commits and the reply arrives, but the function dies processing it.
+      "batch.depart",
+      "batch.reply",
   };
   return kSites;
 }

@@ -29,6 +29,7 @@ Cluster::Cluster(const ClusterConfig& config)
   batch.enabled = config.group_commit_appends;
   batch.window = config.append_batch_window;
   batch.max_batch = static_cast<size_t>(config.append_batch_max);
+  batch.pipeline_depth = config.append_batch_pipeline;
   std::vector<sim::ServiceStation*> sequencer_ptrs;
   sequencer_ptrs.reserve(sequencer_stations_.size());
   for (auto& station : sequencer_stations_) sequencer_ptrs.push_back(station.get());
@@ -38,6 +39,16 @@ Cluster::Cluster(const ClusterConfig& config)
         i, &scheduler_, &rng_, &models_, &log_space_, &kv_state_, sequencer_ptrs,
         storage_station_.get(), db_station_.get(), config.workers_per_node, batch,
         config.log_read_cache));
+  }
+
+  // Batch-round fault injection (batch.depart / batch.reply): the batcher probes through
+  // these hooks so sharedlog never names the runtime's injector or exception types. The
+  // probe costs nothing when no schedule is armed (FailureInjector::ShouldCrash draws no
+  // randomness at probability 0), which keeps fault-free runs bit-identical.
+  for (auto& node : nodes_) {
+    node->log().InstallCrashHooks(
+        [this](const char* site) { return injector_.ShouldCrash(rng_, site); },
+        [](const char* site) { throw SsfCrashed{std::string(site)}; });
   }
 
   // Index propagation: every committed seqnum reaches each function node's index replica

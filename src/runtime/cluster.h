@@ -83,10 +83,15 @@ struct ClusterConfig {
   // Node-local group commit for the append path (see sharedlog/append_batcher.h): appends
   // issued while a node's sequencer round is in flight share the next round. Committed
   // records and protocol outcomes are identical to the per-request reference mode (asserted
-  // by the equivalence tests); only timing differs. window/max knobs mirror AppendBatchConfig.
+  // by the equivalence tests); only timing differs. window/max/pipeline knobs mirror
+  // AppendBatchConfig and default from the environment (HM_BATCH_WINDOW in µs, HM_BATCH_MAX,
+  // HM_PIPELINE) so CI and benches can sweep them. append_batch_pipeline > 1 keeps that many
+  // sequencer rounds in flight per node-shard, committed strictly in departure order
+  // (DESIGN.md §12); 1 is bit-identical to the serial engine.
   bool group_commit_appends = true;
-  SimDuration append_batch_window = 0;
-  int append_batch_max = 64;
+  SimDuration append_batch_window = Microseconds(DefaultAppendBatchWindowUs());
+  int append_batch_max = DefaultAppendBatchMax();
+  int append_batch_pipeline = DefaultAppendPipelineDepth();
 
   // Event-queue implementation for the scheduler: the timer wheel (default) or the
   // binary-heap reference mode, which fires the exact same event order (equivalence-tested)

@@ -49,6 +49,7 @@ LogPartition::LogPartition(int id, sim::Scheduler* scheduler, uint64_t seed,
       .enabled = config.group_commit_appends,
       .window = config.append_batch_window,
       .max_batch = static_cast<size_t>(config.append_batch_max),
+      .pipeline_depth = config.append_batch_pipeline,
   };
   clients_.reserve(static_cast<size_t>(config.clients_per_partition));
   for (int i = 0; i < config.clients_per_partition; ++i) {

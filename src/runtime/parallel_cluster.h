@@ -65,10 +65,14 @@ struct ParallelClusterConfig {
   int sequencer_servers = 6;
   int storage_servers = 12;
 
-  // Node-local group commit, as in ClusterConfig.
+  // Node-local group commit, as in ClusterConfig: window/max/pipeline default from the
+  // environment (HM_BATCH_WINDOW in us, HM_BATCH_MAX, HM_PIPELINE). Each partition's
+  // batchers pipeline independently, so cross-partition appends overlap both across shards
+  // and across rounds within a shard (DESIGN.md S12).
   bool group_commit_appends = true;
-  SimDuration append_batch_window = 0;
-  int append_batch_max = 64;
+  SimDuration append_batch_window = Microseconds(DefaultAppendBatchWindowUs());
+  int append_batch_max = DefaultAppendBatchMax();
+  int append_batch_pipeline = DefaultAppendPipelineDepth();
 
   sim::QueueMode queue_mode = sim::QueueMode::kTimerWheel;
   uint64_t seed = 1;

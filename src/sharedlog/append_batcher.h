@@ -13,14 +13,25 @@
 // left by its predecessors, the committed records, their per-tag order, and every
 // protocol-visible outcome (cond-append verdicts, adopted records) are identical to the
 // unbatched path. Only timing differs: requests that share a round also share its latency
-// sample, and a request may wait for the node's in-flight round to drain first (the batcher
-// keeps at most one round in flight per node).
+// sample.
+//
+// Pipelining (DESIGN.md §12): with pipeline_depth > 1 the batcher keeps up to that many
+// sequencer rounds in flight concurrently — round k+1's request leg overlaps round k's
+// service and reply legs, so a node under sustained storm commits depth rounds per RTT
+// instead of one. Rounds still reach LogSpace::AppendGroup strictly in departure order
+// (enforced by a commit ticket and asserted, not assumed), so the committed records, their
+// per-tag order, and the cond-append verdicts are identical to the serial engine at any
+// depth. pipeline_depth == 1 takes the historic serial loop verbatim — bit-identical to the
+// pre-pipelining implementation, which the PR 4 golden tuples pin.
 
 #ifndef HALFMOON_SHAREDLOG_APPEND_BATCHER_H_
 #define HALFMOON_SHAREDLOG_APPEND_BATCHER_H_
 
 #include <coroutine>
 #include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/common/time.h"
 #include "src/sharedlog/log_space.h"
@@ -43,6 +54,16 @@ struct AppendBatchConfig {
   SimDuration window = 0;
   // Cap on requests per sequencer round; arrivals beyond it ride the next round.
   size_t max_batch = 64;
+  // Sequencer rounds in flight per batcher. 1 = the serial engine (one round at a time,
+  // bit-identical to PR 3); K > 1 overlaps up to K rounds, committed in departure order.
+  int pipeline_depth = 1;
+  // Nagle-style controller (active only at pipeline_depth > 1): widens the effective
+  // batching window when the pipeline is saturated by under-filled rounds and raises the
+  // effective depth under backlog; both decay when the queue drains, so isolated appends
+  // keep the unbatched latency. Off = fixed window/depth.
+  bool adaptive = true;
+  // Ceiling for the controller's widened window.
+  SimDuration max_window = Microseconds(200);
 };
 
 class AppendBatcher {
@@ -54,7 +75,14 @@ class AppendBatcher {
   // shard-scaling throughput (DESIGN.md §9).
   AppendBatcher(LogClient* owner, AppendBatchConfig config, LogSpace* space = nullptr,
                 sim::ServiceStation* station = nullptr)
-      : owner_(owner), config_(config), space_(space), station_(station) {}
+      : owner_(owner),
+        config_(config),
+        space_(space),
+        station_(station),
+        effective_window_(config.window),
+        // Adaptive mode ramps the depth up under backlog; fixed mode opens every slot
+        // immediately.
+        effective_depth_(config.adaptive ? 1 : std::max(config.pipeline_depth, 1)) {}
   AppendBatcher(const AppendBatcher&) = delete;
   AppendBatcher& operator=(const AppendBatcher&) = delete;
 
@@ -63,7 +91,14 @@ class AppendBatcher {
   struct Submission {
     AppendBatcher* batcher;
     LogSpace::GroupRequest request;
+    // Fault-injection eligibility: true only for protocol-class appends, whose submitting
+    // coroutine runs inside an SSF attempt with crash-retry handling. Control appends
+    // (init/invoke/switch/GC) run in detached service tasks and must never crash here.
+    bool crashable = false;
     LogSpace::GroupVerdict verdict{};
+    // Armed by the batcher's crash probe; await_resume raises the runtime's crash exception
+    // through the owner's installed thrower.
+    const char* crash_site = nullptr;
     Submission* next = nullptr;
     std::coroutine_handle<> waiter = nullptr;
 
@@ -72,24 +107,86 @@ class AppendBatcher {
       waiter = handle;
       batcher->Enqueue(this);
     }
-    LogSpace::GroupVerdict await_resume() const noexcept { return verdict; }
+    LogSpace::GroupVerdict await_resume() const {
+      if (crash_site != nullptr) batcher->RaiseCrash(crash_site);
+      return verdict;
+    }
   };
 
   // Files a request for the next departing round; resumes with its verdict once that round
   // commits. Waiters resume in submission order (FIFO), all at the round's reply time.
-  Submission Submit(LogSpace::GroupRequest request) {
-    return Submission{this, std::move(request)};
+  Submission Submit(LogSpace::GroupRequest request, bool crashable = false) {
+    return Submission{this, std::move(request), crashable};
   }
 
   const AppendBatchConfig& config() const { return config_; }
 
+  // Controller observability (tests, benches).
+  SimDuration effective_window() const { return effective_window_; }
+  int effective_depth() const { return effective_depth_; }
+  int in_flight() const { return in_flight_; }
+
  private:
-  // Appends `submission` to the pending queue and starts the round loop if idle.
+  // Waits until the pipeline has a free slot. Only the dispatcher ever waits here, so a
+  // single handle suffices.
+  struct SlotFree {
+    AppendBatcher* b;
+    bool await_ready() const noexcept { return b->in_flight_ < b->EffectiveDepth(); }
+    void await_suspend(std::coroutine_handle<> handle) noexcept { b->slot_waiter_ = handle; }
+    void await_resume() const noexcept {}
+  };
+
+  // Waits until it is `ticket`'s turn to commit. Rounds can finish sequencer service out of
+  // departure order (the station is multi-server); this is the FIFO re-ordering stage.
+  struct CommitTurn {
+    AppendBatcher* b;
+    uint64_t ticket;
+    bool await_ready() const noexcept { return b->commit_ticket_ == ticket; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      b->commit_waiters_.push_back({ticket, handle});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  // Appends `submission` to the pending queue and starts the round engine if idle.
   void Enqueue(Submission* submission);
 
-  // The round loop: runs as a detached task while requests are pending. Each iteration
-  // drains up to max_batch submissions into one sequencer round.
+  // Serial engine (pipeline_depth <= 1): the historic PR 3 loop, one round in flight.
   sim::Task<void> RunRounds();
+
+  // Pipelined engine (pipeline_depth > 1): the dispatcher detaches rounds and spawns
+  // RunOneRound for each, keeping up to EffectiveDepth() rounds in flight.
+  sim::Task<void> RunPipeline();
+  sim::Task<void> RunOneRound(std::vector<Submission*> round,
+                              std::vector<LogSpace::GroupRequest> requests, SimDuration total,
+                              uint64_t ticket);
+
+  // Detaches up to max_batch pending submissions in FIFO order into `round`/`requests`.
+  void DetachRound(std::vector<Submission*>* round,
+                   std::vector<LogSpace::GroupRequest>* requests);
+
+  // Commits a serviced round: AppendGroup in ticket order, verdict demux, index advance.
+  void CommitRound(LogSpace* space, std::vector<Submission*>& round,
+                   std::vector<LogSpace::GroupRequest> requests);
+
+  // Crash probes (no-ops unless the runtime installed hooks AND the round carries a
+  // crashable submission). Depart: the victim's request still departs with the round — the
+  // function died after handing it off — but the submitter is resumed immediately and
+  // raises, racing its retry against the in-flight round. Reply: the round commits, then the
+  // victim raises at reply time.
+  void ProbeDepartCrash(std::vector<Submission*>& round);
+  void ProbeReplyCrash(std::vector<Submission*>& round);
+  [[noreturn]] void RaiseCrash(const char* site) const;
+
+  // Adaptive window/depth controller, consulted once per departing round.
+  void UpdateController(size_t occupancy, bool backlog);
+
+  int EffectiveDepth() const {
+    return config_.pipeline_depth <= 1 ? 1 : effective_depth_;
+  }
+
+  void WakeSlotWaiter();
+  void WakeCommitWaiter();
 
   LogClient* owner_;
   AppendBatchConfig config_;
@@ -98,6 +195,18 @@ class AppendBatcher {
   Submission* head_ = nullptr;
   Submission* tail_ = nullptr;
   bool round_loop_active_ = false;
+
+  // Pipeline state (pipeline_depth > 1).
+  int in_flight_ = 0;
+  uint64_t next_ticket_ = 0;
+  uint64_t commit_ticket_ = 0;
+  std::coroutine_handle<> slot_waiter_ = nullptr;
+  std::vector<std::pair<uint64_t, std::coroutine_handle<>>> commit_waiters_;
+
+  // Controller state. effective_window_ starts at the configured window and never drops
+  // below it; effective_depth_ starts at 1 and never exceeds pipeline_depth.
+  SimDuration effective_window_;
+  int effective_depth_ = 1;
 };
 
 }  // namespace halfmoon::sharedlog

@@ -32,7 +32,8 @@ sim::Task<SeqNum> LogClient::Append(std::vector<TagId> tags, FieldMap fields) {
     AppendBatcher* batcher = BatcherForTag(tags[0]);
     LogSpace::GroupRequest request;
     request.entries.push_back(LogSpace::BatchEntry{std::move(tags), std::move(fields)});
-    LogSpace::GroupVerdict verdict = co_await batcher->Submit(std::move(request));
+    LogSpace::GroupVerdict verdict =
+        co_await batcher->Submit(std::move(request), /*crashable=*/cls != 0);
     NoteAppendedBytes(cls, bytes);
     if (read_cache_enabled_) CacheCommitted(space_->Get(verdict.seqnum));
     co_return verdict.seqnum;  // Unconditional requests always commit.
@@ -60,7 +61,7 @@ sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<TagId> tags, Field
     request.entries.push_back(LogSpace::BatchEntry{std::move(tags), std::move(fields)});
     request.cond_tag = cond_tag;
     request.cond_pos = cond_pos;
-    CondAppendResult result = co_await SubmitCond(std::move(request));
+    CondAppendResult result = co_await SubmitCond(std::move(request), /*crashable=*/cls != 0);
     if (result.ok) NoteAppendedBytes(cls, bytes);
     co_return result;
   }
@@ -85,10 +86,11 @@ sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<TagId> tags, Field
 
 // Shared batched tail of CondAppend / CondAppendBatch: ships the request through the shard's
 // batcher and rebuilds the CondAppendResult (verdict + shared view of the first record).
-sim::Task<CondAppendResult> LogClient::SubmitCond(LogSpace::GroupRequest request) {
+sim::Task<CondAppendResult> LogClient::SubmitCond(LogSpace::GroupRequest request,
+                                                  bool crashable) {
   AppendBatcher* batcher = BatcherForTag(request.cond_tag);
   size_t entries = request.entries.size();
-  LogSpace::GroupVerdict verdict = co_await batcher->Submit(std::move(request));
+  LogSpace::GroupVerdict verdict = co_await batcher->Submit(std::move(request), crashable);
   CondAppendResult result;
   result.ok = verdict.ok;
   result.seqnum = verdict.seqnum;
@@ -117,7 +119,7 @@ sim::Task<CondAppendResult> LogClient::CondAppendBatch(std::vector<LogSpace::Bat
     request.entries = std::move(batch);
     request.cond_tag = cond_tag;
     request.cond_pos = cond_pos;
-    CondAppendResult result = co_await SubmitCond(std::move(request));
+    CondAppendResult result = co_await SubmitCond(std::move(request), /*crashable=*/cls != 0);
     if (result.ok) NoteAppendedBytes(cls, bytes);
     co_return result;
   }
@@ -152,7 +154,8 @@ sim::Task<SeqNum> LogClient::AppendBatch(std::vector<LogSpace::BatchEntry> batch
     size_t entries = batch.size();
     LogSpace::GroupRequest request;
     request.entries = std::move(batch);
-    LogSpace::GroupVerdict verdict = co_await batcher->Submit(std::move(request));
+    LogSpace::GroupVerdict verdict =
+        co_await batcher->Submit(std::move(request), /*crashable=*/cls != 0);
     NoteAppendedBytes(cls, bytes);
     CacheBatch(verdict.seqnum, entries);
     co_return verdict.seqnum;

@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -85,6 +86,19 @@ struct LogClientStats {
   int64_t append_rounds = 0;
   int64_t batched_requests = 0;
   int64_t max_round_occupancy = 0;
+  // Pipeline observability (DESIGN.md §12). pipeline_inflight_hist[d] counts rounds that
+  // departed with d rounds in flight (themselves included; the serial engine always lands in
+  // bucket 1, deeper pipelines clamp into the last bucket). rounds "merged" — requests that
+  // shared a round instead of paying their own — is batched_requests - append_rounds, so no
+  // separate counter. The ctrl_* counters record the adaptive controller's decisions.
+  static constexpr int kPipelineHistBuckets = 9;
+  std::array<int64_t, kPipelineHistBuckets> pipeline_inflight_hist{};
+  int64_t pipeline_rounds_overlapped = 0;  // Rounds that departed with another in flight.
+  int64_t pipeline_max_inflight = 0;
+  int64_t ctrl_window_widened = 0;
+  int64_t ctrl_window_narrowed = 0;
+  int64_t ctrl_depth_raised = 0;
+  int64_t ctrl_depth_lowered = 0;
   // Simulated logged bytes: LogRecord::ByteSize of every record this client successfully
   // committed (conditional appends that lose their race contribute nothing), in total and
   // split by append class. Class 0 is control/runtime machinery (init records, invoke
@@ -117,6 +131,15 @@ struct LogClientStats {
     append_rounds += other.append_rounds;
     batched_requests += other.batched_requests;
     max_round_occupancy = std::max(max_round_occupancy, other.max_round_occupancy);
+    for (int d = 0; d < kPipelineHistBuckets; ++d) {
+      pipeline_inflight_hist[d] += other.pipeline_inflight_hist[d];
+    }
+    pipeline_rounds_overlapped += other.pipeline_rounds_overlapped;
+    pipeline_max_inflight = std::max(pipeline_max_inflight, other.pipeline_max_inflight);
+    ctrl_window_widened += other.ctrl_window_widened;
+    ctrl_window_narrowed += other.ctrl_window_narrowed;
+    ctrl_depth_raised += other.ctrl_depth_raised;
+    ctrl_depth_lowered += other.ctrl_depth_lowered;
     appended_bytes += other.appended_bytes;
     for (int c = 0; c < kAppendClasses; ++c) {
       appended_bytes_by_class[c] += other.appended_bytes_by_class[c];
@@ -264,6 +287,16 @@ class LogClient {
   // sharded mode).
   AppendBatcher* batcher() { return batchers_.empty() ? nullptr : batchers_[0].get(); }
 
+  // Fault-injection hooks, installed by the runtime layer (Cluster). `probe` consults the
+  // cluster's FailureInjector and returns true when a crash fires at the named site;
+  // `thrower` raises the runtime's crash exception (SsfCrashed) — sharedlog stays unaware of
+  // the runtime types. Both null (the default) disables batch-site injection entirely.
+  void InstallCrashHooks(std::function<bool(const char*)> probe,
+                         std::function<void(const char*)> thrower) {
+    crash_probe_ = std::move(probe);
+    crash_thrower_ = std::move(thrower);
+  }
+
  private:
   friend class AppendBatcher;
 
@@ -288,7 +321,7 @@ class LogClient {
 
   sim::Task<void> SequencerRoundAt(sim::ServiceStation* station, SimDuration total_latency);
   sim::Task<void> StorageRound(SimDuration total_latency);
-  sim::Task<CondAppendResult> SubmitCond(LogSpace::GroupRequest request);
+  sim::Task<CondAppendResult> SubmitCond(LogSpace::GroupRequest request, bool crashable);
 
   // Exactly LogRecord::ByteSize for the record these tags/fields will commit as. Computed
   // in the append prologues BEFORE tags/fields are moved into the request, and credited to
@@ -330,6 +363,8 @@ class LogClient {
   bool read_cache_enabled_ = false;
   std::unordered_map<TagId, LogRecordPtr> read_cache_;
   int append_class_ = 0;
+  std::function<bool(const char*)> crash_probe_;    // See InstallCrashHooks.
+  std::function<void(const char*)> crash_thrower_;  // Must throw; never returns normally.
   LogClientStats stats_;
 };
 

@@ -275,6 +275,9 @@ struct PinnedRun {
 
 PinnedRun RunCounterWithAdvisorFlag(bool advisor) {
   runtime::ClusterConfig ccfg;  // Defaults: seed 1 — matches the PR 4 golden capture.
+  // The golden tuple witnesses the serial append engine; pin the depth explicitly so the
+  // HM_PIPELINE=4 CI legs (which change the environment default) don't shift the timing.
+  ccfg.append_batch_pipeline = 1;
   runtime::Cluster cluster(ccfg);
   core::RuntimeConfig rcfg;
   rcfg.default_protocol = ProtocolKind::kHalfmoonRead;

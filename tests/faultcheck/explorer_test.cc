@@ -96,6 +96,59 @@ TEST_P(ExplorerSweepTest, TransferSurvivesDepth2SchedulesWithFourShards) {
   ExpectSweepPasses(faultcheck::TransferWorkload(), Bounded(options, 2, 4, 4));
 }
 
+TEST_P(ExplorerSweepTest, CounterSurvivesDepth2SchedulesWithPipelinedAppends) {
+  // Pipelined group commit (HM_PIPELINE-style depth 4): batch.depart crashes race the
+  // victim's retry against a round still in flight, and crash pairs land across two
+  // concurrently in-flight rounds. Every schedule must still pass the oracle.
+  ExplorerOptions options;
+  options.protocol = GetParam();
+  options.pipeline_depth = 4;
+  ExpectSweepPasses(faultcheck::CounterWorkload(), Bounded(options));
+}
+
+TEST_P(ExplorerSweepTest, TransferSurvivesDepth2SchedulesWithPipelinedAppends) {
+  ExplorerOptions options;
+  options.protocol = GetParam();
+  options.pipeline_depth = 4;
+  ExpectSweepPasses(faultcheck::TransferWorkload(), Bounded(options, 2, 4, 4));
+}
+
+TEST_P(ExplorerSweepTest, WorkflowSurvivesDepth2SchedulesWithPipelinedAppends) {
+  ExplorerOptions options;
+  options.protocol = GetParam();
+  options.pipeline_depth = 4;
+  ExpectSweepPasses(faultcheck::WorkflowWorkload(), Bounded(options, 5, 7, 3));
+}
+
+TEST(ExplorerDeterminismTest, BatchSitesAppearAndSurviveCrashesUnderPipelining) {
+  // The group-commit crash sites registered for this PR must show up in pipelined traces,
+  // and crashing at each must keep the oracle green (the depart-crash victim's record still
+  // departs with the round, so its retry races the in-flight commit — the duplicate-append
+  // hazard class).
+  ExplorerOptions options;
+  options.protocol = ProtocolKind::kHalfmoonRead;
+  options.pipeline_depth = 4;
+  Explorer explorer(faultcheck::CounterWorkload(), options);
+
+  Explorer::RunOutcome baseline = explorer.RunSchedule(Schedule{}, /*record_trace=*/true);
+  int64_t depart_hits = 0;
+  int64_t reply_hits = 0;
+  for (const auto& entry : baseline.trace) {
+    if (entry.site == "batch.depart") ++depart_hits;
+    if (entry.site == "batch.reply") ++reply_hits;
+  }
+  EXPECT_GT(depart_hits, 0);
+  EXPECT_GT(reply_hits, 0);
+
+  for (const char* site : {"batch.depart", "batch.reply"}) {
+    Schedule schedule;
+    schedule.points.push_back(FaultPoint::Crash(site, 0));
+    Explorer::RunOutcome outcome = explorer.RunSchedule(schedule);
+    EXPECT_GE(outcome.crashes, 1) << site;
+    EXPECT_TRUE(outcome.verdict.ok) << site << ": " << outcome.verdict.failure;
+  }
+}
+
 TEST(ExplorerDeterminismTest, SameScheduleSameSeedSameOutcome) {
   ExplorerOptions options;
   options.protocol = ProtocolKind::kHalfmoonRead;

@@ -79,10 +79,13 @@ struct RunResult {
 };
 
 RunResult RunWorkload(ProtocolKind protocol, const faultcheck::Workload& workload,
-                      int log_shards, bool read_cache = false) {
+                      int log_shards, bool read_cache = false, int pipeline_depth = 1) {
   runtime::ClusterConfig ccfg;  // Defaults: seed 1, 8 nodes — matches the golden capture.
   ccfg.log_shards = log_shards;
   ccfg.log_read_cache = read_cache;
+  // Pinned explicitly (not the HM_PIPELINE environment default): the golden tuples witness
+  // the serial append engine, and CI runs this suite with HM_PIPELINE=4 exported.
+  ccfg.append_batch_pipeline = pipeline_depth;
   runtime::Cluster cluster(ccfg);
   core::RuntimeConfig rcfg;
   rcfg.default_protocol = protocol;
@@ -220,6 +223,56 @@ TEST(ShardedEquivalenceTest, ShardCountsProduceEquivalentExecutions) {
                                                                                 : "MISMATCH");
       }
     }
+  }
+}
+
+TEST(ShardedEquivalenceTest, PipelineDepthsCommitIdenticalContent) {
+  // The pipelined append engine (DESIGN.md §12) commits rounds strictly in departure order,
+  // so at ANY depth the per-stream content, the seqnum supply, and the oracle verdict must
+  // match the serial engine exactly. Event counts and end times legitimately differ — the
+  // dispatcher runs rounds as separate tasks — which is precisely why depth 1 bypasses the
+  // pipelined engine entirely (pinned by OneShardIsBitIdenticalToPreShardingGoldens above).
+  std::vector<faultcheck::Workload> all = faultcheck::AllWorkloads();
+  for (ProtocolKind protocol : kProtocols) {
+    for (const faultcheck::Workload& workload : all) {
+      SCOPED_TRACE(std::string(core::ProtocolName(protocol)) + "/" + workload.name);
+      RunResult base = RunWorkload(protocol, workload, /*log_shards=*/1);
+      ASSERT_TRUE(base.oracle_ok) << base.oracle_failure;
+      for (int depth : {2, 4, 8}) {
+        RunResult piped = RunWorkload(protocol, workload, /*log_shards=*/1,
+                                      /*read_cache=*/false, depth);
+        SCOPED_TRACE("pipeline=" + std::to_string(depth));
+        EXPECT_TRUE(piped.oracle_ok) << piped.oracle_failure;
+        EXPECT_EQ(piped.next_seqnum, base.next_seqnum);
+        EXPECT_EQ(piped.streams, base.streams);
+        EXPECT_EQ(piped.content_fnv, base.content_fnv);
+        if (depth == 4) {
+          std::printf("[pipeline] %s/%s d1=0x%llx d%d=0x%llx %s\n",
+                      core::ProtocolName(protocol), workload.name.c_str(),
+                      static_cast<unsigned long long>(base.content_fnv), depth,
+                      static_cast<unsigned long long>(piped.content_fnv),
+                      piped.content_fnv == base.content_fnv && piped.oracle_ok ? "match"
+                                                                              : "MISMATCH");
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, PipelinedShardsCommitIdenticalContent) {
+  // Depth and shard count compose: four shards × four in-flight rounds per shard must still
+  // commit the same per-stream content as the serial one-shard log.
+  std::vector<faultcheck::Workload> all = faultcheck::AllWorkloads();
+  for (ProtocolKind protocol : kProtocols) {
+    const faultcheck::Workload* counter = FindWorkload(all, "counter");
+    ASSERT_NE(counter, nullptr);
+    RunResult base = RunWorkload(protocol, *counter, /*log_shards=*/1);
+    RunResult piped = RunWorkload(protocol, *counter, /*log_shards=*/4,
+                                  /*read_cache=*/false, /*pipeline_depth=*/4);
+    SCOPED_TRACE(core::ProtocolName(protocol));
+    EXPECT_TRUE(piped.oracle_ok) << piped.oracle_failure;
+    EXPECT_EQ(piped.streams, base.streams);
+    EXPECT_EQ(piped.content_fnv, base.content_fnv);
   }
 }
 

@@ -7,10 +7,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/env.h"
 #include "src/common/latency_model.h"
 #include "src/common/rng.h"
 #include "src/sharedlog/log_client.h"
@@ -68,6 +71,8 @@ struct RunResult {
   SimTime end_time = 0;
   int64_t append_rounds = 0;
   int64_t batched_requests = 0;
+  int64_t rounds_overlapped = 0;
+  int64_t max_inflight = 0;
 };
 
 sim::Task<void> WorkerProgram(LogClient* client, TagId own, TagId shared, uint64_t seed,
@@ -141,6 +146,9 @@ RunResult RunWorkload(AppendBatchConfig batch, uint64_t seed, int workers_per_no
   for (const auto& client : fx.clients) {
     result.append_rounds += client->stats().append_rounds;
     result.batched_requests += client->stats().batched_requests;
+    result.rounds_overlapped += client->stats().pipeline_rounds_overlapped;
+    result.max_inflight =
+        std::max(result.max_inflight, client->stats().pipeline_max_inflight);
   }
   return result;
 }
@@ -249,6 +257,202 @@ TEST(AppendBatcherTest, IsolatedAppendKeepsUnbatchedLatency) {
     return fx.scheduler.Now();
   };
   EXPECT_EQ(run_one(true), run_one(false));
+}
+
+// ---- Pipelined group commit (DESIGN.md §12) -------------------------------------------------
+//
+// The pipelined engine keeps up to pipeline_depth sequencer rounds in flight but commits
+// them strictly in departure order, so the protocol-visible outcome at any depth must be
+// identical to the serial engine's. The workload shape uses a small max_batch so the
+// round-limited regime (more pending work than one round can carry) actually engages the
+// pipeline.
+
+TEST(AppendBatcherTest, PipelinedMatchesSerialContent) {
+  for (uint64_t seed : {1u, 13u, 977u}) {
+    RunResult serial = RunWorkload(AppendBatchConfig{.enabled = true, .max_batch = 4},
+                                   seed, /*workers_per_node=*/8, /*ops_per_worker=*/12);
+    for (int depth : {2, 4, 8}) {
+      RunResult piped =
+          RunWorkload(AppendBatchConfig{.enabled = true, .max_batch = 4,
+                                        .pipeline_depth = depth},
+                      seed, /*workers_per_node=*/8, /*ops_per_worker=*/12);
+      SCOPED_TRACE("seed " + std::to_string(seed) + " depth " + std::to_string(depth));
+      ASSERT_EQ(piped.workers.size(), serial.workers.size());
+      for (size_t w = 0; w < piped.workers.size(); ++w) {
+        EXPECT_EQ(piped.workers[w].own_payloads, serial.workers[w].own_payloads)
+            << "worker " << w;
+        EXPECT_EQ(piped.workers[w].verdicts, serial.workers[w].verdicts) << "worker " << w;
+      }
+      EXPECT_EQ(piped.shared_payloads_sorted, serial.shared_payloads_sorted);
+      EXPECT_EQ(piped.log_by_seqnum.size(), serial.log_by_seqnum.size());
+      // The pipeline actually engaged — rounds overlapped — and it bought simulated time.
+      EXPECT_GT(piped.rounds_overlapped, 0);
+      EXPECT_GE(piped.max_inflight, 2);
+      EXPECT_LT(piped.end_time, serial.end_time);
+    }
+  }
+}
+
+TEST(AppendBatcherTest, PipelinedRunsAreBitIdenticalAcrossRepeats) {
+  AppendBatchConfig cfg{.enabled = true, .max_batch = 4, .pipeline_depth = 4};
+  RunResult first = RunWorkload(cfg, 42, 8, 10);
+  RunResult second = RunWorkload(cfg, 42, 8, 10);
+  EXPECT_EQ(first.end_time, second.end_time);
+  EXPECT_EQ(first.log_by_seqnum, second.log_by_seqnum);  // Same content at the same seqnums.
+  EXPECT_EQ(first.append_rounds, second.append_rounds);
+  EXPECT_EQ(first.rounds_overlapped, second.rounds_overlapped);
+}
+
+// Depth 1 must run the historic serial loop — an explicitly-constructed depth-1 config and
+// the default config are the same engine, bit for bit (the cluster-level golden pins in
+// sharded_equivalence_test check the same property against the PR 4 capture).
+TEST(AppendBatcherTest, DepthOneIsBitIdenticalToSerialEngine) {
+  RunResult serial = RunWorkload(AppendBatchConfig{.enabled = true}, 7, 6, 12);
+  RunResult depth1 =
+      RunWorkload(AppendBatchConfig{.enabled = true, .pipeline_depth = 1}, 7, 6, 12);
+  EXPECT_EQ(depth1.end_time, serial.end_time);
+  EXPECT_EQ(depth1.log_by_seqnum, serial.log_by_seqnum);
+  EXPECT_EQ(depth1.append_rounds, serial.append_rounds);
+  EXPECT_EQ(depth1.rounds_overlapped, 0);
+}
+
+// Cond-conflict-heavy shape: many workers race cond-appends on ONE stream, retrying with an
+// incremented offset after every conflict until each lands all its records. Which worker wins
+// a given offset is timing-dependent (so it may differ across depths), but the protocol
+// invariants may not: every offset gets exactly one record, every loser observed the winner,
+// and the multiset of committed payloads is depth-invariant.
+sim::Task<void> ContendingWorker(LogClient* client, TagId stream, uint64_t seed, int ops,
+                                 int64_t* conflicts) {
+  size_t believed_len = 0;
+  for (int i = 0; i < ops; ++i) {
+    std::string value = "c" + std::to_string(seed) + "." + std::to_string(i);
+    for (;;) {
+      CondAppendResult r =
+          co_await client->CondAppend(OneTag(stream), Payload(value), stream, believed_len);
+      if (r.ok) {
+        ++believed_len;
+        break;
+      }
+      ++*conflicts;
+      ++believed_len;  // Someone else owns this offset; try the next one.
+    }
+  }
+}
+
+TEST(AppendBatcherTest, CondConflictHeavyShapeIsDepthInvariant) {
+  auto run_at_depth = [](int depth) {
+    BatchFixture fx(AppendBatchConfig{.enabled = true, .max_batch = 4,
+                                      .pipeline_depth = depth},
+                    /*nodes=*/2, /*seed=*/11);
+    TagId stream = fx.space.tags().Intern("contended");
+    int64_t conflicts = 0;
+    for (int w = 0; w < 12; ++w) {
+      fx.scheduler.Spawn(ContendingWorker(fx.clients[w % 2].get(), stream, 100 + w,
+                                          /*ops=*/6, &conflicts));
+    }
+    fx.scheduler.Run();
+    std::vector<std::string> payloads;
+    for (const LogRecordPtr& record : fx.space.ReadStreamUpTo(stream, kMaxSeqNum)) {
+      payloads.push_back(record->fields.GetStr("v"));
+    }
+    return std::make_pair(payloads, conflicts);
+  };
+  auto [serial_payloads, serial_conflicts] = run_at_depth(1);
+  EXPECT_EQ(serial_payloads.size(), 12u * 6u);  // Every record landed exactly once.
+  EXPECT_GT(serial_conflicts, 0);               // The shape is actually conflict-heavy.
+  std::vector<std::string> serial_sorted = serial_payloads;
+  std::sort(serial_sorted.begin(), serial_sorted.end());
+  for (int depth : {2, 4, 8}) {
+    auto [payloads, conflicts] = run_at_depth(depth);
+    SCOPED_TRACE("depth " + std::to_string(depth));
+    EXPECT_EQ(payloads.size(), 12u * 6u);
+    EXPECT_GT(conflicts, 0);
+    std::sort(payloads.begin(), payloads.end());
+    EXPECT_EQ(payloads, serial_sorted);
+  }
+}
+
+// With max_batch 1 every append is its own round, so a burst of simultaneous appends is the
+// purest pipelining scenario: depth K should run ~K rounds concurrently and finish in ~1/K
+// the serial time.
+TEST(AppendBatcherTest, PipelineOverlapsRoundsAndShrinksMakespan) {
+  auto run_at_depth = [](int depth) {
+    BatchFixture fx(AppendBatchConfig{.enabled = true, .max_batch = 1,
+                                      .pipeline_depth = depth, .adaptive = false},
+                    /*nodes=*/1, /*seed=*/3);
+    auto submit = [](BatchFixture* fx) -> sim::Task<void> {
+      co_await fx->clients[0]->Append(OneTag("t"), FieldMap());
+    };
+    for (int i = 0; i < 16; ++i) fx.scheduler.Spawn(submit(&fx));
+    fx.scheduler.Run();
+    return std::make_pair(fx.scheduler.Now(), fx.clients[0]->stats().pipeline_max_inflight);
+  };
+  auto [serial_time, serial_inflight] = run_at_depth(1);
+  auto [piped_time, piped_inflight] = run_at_depth(4);
+  EXPECT_EQ(serial_inflight, 0);  // Serial engine never reports pipeline depth.
+  EXPECT_EQ(piped_inflight, 4);
+  // 16 rounds at depth 4 ≈ 4 serial "generations" plus skew: comfortably under half.
+  EXPECT_LT(piped_time * 2, serial_time);
+}
+
+// The adaptive controller: a storm of small arrivals saturates the pipeline with
+// under-filled rounds, so the window widens and the depth rises; once the storm passes,
+// isolated appends shrink both back toward the configured floor.
+TEST(AppendBatcherTest, AdaptiveControllerWidensUnderStormAndNarrowsWhenIdle) {
+  BatchFixture fx(AppendBatchConfig{.enabled = true, .pipeline_depth = 4},
+                  /*nodes=*/1, /*seed=*/9);
+  // Open-loop burst: arrivals far outpace the round rate, so the queue holds several full
+  // rounds (depth raises) and the drain tail departs under-filled with every slot busy
+  // (window widens).
+  auto storm = [](BatchFixture* fx, int i) -> sim::Task<void> {
+    co_await fx->scheduler.Delay(Microseconds(i));
+    co_await fx->clients[0]->Append(OneTag("t"), FieldMap());
+  };
+  for (int i = 0; i < 400; ++i) fx.scheduler.Spawn(storm(&fx, i));
+  auto tail = [](BatchFixture* fx, int i) -> sim::Task<void> {
+    co_await fx->scheduler.Delay(Milliseconds(50 + 20 * i));  // Long-idle isolated appends.
+    co_await fx->clients[0]->Append(OneTag("t"), FieldMap());
+  };
+  for (int i = 0; i < 8; ++i) fx.scheduler.Spawn(tail(&fx, i));
+  fx.scheduler.Run();
+  const LogClientStats& stats = fx.clients[0]->stats();
+  EXPECT_GT(stats.ctrl_depth_raised, 0);
+  EXPECT_GT(stats.ctrl_window_widened, 0);
+  EXPECT_GT(stats.ctrl_window_narrowed, 0);
+  EXPECT_GT(stats.ctrl_depth_lowered, 0);
+  EXPECT_GT(stats.pipeline_rounds_overlapped, 0);
+  // Fully decayed by the idle tail: the next isolated append pays no residual window.
+  AppendBatcher* batcher = fx.clients[0]->batcher();
+  ASSERT_NE(batcher, nullptr);
+  EXPECT_EQ(batcher->effective_window(), 0);
+  EXPECT_EQ(batcher->effective_depth(), 1);
+}
+
+// HM_PIPELINE / HM_BATCH_WINDOW / HM_BATCH_MAX environment plumbing (src/common/env.h).
+TEST(AppendBatcherTest, PipelineKnobsReadEnvironment) {
+  auto with_env = [](const char* name, const char* value, auto probe) {
+    const char* old = getenv(name);
+    std::string saved = old != nullptr ? old : "";
+    bool had = old != nullptr;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+    probe();
+    if (had) {
+      setenv(name, saved.c_str(), 1);
+    } else {
+      unsetenv(name);
+    }
+  };
+  with_env("HM_PIPELINE", nullptr, [] { EXPECT_EQ(DefaultAppendPipelineDepth(), 1); });
+  with_env("HM_PIPELINE", "4", [] { EXPECT_EQ(DefaultAppendPipelineDepth(), 4); });
+  with_env("HM_PIPELINE", "0", [] { EXPECT_EQ(DefaultAppendPipelineDepth(), 1); });  // Clamped.
+  with_env("HM_BATCH_WINDOW", nullptr, [] { EXPECT_EQ(DefaultAppendBatchWindowUs(), 0); });
+  with_env("HM_BATCH_WINDOW", "150", [] { EXPECT_EQ(DefaultAppendBatchWindowUs(), 150); });
+  with_env("HM_BATCH_MAX", nullptr, [] { EXPECT_EQ(DefaultAppendBatchMax(), 64); });
+  with_env("HM_BATCH_MAX", "16", [] { EXPECT_EQ(DefaultAppendBatchMax(), 16); });
 }
 
 }  // namespace
