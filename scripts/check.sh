@@ -65,6 +65,19 @@ HM_PARALLEL=1 "${BUILD_DIR}"/tests/faultcheck_switch_test --gtest_brief=1 | grep
 "${BUILD_DIR}"/tests/faultcheck_negative_test --gtest_brief=1 | grep -c '^\[faultcheck\]   FAIL' \
   | sed 's/^/[faultcheck] negative-control failing schedules (expected nonzero): /'
 
+# Durability smoke (DESIGN.md §13). Leg 1: HM_DURABLE=0 must stay bit-identical to the
+# pre-storage-engine implementation — the PR 4 golden tuples (events, virtual end time,
+# seqnums, content FNV) re-checked with the variable explicitly off. Leg 2: the node-grain
+# kill/restart sweeps (storage / sequencer / function-node kills at traced positions) must
+# pass the consistency oracle with the journaled tier on; the '[faultcheck]' lines surface
+# the explored-schedule counts, and 'failures=0' is enforced by the test itself.
+HM_DURABLE=0 "${BUILD_DIR}"/tests/sharded_equivalence_test \
+  --gtest_filter='ShardedEquivalenceTest.OneShardIsBitIdenticalToPreShardingGoldens' \
+  --gtest_brief=1 \
+  || { echo "check.sh: FAIL — HM_DURABLE=0 is no longer bit-identical to the goldens" >&2; exit 1; }
+HM_DURABLE=1 "${BUILD_DIR}"/tests/faultcheck_node_failure_test --gtest_brief=1 \
+  | grep '^\[faultcheck\]'
+
 # Advisor smoke (DESIGN.md §11): the drift byte gate (advisor strictly below both static
 # protocols), the hysteresis/dwell counters, and the HM_ADVISOR=0 golden content checksum,
 # surfaced via their '[advisor]' summary lines. A missing 'win' line — the byte gate — or a

@@ -9,16 +9,40 @@
 #ifndef HALFMOON_COMMON_ENV_H_
 #define HALFMOON_COMMON_ENV_H_
 
+#include <cerrno>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
 
 namespace halfmoon {
 
-// Integer-valued knob: unset or unparsable -> fallback; parsed values clamp to min_value.
+// A malformed HM_* variable is a hard configuration error, never a silent fallback: atoi
+// used to turn HM_PIPELINE=4x into 4 and the min-clamp turned HM_SHARDS=-1 into 1, both of
+// which ran a DIFFERENT simulation than the one the user asked for.
+[[noreturn]] inline void EnvParseError(const char* name, const char* raw, const char* why) {
+  std::fprintf(stderr, "fatal: %s=\"%s\" is invalid: %s\n", name, raw, why);
+  std::abort();
+}
+
+// Integer-valued knob: unset or empty -> fallback. Anything else must parse COMPLETELY as a
+// base-10 integer >= min_value; trailing garbage, overflow, and out-of-range values abort
+// with the offending variable named.
 inline int EnvInt(const char* name, int min_value, int fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
-  int value = std::atoi(raw);
-  return value < min_value ? min_value : value;
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    EnvParseError(name, raw, "not an integer (trailing garbage rejected)");
+  }
+  if (errno == ERANGE || value < INT_MIN || value > INT_MAX) {
+    EnvParseError(name, raw, "out of integer range");
+  }
+  if (value < min_value) {
+    EnvParseError(name, raw, "below the knob's minimum value");
+  }
+  return static_cast<int>(value);
 }
 
 // Boolean knob: on when set to anything non-empty not starting with '0'.
@@ -41,6 +65,11 @@ inline int DefaultAppendBatchWindowUs() { return EnvInt("HM_BATCH_WINDOW", 0, 0)
 
 // HM_BATCH_MAX: cap on requests per sequencer round.
 inline int DefaultAppendBatchMax() { return EnvInt("HM_BATCH_MAX", 1, 64); }
+
+// HM_DURABLE: attach the simulated durable medium (DESIGN.md §13) under the shared log and
+// KV store. Off (the default) constructs no storage engine at all — bit-identical to the
+// pre-storage simulation, pinned by the golden checksums.
+inline bool DefaultDurableMode() { return EnvFlag("HM_DURABLE"); }
 
 }  // namespace halfmoon
 

@@ -88,6 +88,11 @@ struct LatencyCalibration {
   // value of Boki's index replication.
   double index_propagation_median = 0.25;
   double index_propagation_p99 = 0.80;
+
+  // One group-flush of the journal's block buffer to the durable medium (DESIGN.md §13):
+  // an NVMe-class fsync — tens of microseconds typical, with a long sync/erase tail.
+  double durable_flush_median = 0.08;
+  double durable_flush_p99 = 0.5;
 };
 
 // Minimum virtual latency of any interaction that crosses log shards (and, in parallel mode,
@@ -123,7 +128,8 @@ struct LatencyModels {
         db_plain_write(cal.db_plain_write_median, cal.db_plain_write_p99),
         compute_step(cal.compute_step_median, cal.compute_step_p99),
         invoke_dispatch(cal.invoke_dispatch_median, cal.invoke_dispatch_p99),
-        index_propagation(cal.index_propagation_median, cal.index_propagation_p99) {}
+        index_propagation(cal.index_propagation_median, cal.index_propagation_p99),
+        durable_flush(cal.durable_flush_median, cal.durable_flush_p99) {}
 
   LognormalLatency log_append;
   LognormalLatency log_read_cached;
@@ -137,6 +143,9 @@ struct LatencyModels {
 
   // Index propagation delay from the logging layer to function-node caches.
   LognormalLatency index_propagation;
+
+  // One journal group-flush to the block device (the storage engine's fsync).
+  LognormalLatency durable_flush;
 };
 
 }  // namespace halfmoon

@@ -1,5 +1,6 @@
 #include "src/core/gc_service.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -30,7 +31,11 @@ void GcService::RunOnce() {
   kvstore::KvState& kv = cluster_->kv_state();
   SimTime now = cluster_->scheduler().Now();
 
-  SeqNum frontier = cluster_->RunningFrontier();
+  // Trim-to-durable-snapshot (DESIGN.md §13): never act on records a crash could still
+  // un-commit. Without the clamp a GC pass could delete a KV version superseded only by a
+  // volatile write — a crash would then lose the write but keep the deletion, and replay
+  // would leave the object's write log pointing at a version that no longer exists.
+  SeqNum frontier = std::min(cluster_->RunningFrontier(), cluster_->DurableTrimBound());
 
   // (2) Per-object write logs and their versions. The write-log tag id doubles as the
   // object's handle in the versioned store, so no key string is ever rebuilt here.

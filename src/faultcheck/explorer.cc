@@ -1,6 +1,7 @@
 #include "src/faultcheck/explorer.h"
 
 #include <algorithm>
+#include <charconv>
 #include <utility>
 
 #include "src/common/check.h"
@@ -39,7 +40,8 @@ std::string ExplorerReport::Summary() const {
                     " peer=" + std::to_string(explored_peer) +
                     " gc=" + std::to_string(explored_gc) +
                     " switch=" + std::to_string(explored_switch) +
-                    " advisor=" + std::to_string(explored_advisor) + ")" +
+                    " advisor=" + std::to_string(explored_advisor) +
+                    " kill=" + std::to_string(explored_kill) + ")" +
                     " failures=" + std::to_string(failures.size());
   return out;
 }
@@ -54,6 +56,7 @@ Explorer::RunOutcome Explorer::RunSchedule(const Schedule& schedule, bool record
   ccfg.workers_per_node = 8;
   if (options_.log_shards > 0) ccfg.log_shards = options_.log_shards;
   if (options_.pipeline_depth > 0) ccfg.append_batch_pipeline = options_.pipeline_depth;
+  if (options_.durable >= 0) ccfg.durable = options_.durable != 0;
   runtime::Cluster cluster(ccfg);
 
   core::RuntimeConfig rcfg;
@@ -100,6 +103,27 @@ Explorer::RunOutcome Explorer::RunSchedule(const Schedule& schedule, bool record
                                   &switcher, runtime.ObjectTransitionTag(key), target));
                             }
                           });
+        break;
+      case FaultKind::kNodeKill:
+        HM_CHECK_MSG(ccfg.durable,
+                     "node-kill fault points require the durable storage tier (HM_DURABLE=1 "
+                     "or ExplorerOptions::durable = 1)");
+        injector.RunAtHit(point.at_hit, [&cluster, domain = point.site] {
+          if (domain == "store") {
+            cluster.KillRestartStorage();
+          } else if (domain == "seq") {
+            cluster.KillRestartSequencer();
+          } else if (domain.starts_with("fn")) {
+            int node = 0;
+            auto [ptr, ec] =
+                std::from_chars(domain.data() + 2, domain.data() + domain.size(), node);
+            HM_CHECK_MSG(ec == std::errc{} && ptr == domain.data() + domain.size(),
+                         "malformed fn<i> kill domain");
+            cluster.KillRestartFunctionNode(node);
+          } else {
+            HM_CHECK_MSG(false, "unknown kill domain (want store | seq | fn<i>)");
+          }
+        });
         break;
     }
   }
@@ -179,6 +203,20 @@ ExplorerReport Explorer::Run() {
 
   const size_t first_stride = static_cast<size_t>(std::max(options_.first_stride, 1));
   const size_t second_stride = static_cast<size_t>(std::max(options_.second_stride, 1));
+
+  if (options_.node_kills) {
+    // Node-kill family: wipe a whole node's volatile state at a traced hit and force the
+    // rest of the workload to run against journal-replayed state. Addressed by the global
+    // hit counter like GC scans, so positions replay deterministically.
+    for (size_t i = 0; i < trace.size(); i += first_stride) {
+      for (const std::string& domain : options_.kill_domains) {
+        Schedule kill;
+        kill.points.push_back(FaultPoint::NodeKill(domain, static_cast<int64_t>(i)));
+        ++report.explored_kill;
+        NoteVerdict(kill, RunSchedule(kill).verdict, &report);
+      }
+    }
+  }
 
   for (size_t i = 0; i < trace.size(); i += first_stride) {
     Schedule first;

@@ -7,7 +7,9 @@
 //   * depth 2 — for each first crash, second faults drawn from the *faulted* run's trace
 //     suffix (the prefix up to the first crash is deterministic, so suffix positions are
 //     meaningful): a second crash (dying inside retry/recovery), a scheduled peer instance,
-//     a GC scan at a chosen hit, or the start of a protocol switch.
+//     a GC scan at a chosen hit, or the start of a protocol switch;
+//   * node kills (opt-in, durable clusters only) — kill + restart a whole node at a traced
+//     hit, replay its journals, and run the remaining invocations against recovered state.
 // Failing schedules are greedily shrunk (drop one fault at a time while the failure persists)
 // and reported with their printable form, which Schedule::Parse replays deterministically —
 // same seed, same schedule, same verdict.
@@ -55,6 +57,17 @@ struct ExplorerOptions {
   // from "switch:k:<key>" transition streams, and kAdvisorFire points become meaningful.
   bool advisor_mode = false;
 
+  // Durable-cluster override for every cluster the sweep spins up: -1 inherits the
+  // environment default (HM_DURABLE), 0 forces the volatile store, 1 forces the journaled
+  // storage tier (DESIGN.md §13). Node-kill fault points require the durable tier.
+  int durable = -1;
+
+  // Depth-1 node-kill family: kill + restart a whole node at each strided trace position,
+  // for every domain listed below, then let the remaining invocations run against the
+  // replayed state. Requires durable = 1.
+  bool node_kills = false;
+  std::vector<std::string> kill_domains = {"store", "seq", "fn0"};
+
   // Which depth-2 families to enumerate.
   bool crash_pairs = true;
   bool crash_plus_peer = true;
@@ -91,11 +104,12 @@ struct ExplorerReport {
   int64_t explored_gc = 0;
   int64_t explored_switch = 0;
   int64_t explored_advisor = 0;
+  int64_t explored_kill = 0;
   std::vector<FailingSchedule> failures;
 
   int64_t TotalExplored() const {
     return explored_none + explored_single + explored_pairs + explored_peer + explored_gc +
-           explored_switch + explored_advisor;
+           explored_switch + explored_advisor + explored_kill;
   }
   bool AllPassed() const { return failures.empty(); }
 

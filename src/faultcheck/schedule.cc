@@ -63,6 +63,14 @@ std::optional<FaultPoint> ParsePoint(std::string_view token) {
     if (!target.has_value() || !hit.has_value()) return std::nullopt;
     return FaultPoint::AdvisorFire(*target, *hit);
   }
+  if (token.starts_with("kill[")) {
+    size_t close = token.find("]@");
+    if (close == std::string_view::npos) return std::nullopt;
+    std::string_view domain = token.substr(5, close - 5);
+    std::optional<int64_t> hit = ParseInt(token.substr(close + 2));
+    if (domain.empty() || !hit.has_value()) return std::nullopt;
+    return FaultPoint::NodeKill(std::string(domain), *hit);
+  }
   return std::nullopt;
 }
 
@@ -106,6 +114,14 @@ FaultPoint FaultPoint::AdvisorFire(core::ProtocolKind target, int64_t at_hit) {
   return p;
 }
 
+FaultPoint FaultPoint::NodeKill(std::string domain, int64_t at_hit) {
+  FaultPoint p;
+  p.kind = FaultKind::kNodeKill;
+  p.site = std::move(domain);
+  p.at_hit = at_hit;
+  return p;
+}
+
 std::string FaultPoint::ToString() const {
   switch (kind) {
     case FaultKind::kCrash:
@@ -120,6 +136,8 @@ std::string FaultPoint::ToString() const {
     case FaultKind::kAdvisorFire:
       return std::string("advisor[") + core::ProtocolName(target) + "]@" +
              std::to_string(at_hit);
+    case FaultKind::kNodeKill:
+      return "kill[" + site + "]@" + std::to_string(at_hit);
   }
   return "?";
 }

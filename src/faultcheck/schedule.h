@@ -27,13 +27,17 @@ enum class FaultKind {
   kGcScan,       // Run one full GC scan when the global hit counter reaches at_hit.
   kSwitchBegin,  // Start a protocol switch to `target` when the counter reaches at_hit.
   kAdvisorFire,  // Fire advisor per-object switches (every workload key) at at_hit.
+  kNodeKill,     // Kill + restart a whole node (see `site` for the domain) at at_hit.
 };
 
 struct FaultPoint {
   FaultKind kind = FaultKind::kCrash;
-  std::string site;        // kCrash only.
+  // kCrash: the crash site. kNodeKill: the kill domain — "store" (storage tier: log + KV
+  // journals), "seq" (sequencer tier: log journal only) or "fn<i>" (function node i's soft
+  // state). Node kills require the durable cluster (DESIGN.md §13).
+  std::string site;
   int64_t occurrence = 0;  // kCrash only.
-  int64_t at_hit = 0;      // kPeerSpawn / kGcScan / kSwitchBegin.
+  int64_t at_hit = 0;      // kPeerSpawn / kGcScan / kSwitchBegin / kNodeKill.
   core::ProtocolKind target = core::ProtocolKind::kHalfmoonWrite;  // kSwitchBegin only.
 
   bool operator==(const FaultPoint&) const = default;
@@ -43,9 +47,10 @@ struct FaultPoint {
   static FaultPoint GcScan(int64_t at_hit);
   static FaultPoint SwitchBegin(core::ProtocolKind target, int64_t at_hit);
   static FaultPoint AdvisorFire(core::ProtocolKind target, int64_t at_hit);
+  static FaultPoint NodeKill(std::string domain, int64_t at_hit);
 
   // crash(<site>#<occ>) | peer@<hit> | gc@<hit> | switch[<protocol>]@<hit> |
-  // advisor[<protocol>]@<hit>
+  // advisor[<protocol>]@<hit> | kill[<domain>]@<hit>
   std::string ToString() const;
 };
 

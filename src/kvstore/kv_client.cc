@@ -1,5 +1,7 @@
 #include "src/kvstore/kv_client.h"
 
+#include "src/storage/durability.h"
+
 namespace halfmoon::kvstore {
 namespace {
 
@@ -19,6 +21,13 @@ sim::Task<void> KvClient::Round(SimDuration total_latency) {
     co_await scheduler_->Delay(service);
   }
   co_await scheduler_->Delay(leg);
+}
+
+sim::Task<void> KvClient::AwaitDurable(std::string_view site) {
+  bool ok = co_await durability_->WaitOffset(state_->last_journal_offset());
+  // A failed wait means a kill destroyed the journaled mutation (and with it the whole
+  // volatile KV state). The attempt must not ack the write — abort it into the retry loop.
+  if (!ok && crash_thrower_) crash_thrower_(site);
 }
 
 sim::Task<std::optional<Value>> KvClient::Get(std::string key) {
@@ -72,6 +81,7 @@ sim::Task<void> KvClient::Put(std::string key, Value value) {
   }
   // The write becomes visible when the store applies it, before the reply reaches the caller.
   state_->Put(scheduler_->Now(), std::move(key), std::move(value));
+  if (durability_ != nullptr) co_await AwaitDurable("kv.put");
   co_await scheduler_->Delay(leg);
 }
 
@@ -88,6 +98,8 @@ sim::Task<bool> KvClient::CondPut(std::string key, Value value, VersionTuple ver
   }
   bool applied = state_->CondPut(scheduler_->Now(), std::move(key), std::move(value), version);
   if (!applied) ++stats_.cond_write_rejects;
+  // Rejected conditional writes mutate (and journal) nothing — nothing to wait for.
+  if (applied && durability_ != nullptr) co_await AwaitDurable("kv.cond_put");
   co_await scheduler_->Delay(leg);
   co_return applied;
 }
@@ -104,6 +116,7 @@ sim::Task<void> KvClient::PutVersioned(ObjectId object, std::string version_id, 
     co_await scheduler_->Delay(service);
   }
   state_->PutVersioned(scheduler_->Now(), object, std::move(version_id), std::move(value));
+  if (durability_ != nullptr) co_await AwaitDurable("kv.put_versioned");
   co_await scheduler_->Delay(leg);
 }
 
@@ -128,7 +141,9 @@ sim::Task<bool> KvClient::DeleteVersioned(ObjectId object, std::string version_i
   ++stats_.deletes;
   SimDuration total = models_->db_plain_write.Sample(*rng_);
   co_await Round(total);
-  co_return state_->DeleteVersioned(scheduler_->Now(), object, std::move(version_id));
+  bool deleted = state_->DeleteVersioned(scheduler_->Now(), object, std::move(version_id));
+  if (deleted && durability_ != nullptr) co_await AwaitDurable("kv.delete_versioned");
+  co_return deleted;
 }
 
 }  // namespace halfmoon::kvstore

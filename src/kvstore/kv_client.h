@@ -8,8 +8,10 @@
 #ifndef HALFMOON_KVSTORE_KV_CLIENT_H_
 #define HALFMOON_KVSTORE_KV_CLIENT_H_
 
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/common/latency_model.h"
 #include "src/common/rng.h"
@@ -17,6 +19,10 @@
 #include "src/sim/scheduler.h"
 #include "src/sim/service_station.h"
 #include "src/sim/task.h"
+
+namespace halfmoon::storage {
+class DurabilityService;
+}  // namespace halfmoon::storage
 
 namespace halfmoon::kvstore {
 
@@ -50,15 +56,31 @@ class KvClient {
 
   const KvClientStats& stats() const { return stats_; }
 
+  // Write-ahead gate (DESIGN.md §13): with a durability service attached, every applied
+  // mutation waits for its journal frame to become durable before the reply leg fires, so the
+  // caller never observes an acknowledged-but-volatile write.
+  void SetDurability(storage::DurabilityService* durability) { durability_ = durability; }
+
+  // Invoked when a kill destroys a mutation this client was waiting on. KvClient runs only
+  // inside function attempts, so the hook unconditionally aborts the attempt (the runtime's
+  // retry loop re-executes it against the rolled-back state).
+  void InstallCrashHook(std::function<void(std::string_view)> thrower) {
+    crash_thrower_ = std::move(thrower);
+  }
+
  private:
   // Round trip: request leg, station occupancy, `body` at the store, reply leg.
   sim::Task<void> Round(SimDuration total_latency);
+  // Waits for the most recent journal frame; aborts the attempt if a kill wiped it.
+  sim::Task<void> AwaitDurable(std::string_view site);
 
   sim::Scheduler* scheduler_;
   Rng* rng_;
   const LatencyModels* models_;
   KvState* state_;
   sim::ServiceStation* station_;
+  storage::DurabilityService* durability_ = nullptr;
+  std::function<void(std::string_view)> crash_thrower_;
   KvClientStats stats_;
 };
 

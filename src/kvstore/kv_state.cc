@@ -1,5 +1,10 @@
 #include "src/kvstore/kv_state.h"
 
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/storage/durability.h"
+
 namespace halfmoon::kvstore {
 
 std::optional<Value> KvState::Get(const std::string& key) const {
@@ -9,6 +14,12 @@ std::optional<Value> KvState::Get(const std::string& key) const {
 }
 
 void KvState::Put(SimTime now, const std::string& key, Value value) {
+  if (durability_ != nullptr && !restoring_) {
+    std::string payload;
+    storage::PutStr(&payload, key);
+    storage::PutStr(&payload, value);
+    JournalFrame(storage::FrameType::kKvPut, std::move(payload));
+  }
   auto [it, inserted] = latest_.try_emplace(key);
   if (!inserted) {
     gauge_.Add(now, -LatestEntryBytes(key, it->second.value));
@@ -19,14 +30,23 @@ void KvState::Put(SimTime now, const std::string& key, Value value) {
 
 bool KvState::CondPut(SimTime now, const std::string& key, Value value, VersionTuple version) {
   auto it = latest_.find(key);
+  // Missing keys carry the zero version; the write applies iff its version is larger.
+  VersionTuple stored = it == latest_.end() ? VersionTuple{} : it->second.version;
+  if (!(stored < version)) return false;
+  // Only applied conditional writes are journaled, so replay re-applies them verbatim.
+  if (durability_ != nullptr && !restoring_) {
+    std::string payload;
+    storage::PutStr(&payload, key);
+    storage::PutStr(&payload, value);
+    storage::PutU64(&payload, version.cursor_ts);
+    storage::PutU64(&payload, version.counter);
+    JournalFrame(storage::FrameType::kKvCondPut, std::move(payload));
+  }
   if (it == latest_.end()) {
-    // Missing keys carry the zero version; the write applies iff its version is larger.
-    if (!(VersionTuple{} < version)) return false;
     gauge_.Add(now, LatestEntryBytes(key, value));
     latest_.emplace(key, LatestSlot{std::move(value), version});
     return true;
   }
-  if (!(it->second.version < version)) return false;
   gauge_.Add(now, -LatestEntryBytes(key, it->second.value));
   gauge_.Add(now, LatestEntryBytes(key, value));
   it->second.value = std::move(value);
@@ -42,6 +62,13 @@ std::optional<VersionTuple> KvState::GetVersion(const std::string& key) const {
 
 void KvState::PutVersioned(SimTime now, ObjectId object, const std::string& version_id,
                            Value value) {
+  if (durability_ != nullptr && !restoring_) {
+    std::string payload;
+    storage::PutU64(&payload, object);
+    storage::PutStr(&payload, version_id);
+    storage::PutStr(&payload, value);
+    JournalFrame(storage::FrameType::kKvPutVersioned, std::move(payload));
+  }
   if (object >= versioned_.size()) versioned_.resize(object + 1);
   auto& versions = versioned_[object];
   if (versions.empty()) ++versioned_objects_;
@@ -69,6 +96,13 @@ bool KvState::DeleteVersioned(SimTime now, ObjectId object, const std::string& v
   auto& versions = versioned_[object];
   auto vit = versions.find(version_id);
   if (vit == versions.end()) return false;
+  // Journaled only when something is actually released (replay asserts the same).
+  if (durability_ != nullptr && !restoring_) {
+    std::string payload;
+    storage::PutU64(&payload, object);
+    storage::PutStr(&payload, version_id);
+    JournalFrame(storage::FrameType::kKvDeleteVersioned, std::move(payload));
+  }
   gauge_.Add(now, -VersionedEntryBytes(version_id, vit->second));
   versions.erase(vit);
   if (versions.empty()) --versioned_objects_;
@@ -77,6 +111,57 @@ bool KvState::DeleteVersioned(SimTime now, ObjectId object, const std::string& v
 
 size_t KvState::VersionCount(ObjectId object) const {
   return object < versioned_.size() ? versioned_[object].size() : 0;
+}
+
+void KvState::ResetVolatile(SimTime now) {
+  gauge_.Add(now, -gauge_.CurrentBytes());
+  latest_.clear();
+  versioned_.clear();
+  versioned_objects_ = 0;
+  // The journal tail rolled back to the durable frontier with the kill; future mutations
+  // re-establish the ack threshold. Zero is always already durable.
+  last_journal_offset_ = 0;
+}
+
+void KvState::RestoreFrame(SimTime now, storage::FrameType type, storage::Cursor cursor) {
+  restoring_ = true;
+  switch (type) {
+    case storage::FrameType::kKvPut: {
+      std::string key(cursor.Str());
+      Value value(cursor.Str());
+      Put(now, key, std::move(value));
+      break;
+    }
+    case storage::FrameType::kKvCondPut: {
+      std::string key(cursor.Str());
+      Value value(cursor.Str());
+      VersionTuple version{cursor.U64(), cursor.U64()};
+      HM_CHECK_MSG(CondPut(now, key, std::move(value), version),
+                   "journal replay: conditional put no longer applies");
+      break;
+    }
+    case storage::FrameType::kKvPutVersioned: {
+      ObjectId object = cursor.U64();
+      std::string version_id(cursor.Str());
+      Value value(cursor.Str());
+      PutVersioned(now, object, version_id, std::move(value));
+      break;
+    }
+    case storage::FrameType::kKvDeleteVersioned: {
+      ObjectId object = cursor.U64();
+      std::string version_id(cursor.Str());
+      HM_CHECK_MSG(DeleteVersioned(now, object, version_id),
+                   "journal replay: versioned delete found nothing to release");
+      break;
+    }
+    default:
+      HM_CHECK_MSG(false, "journal replay: unexpected frame type in the KV journal");
+  }
+  restoring_ = false;
+}
+
+void KvState::JournalFrame(storage::FrameType type, std::string payload) {
+  last_journal_offset_ = durability_->AppendFrame(type, payload);
 }
 
 }  // namespace halfmoon::kvstore

@@ -24,6 +24,11 @@
 #include "src/common/time.h"
 #include "src/common/value.h"
 #include "src/metrics/storage_sampler.h"
+#include "src/storage/journal.h"
+
+namespace halfmoon::storage {
+class DurabilityService;
+}  // namespace halfmoon::storage
 
 namespace halfmoon::kvstore {
 
@@ -79,6 +84,25 @@ class KvState {
   // Objects currently holding at least one version (the flat index can be longer).
   size_t versioned_object_count() const { return versioned_objects_; }
 
+  // ---- Durable medium + crash-restart recovery (DESIGN.md §13) ----
+
+  // Attaches the durability service: every applied mutation journals a kKv* frame before the
+  // client's reply leg fires (the write-ahead gate lives in KvClient). Null detaches.
+  void AttachDurability(storage::DurabilityService* svc) { durability_ = svc; }
+
+  // Journal offset one past the most recently journaled mutation — the threshold KvClient
+  // hands to WaitOffset before acknowledging a write externally.
+  uint64_t last_journal_offset() const { return last_journal_offset_; }
+
+  // Drops everything a node loss destroys: both version indices and the gauge's current
+  // bytes. The journal itself lives in the durability service and survives.
+  void ResetVolatile(SimTime now);
+
+  // Re-applies one replayed kKv* journal frame without re-journaling it. Restore order is
+  // append order, so replayed CondPuts re-apply unconditionally — they were journaled only
+  // when they applied.
+  void RestoreFrame(SimTime now, storage::FrameType type, storage::Cursor cursor);
+
  private:
   struct LatestSlot {
     Value value;
@@ -92,6 +116,8 @@ class KvState {
     return static_cast<int64_t>(sizeof(ObjectId) + version_id.size() + value.size());
   }
 
+  void JournalFrame(storage::FrameType type, std::string payload);
+
   std::unordered_map<std::string, LatestSlot> latest_;
   // object -> version_id -> value, indexed by ObjectId. Interned tag ids are dense, so the
   // outer level is a flat vector (grown on first write to an object) instead of a hash map:
@@ -100,6 +126,10 @@ class KvState {
   std::vector<std::map<std::string, Value>> versioned_;
   size_t versioned_objects_ = 0;  // Objects currently holding at least one version.
   metrics::StorageGauge gauge_;
+
+  storage::DurabilityService* durability_ = nullptr;
+  uint64_t last_journal_offset_ = 0;
+  bool restoring_ = false;  // Suppresses journaling while RestoreFrame re-applies mutations.
 };
 
 }  // namespace halfmoon::kvstore

@@ -40,6 +40,11 @@ class LatencyRecorder {
   // call already built this recorder's sorted cache.
   void Merge(const LatencyRecorder& other) {
     if (other.samples_.empty()) return;
+    // Drop any warm sorted cache up front rather than leaning on the length heuristic alone:
+    // a merge is a structural mutation, and the invalidation must not depend on how many
+    // samples the other side happens to carry (the PR 6 length-mismatch contract, made
+    // explicit at the one entry point that bulk-grows samples_).
+    sorted_.clear();
     if (&other == this) {
       // Self-merge: inserting from the vector being grown would invalidate the source range.
       std::vector<SimDuration> copy = samples_;

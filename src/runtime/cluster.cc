@@ -51,6 +51,25 @@ Cluster::Cluster(const ClusterConfig& config)
         [](const char* site) { throw SsfCrashed{std::string(site)}; });
   }
 
+  // Durable medium (DESIGN.md §13): one journal per storage domain. The services draw flush
+  // latencies from their own derived RNG streams (distinct salts), so attaching them never
+  // perturbs the main sample sequence — and HM_DURABLE=0, which skips this block entirely,
+  // stays bit-identical to the pre-storage engine.
+  if (config.durable) {
+    log_durability_ =
+        std::make_unique<storage::DurabilityService>(&scheduler_, &models_, config.seed);
+    kv_durability_ =
+        std::make_unique<storage::DurabilityService>(&scheduler_, &models_, ~config.seed);
+    log_space_.AttachDurability(log_durability_.get());
+    kv_state_.AttachDurability(kv_durability_.get());
+    for (auto& node : nodes_) {
+      node->log().SetDurability(log_durability_.get());
+      node->kv().SetDurability(kv_durability_.get());
+      node->kv().InstallCrashHook(
+          [](std::string_view site) { throw SsfCrashed{std::string(site)}; });
+    }
+  }
+
   // Index propagation: every committed seqnum reaches each function node's index replica
   // after a sampled delay, enabling the cheap local logReadPrev path (§4.1).
   log_space_.SetCommitListener([this](sharedlog::SeqNum seqnum) { OnCommit(seqnum); });
@@ -61,6 +80,19 @@ void Cluster::OnCommit(sharedlog::SeqNum seqnum) {
   // The delay is sampled before branching on the mode, so coalesced and per-commit runs draw
   // the identical rng sequence — a prerequisite for bit-identical simulations.
   SimDuration delay = models_.index_propagation.Sample(rng_);
+  if (log_durability_ != nullptr) {
+    // Write-ahead index propagation: remote replicas only ever learn durable seqnums, so no
+    // node can index a record a crash could un-commit. Propagation (the sampled network
+    // delay) starts once the record's flush lands; a kill drops the callbacks of lost
+    // seqnums, which is exactly the set no replica may learn.
+    log_durability_->WhenDurable(seqnum,
+                                 [this, seqnum, delay] { DeliverCommit(seqnum, delay); });
+    return;
+  }
+  DeliverCommit(seqnum, delay);
+}
+
+void Cluster::DeliverCommit(sharedlog::SeqNum seqnum, SimDuration delay) {
   if (!config_.coalesce_index_propagation) {
     // Reference mode: one scheduler event per committed seqnum.
     ++index_propagation_ticks_;
@@ -115,6 +147,84 @@ void Cluster::IndexPropagationTick() {
     index_wakeup_ = next;
     scheduler_.Post(next - now, [this] { IndexPropagationTick(); });
   }
+}
+
+void Cluster::KillRestartSequencer() {
+  HM_CHECK_MSG(log_durability_ != nullptr, "KillRestart* requires ClusterConfig.durable");
+  // The ordering/replication tier dies: the log journal's volatile tail, its in-flight
+  // flush, and every record past the durable frontier are lost. Waiters on lost records fail
+  // (crashable ones abort their attempts); restart replays the durable prefix.
+  log_durability_->Kill();
+  ReplayLogJournal();
+  for (auto& node : nodes_) {
+    node->log().ResetSoftState(log_durability_->durable_seq());
+  }
+  // Pending index arrivals were all gated through WhenDurable, so every queued seqnum is
+  // durable and survives the kill — replay just rebuilt the records they refer to.
+}
+
+void Cluster::KillRestartStorage() {
+  HM_CHECK_MSG(kv_durability_ != nullptr, "KillRestart* requires ClusterConfig.durable");
+  // The shared storage tier dies: both journals lose their volatile tails at one instant.
+  kv_durability_->Kill();
+  KillRestartSequencer();
+  kv_state_.ResetVolatile(scheduler_.Now());
+  ReplayKvJournal();
+}
+
+void Cluster::KillRestartFunctionNode(int i) {
+  HM_CHECK_MSG(log_durability_ != nullptr, "KillRestart* requires ClusterConfig.durable");
+  // A function node holds no authoritative state — only its index replica and payload cache
+  // die. The restarted node re-syncs through uncached reads and future propagation.
+  nodes_[static_cast<size_t>(i)]->log().ResetSoftState(0);
+}
+
+void Cluster::ReplayLogJournal() {
+  SimTime now = scheduler_.Now();
+  log_space_.ResetVolatile(now);
+  log_durability_->Replay([this, now](storage::FrameType type, storage::Cursor cursor) {
+    switch (type) {
+      case storage::FrameType::kTagDef: {
+        sharedlog::TagId id = cursor.U64();
+        log_space_.VerifyTagDef(id, cursor.Str());
+        break;
+      }
+      case storage::FrameType::kRecord: {
+        sharedlog::SeqNum seqnum = cursor.U64();
+        uint32_t ntags = cursor.U32();
+        std::vector<sharedlog::TagId> tags;
+        tags.reserve(ntags);
+        for (uint32_t t = 0; t < ntags; ++t) tags.push_back(cursor.U64());
+        uint32_t nfields = cursor.U32();
+        FieldMap fields;
+        for (uint32_t f = 0; f < nfields; ++f) {
+          std::string key(cursor.Str());
+          if (cursor.U8() == 0) {
+            fields.SetInt(key, static_cast<int64_t>(cursor.U64()));
+          } else {
+            fields.SetStr(key, std::string(cursor.Str()));
+          }
+        }
+        log_space_.RestoreRecord(now, seqnum, std::move(tags), std::move(fields));
+        break;
+      }
+      case storage::FrameType::kTrim: {
+        sharedlog::TagId tag = cursor.U64();
+        sharedlog::SeqNum upto = cursor.U64();
+        log_space_.RestoreTrim(now, tag, upto);
+        break;
+      }
+      default:
+        HM_CHECK_MSG(false, "unexpected frame type in the log journal");
+    }
+  });
+}
+
+void Cluster::ReplayKvJournal() {
+  SimTime now = scheduler_.Now();
+  kv_durability_->Replay([this, now](storage::FrameType type, storage::Cursor cursor) {
+    kv_state_.RestoreFrame(now, type, cursor);
+  });
 }
 
 void Cluster::RegisterInitRecord(const std::string& instance_id,

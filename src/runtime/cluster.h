@@ -31,6 +31,7 @@
 #include "src/sharedlog/sharded_log.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/service_station.h"
+#include "src/storage/durability.h"
 
 namespace halfmoon::runtime {
 
@@ -98,6 +99,14 @@ struct ClusterConfig {
   // at O(log n) per event.
   sim::QueueMode queue_mode = sim::QueueMode::kTimerWheel;
 
+  // Durable medium + crash-restart recovery (DESIGN.md §13), from HM_DURABLE by default.
+  // When set, the shared log and the KV store journal every mutation to simulated devices
+  // with a write-ahead ordering contract (acks and index propagation gate on the flush), and
+  // the cluster supports whole-node KillRestart* with log-replay recovery. When clear, no
+  // durability service is ever constructed and the simulation — including its RNG draws — is
+  // bit-identical to the pre-storage engine.
+  bool durable = DefaultDurableMode();
+
   uint64_t seed = 1;
   LatencyCalibration calibration;
 };
@@ -142,6 +151,31 @@ class Cluster {
   sharedlog::ShardedLog& log_space() { return log_space_; }
   kvstore::KvState& kv_state() { return kv_state_; }
   FailureInjector& failure_injector() { return injector_; }
+
+  // ---- Durable medium + crash-restart recovery (DESIGN.md §13) ----
+
+  // Null unless config.durable. The log and KV layers journal to separate services (separate
+  // devices with separate flush streams): a sequencer loss must not take the KV journal's
+  // volatile tail with it.
+  storage::DurabilityService* log_durability() { return log_durability_.get(); }
+  storage::DurabilityService* kv_durability() { return kv_durability_.get(); }
+
+  // Whole-node loss + immediate restart, atomic at the current instant. Each wipes the
+  // domain's volatile state, fails in-flight durability waiters (crashable waiters abort
+  // their attempts into the retry loop), replays the durable journal prefix to rebuild the
+  // tag indices / version index, and rolls the nodes' soft state back to the durable
+  // frontier. Require config.durable.
+  void KillRestartStorage();    // Log + KV journals: the shared storage tier dies.
+  void KillRestartSequencer();  // Log journal only: ordering/replication tier dies.
+  void KillRestartFunctionNode(int i);  // Node i's soft state (index replica, caches).
+
+  // Largest frontier GC may trim to: records at or above it may not be durable yet, and
+  // trimming them could release a record whose KV side effects survive a crash while the
+  // record itself does not. kMaxSeqNum when durability is off.
+  sharedlog::SeqNum DurableTrimBound() const {
+    return log_durability_ == nullptr ? sharedlog::kMaxSeqNum
+                                      : log_durability_->durable_seq() + 1;
+  }
 
   int node_count() const { return static_cast<int>(nodes_.size()); }
   FunctionNode& node(int i) { return *nodes_[i]; }
@@ -239,11 +273,21 @@ class Cluster {
   std::unique_ptr<sim::ServiceStation> storage_station_;
   std::unique_ptr<sim::ServiceStation> db_station_;
 
+  std::unique_ptr<storage::DurabilityService> log_durability_;  // Null unless durable.
+  std::unique_ptr<storage::DurabilityService> kv_durability_;   // Null unless durable.
+
   std::vector<std::unique_ptr<FunctionNode>> nodes_;
   size_t next_node_ = 0;
 
   void OnCommit(sharedlog::SeqNum seqnum);
+  // Schedules the index-propagation delivery of `seqnum` with the already-sampled `delay`
+  // (factored out of OnCommit so the durable mode can defer it to the flush callback).
+  void DeliverCommit(sharedlog::SeqNum seqnum, SimDuration delay);
   void IndexPropagationTick();
+
+  // Journal replay halves of the KillRestart* entry points.
+  void ReplayLogJournal();
+  void ReplayKvJournal();
 
   static constexpr SimTime kNoWakeup = std::numeric_limits<SimTime>::max();
 

@@ -51,11 +51,22 @@ LogPartition::LogPartition(int id, sim::Scheduler* scheduler, uint64_t seed,
       .max_batch = static_cast<size_t>(config.append_batch_max),
       .pipeline_depth = config.append_batch_pipeline,
   };
+  // Durable tier (DESIGN.md §13): one journal per partition, on the partition's own event
+  // loop — flushes are partition-local timestamped events, so both threading modes see them
+  // identically. The service draws flush latencies from its own stream derived from the
+  // partition seed; config.durable = false skips this entirely (bit-identity with the
+  // pre-storage engine, as in runtime::Cluster).
+  if (config.durable) {
+    durability_ = std::make_unique<storage::DurabilityService>(scheduler_, models_,
+                                                               PartitionSeed(seed, id));
+    log_.AttachDurability(durability_.get());
+  }
   clients_.reserve(static_cast<size_t>(config.clients_per_partition));
   for (int i = 0; i < config.clients_per_partition; ++i) {
     clients_.push_back(std::make_unique<sharedlog::LogClient>(
         scheduler_, &rng_, models_, &log_, std::vector<sim::ServiceStation*>{&sequencer_},
         &storage_, batch, /*read_cache=*/false));
+    if (durability_ != nullptr) clients_.back()->SetDurability(durability_.get());
   }
   log_.SetCommitListener([this](sharedlog::SeqNum seqnum) { OnCommit(seqnum); });
 }
@@ -63,7 +74,19 @@ LogPartition::LogPartition(int id, sim::Scheduler* scheduler, uint64_t seed,
 void LogPartition::OnCommit(sharedlog::SeqNum seqnum) {
   // Partition-local by construction: the commit fires on this partition's event loop and the
   // index update is posted back onto the same loop, so no cross-thread access happens here.
+  // The delay is sampled before branching on the durable mode, so both modes draw the
+  // identical rng sequence from this stream.
   SimDuration delay = models_->index_propagation.Sample(rng_);
+  if (durability_ != nullptr) {
+    // Write-ahead index propagation (DESIGN.md §13): replicas only learn durable seqnums.
+    // The callback fires on this partition's loop once the record's flush lands.
+    durability_->WhenDurable(seqnum, [this, seqnum, delay] {
+      scheduler_->Post(delay, [this, seqnum] {
+        for (auto& client : clients_) client->AdvanceIndex(seqnum);
+      });
+    });
+    return;
+  }
   scheduler_->Post(delay, [this, seqnum] {
     for (auto& client : clients_) client->AdvanceIndex(seqnum);
   });

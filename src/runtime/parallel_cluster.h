@@ -40,6 +40,7 @@
 #include "src/sim/parallel.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/service_station.h"
+#include "src/storage/durability.h"
 
 namespace halfmoon::runtime {
 
@@ -74,6 +75,13 @@ struct ParallelClusterConfig {
   int append_batch_max = DefaultAppendBatchMax();
   int append_batch_pipeline = DefaultAppendPipelineDepth();
 
+  // Durable storage tier (DESIGN.md §13): each partition gets its own journal + group
+  // flusher on its own event loop, and appends only ack after their frames are flush-
+  // ordered — the same write-ahead contract as ClusterConfig::durable, shard-parallel.
+  // false (HM_DURABLE=0/unset) constructs no storage machinery at all and stays
+  // bit-identical to the pre-storage engine.
+  bool durable = DefaultDurableMode();
+
   sim::QueueMode queue_mode = sim::QueueMode::kTimerWheel;
   uint64_t seed = 1;
   LatencyCalibration calibration;
@@ -103,6 +111,11 @@ class LogPartition {
   // the recorders: only this partition's worker bumps it; the main thread sums after join).
   int64_t remote_appends_out() const { return remote_appends_out_; }
 
+  // This partition's journal (nullptr when config.durable is false). Partition-local like
+  // everything else here: only this partition's worker ever touches it during the run.
+  storage::DurabilityService* durability() { return durability_.get(); }
+  const storage::DurabilityService* durability() const { return durability_.get(); }
+
  private:
   friend class ParallelCluster;
   // Partition-local index propagation: every commit reaches this partition's client replicas
@@ -116,6 +129,7 @@ class LogPartition {
   sharedlog::ShardedLog log_{1};
   sim::ServiceStation sequencer_;
   sim::ServiceStation storage_;
+  std::unique_ptr<storage::DurabilityService> durability_;  // Durable tier only.
   std::vector<std::unique_ptr<sharedlog::LogClient>> clients_;
   metrics::LatencyRecorder append_latency_;
   int64_t remote_appends_out_ = 0;

@@ -2,7 +2,19 @@
 
 #include <utility>
 
+#include "src/storage/durability.h"
+
 namespace halfmoon::sharedlog {
+
+sim::Task<bool> LogClient::AwaitDurable(SeqNum seqnum, bool crashable) {
+  bool ok = co_await durability_->WaitSeq(seqnum);
+  // A failed wait means a kill rolled the record back before it reached the device. An
+  // attempt must not act on (or ack) the lost append — abort it into the retry loop, where
+  // the re-executed attempt re-reads the rolled-back log. Control-path waits (class 0, e.g.
+  // detached service appends) resume normally; their callers skip the post-commit caching.
+  if (!ok && crashable && crash_thrower_) crash_thrower_("log.append.durability");
+  co_return ok;
+}
 
 sim::Task<void> LogClient::SequencerRoundAt(sim::ServiceStation* station,
                                             SimDuration total_latency) {
@@ -35,6 +47,9 @@ sim::Task<SeqNum> LogClient::Append(std::vector<TagId> tags, FieldMap fields) {
     LogSpace::GroupVerdict verdict =
         co_await batcher->Submit(std::move(request), /*crashable=*/cls != 0);
     NoteAppendedBytes(cls, bytes);
+    if (durability_ != nullptr && !co_await AwaitDurable(verdict.seqnum, cls != 0)) {
+      co_return verdict.seqnum;  // Rolled back by a kill; nothing left to cache.
+    }
     if (read_cache_enabled_) CacheCommitted(space_->Get(verdict.seqnum));
     co_return verdict.seqnum;  // Unconditional requests always commit.
   }
@@ -45,8 +60,10 @@ sim::Task<SeqNum> LogClient::Append(std::vector<TagId> tags, FieldMap fields) {
   co_await SequencerRoundAt(station, total);  // Ordering + replication to storage nodes.
   SeqNum seqnum = space_->Append(scheduler_->Now(), std::move(tags), std::move(fields));
   NoteAppendedBytes(cls, bytes);
-  AdvanceIndex(seqnum);                     // The appender learns its own seqnum with the reply.
-  if (read_cache_enabled_) CacheCommitted(space_->Get(seqnum));
+  if (durability_ == nullptr || co_await AwaitDurable(seqnum, cls != 0)) {
+    AdvanceIndex(seqnum);                   // The appender learns its own seqnum with the reply.
+    if (read_cache_enabled_) CacheCommitted(space_->Get(seqnum));
+  }
   co_await scheduler_->Delay(leg);          // Reply.
   co_return seqnum;
 }
@@ -75,8 +92,10 @@ sim::Task<CondAppendResult> LogClient::CondAppend(std::vector<TagId> tags, Field
                          cond_pos);
   if (result.ok) {
     NoteAppendedBytes(cls, bytes);
-    AdvanceIndex(result.seqnum);
-    CacheCommitted(result.record);
+    if (durability_ == nullptr || co_await AwaitDurable(result.seqnum, cls != 0)) {
+      AdvanceIndex(result.seqnum);
+      CacheCommitted(result.record);
+    }
   } else {
     ++stats_.cond_append_conflicts;
   }
@@ -96,6 +115,9 @@ sim::Task<CondAppendResult> LogClient::SubmitCond(LogSpace::GroupRequest request
   result.seqnum = verdict.seqnum;
   result.existing_seqnum = verdict.existing_seqnum;
   if (verdict.ok) {
+    if (durability_ != nullptr && !co_await AwaitDurable(verdict.seqnum, crashable)) {
+      co_return result;  // Rolled back by a kill; the record view no longer exists.
+    }
     result.record = space_->Get(verdict.seqnum);
     if (entries > 1) {
       CacheBatch(verdict.seqnum, entries);
@@ -133,9 +155,13 @@ sim::Task<CondAppendResult> LogClient::CondAppendBatch(std::vector<LogSpace::Bat
       space_->CondAppendBatch(scheduler_->Now(), std::move(batch), cond_tag, cond_pos);
   if (result.ok) {
     NoteAppendedBytes(cls, bytes);
-    // The batch commits in one round; the replica learns its seqnums with the reply.
-    AdvanceIndex(space_->next_seqnum() - 1);
-    CacheBatch(result.seqnum, entries);
+    // The batch is journaled as one run of frames; the last entry's seqnum gates them all.
+    if (durability_ == nullptr ||
+        co_await AwaitDurable(space_->BatchSeq(result.seqnum, entries - 1), cls != 0)) {
+      // The batch commits in one round; the replica learns its seqnums with the reply.
+      AdvanceIndex(space_->next_seqnum() - 1);
+      CacheBatch(result.seqnum, entries);
+    }
   } else {
     ++stats_.cond_append_conflicts;
   }
@@ -157,6 +183,10 @@ sim::Task<SeqNum> LogClient::AppendBatch(std::vector<LogSpace::BatchEntry> batch
     LogSpace::GroupVerdict verdict =
         co_await batcher->Submit(std::move(request), /*crashable=*/cls != 0);
     NoteAppendedBytes(cls, bytes);
+    if (durability_ != nullptr &&
+        !co_await AwaitDurable(space_->BatchSeq(verdict.seqnum, entries - 1), cls != 0)) {
+      co_return verdict.seqnum;  // Rolled back by a kill; nothing left to cache.
+    }
     CacheBatch(verdict.seqnum, entries);
     co_return verdict.seqnum;
   }
@@ -169,8 +199,11 @@ sim::Task<SeqNum> LogClient::AppendBatch(std::vector<LogSpace::BatchEntry> batch
   co_await SequencerRoundAt(station, total);
   SeqNum first = space_->AppendBatch(scheduler_->Now(), std::move(batch));
   NoteAppendedBytes(cls, bytes);
-  AdvanceIndex(space_->next_seqnum() - 1);
-  CacheBatch(first, entries);
+  if (durability_ == nullptr ||
+      co_await AwaitDurable(space_->BatchSeq(first, entries - 1), cls != 0)) {
+    AdvanceIndex(space_->next_seqnum() - 1);
+    CacheBatch(first, entries);
+  }
   co_await scheduler_->Delay(leg);
   co_return first;
 }
@@ -196,10 +229,20 @@ sim::Task<LogRecordPtr> LogClient::ReadPrev(TagId tag, SeqNum max_seqnum) {
       auto it = read_cache_.find(tag);
       if (it != read_cache_.end() && latest != kInvalidSeqNum &&
           it->second->seqnum == latest) {
+        // Copy the shared view out before suspending: the map iterator is not stable across
+        // the delay (a concurrent miss may rehash the map).
+        LogRecordPtr cached = it->second;
         ++stats_.cache_hits;
         co_await scheduler_->Delay(models_->log_read_cache_hit.Sample(*rng_));
-        ++stats_.read_record_shared;
-        co_return it->second;
+        // Re-validate after the suspension: a Trim that ran during the delay may have
+        // released the cached record, and serving it would resurrect trimmed data. Fail
+        // closed — drop the entry and fall through to the index-local read below.
+        if (space_->LatestSeqNoAtMost(tag, max_seqnum) == latest) {
+          ++stats_.read_record_shared;
+          co_return cached;
+        }
+        ++stats_.read_cache_stale_invalidations;
+        read_cache_.erase(tag);
       }
     }
     co_await scheduler_->Delay(models_->log_read_cached.Sample(*rng_));
@@ -266,6 +309,12 @@ sim::Task<void> LogClient::Trim(TagId tag, SeqNum upto) {
   co_await scheduler_->Delay(leg);
   co_await StorageRound(total);
   space_->Trim(scheduler_->Now(), tag, upto);
+  // Drop this client's own cached payload if the trim released it; peers catch theirs via
+  // the post-delay revalidation in ReadPrev.
+  if (read_cache_enabled_) {
+    auto it = read_cache_.find(tag);
+    if (it != read_cache_.end() && it->second->seqnum <= upto) read_cache_.erase(it);
+  }
   co_await scheduler_->Delay(leg);
 }
 

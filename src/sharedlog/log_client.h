@@ -43,6 +43,10 @@
 #include "src/sim/service_station.h"
 #include "src/sim/task.h"
 
+namespace halfmoon::storage {
+class DurabilityService;
+}  // namespace halfmoon::storage
+
 namespace halfmoon::sharedlog {
 
 // How a sampled end-to-end latency is split across the wire legs and the server occupancy.
@@ -73,6 +77,10 @@ struct LogClientStats {
   // read, which is a bounded logReadPrev.
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  // Cache-hit validations that went stale while the hit's read delay was pending (a
+  // concurrent Trim released the cached record mid-read). The read fails closed: the entry
+  // is dropped and the read is re-served from the index replica.
+  int64_t read_cache_stale_invalidations = 0;
   // Zero-copy audit: every record a read returns is counted either as a shared view
   // (refcount bump on the committed record) or as a deep copy. The read path is copy-free by
   // construction, so read_record_copies must stay 0; the counter exists so benchmarks and
@@ -126,6 +134,7 @@ struct LogClientStats {
     reads_storage += other.reads_storage;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
+    read_cache_stale_invalidations += other.read_cache_stale_invalidations;
     read_record_shared += other.read_record_shared;
     read_record_copies += other.read_record_copies;
     append_rounds += other.append_rounds;
@@ -297,6 +306,20 @@ class LogClient {
     crash_thrower_ = std::move(thrower);
   }
 
+  // Write-ahead gate (DESIGN.md §13): with a durability service attached, every append path
+  // waits for the committed record's journal frame before its reply leg / caller resumption,
+  // so every externally-known seqnum is durable. Null detaches (the HM_DURABLE=0 path never
+  // attaches and stays bit-identical to the pre-storage engine).
+  void SetDurability(storage::DurabilityService* durability) { durability_ = durability; }
+
+  // Node-loss soft-state wipe: rolls the index replica back to `durable_seqnum` (what replay
+  // rebuilds; pass 0 for a function-node loss, which restarts with an empty replica) and
+  // drops the payload cache — its entries reference records the kill destroyed.
+  void ResetSoftState(SeqNum durable_seqnum) {
+    indexed_upto_ = std::min(indexed_upto_, durable_seqnum);
+    read_cache_.clear();
+  }
+
  private:
   friend class AppendBatcher;
 
@@ -322,6 +345,10 @@ class LogClient {
   sim::Task<void> SequencerRoundAt(sim::ServiceStation* station, SimDuration total_latency);
   sim::Task<void> StorageRound(SimDuration total_latency);
   sim::Task<CondAppendResult> SubmitCond(LogSpace::GroupRequest request, bool crashable);
+  // The write-ahead gate for one committed seqnum. Returns false when a kill destroyed the
+  // record before it reached the device; crashable waiters (protocol-class appends, which
+  // run inside attempts) abort into the runtime's retry loop instead of returning.
+  sim::Task<bool> AwaitDurable(SeqNum seqnum, bool crashable);
 
   // Exactly LogRecord::ByteSize for the record these tags/fields will commit as. Computed
   // in the append prologues BEFORE tags/fields are moved into the request, and credited to
@@ -362,6 +389,7 @@ class LogClient {
   // trimmed records fail validation and get overwritten on the next miss.
   bool read_cache_enabled_ = false;
   std::unordered_map<TagId, LogRecordPtr> read_cache_;
+  storage::DurabilityService* durability_ = nullptr;  // See SetDurability.
   int append_class_ = 0;
   std::function<bool(const char*)> crash_probe_;    // See InstallCrashHooks.
   std::function<void(const char*)> crash_thrower_;  // Must throw; never returns normally.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/storage/durability.h"
 
 namespace halfmoon::sharedlog {
 
@@ -61,7 +63,17 @@ SeqNum LogSpace::Append(SimTime now, std::vector<TagId> tags, FieldMap fields) {
 SeqNum LogSpace::AppendLocal(SimTime now, std::vector<TagId> tags, FieldMap fields) {
   HM_CHECK_MSG(!tags.empty(), "log records must carry at least one tag");
   SeqNum seqnum = AllocSeqNum();
+  LogRecordPtr record = InstallRecord(now, seqnum, std::move(tags), std::move(fields));
+  // Write-ahead ordering: the frame is journaled at commit, before the listener can start
+  // index propagation — the cluster gates propagation (and the client gates its external
+  // ack) on this frame becoming durable.
+  if (shared_->durability != nullptr) JournalRecord(*record);
+  if (shared_->commit_listener) shared_->commit_listener(seqnum);
+  return seqnum;
+}
 
+LogRecordPtr LogSpace::InstallRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
+                                     FieldMap fields) {
   auto record = std::make_shared<LogRecord>();
   record->seqnum = seqnum;
   record->tags = std::move(tags);
@@ -83,11 +95,55 @@ SeqNum LogSpace::AppendLocal(SimTime now, std::vector<TagId> tags, FieldMap fiel
     }
     stream.seqnums.push_back(seqnum);
   }
-  stored.record = std::move(record);
+  stored.record = record;
   records_.emplace(seqnum, std::move(stored));
+  return record;
+}
 
-  if (shared_->commit_listener) shared_->commit_listener(seqnum);
-  return seqnum;
+void LogSpace::JournalRecord(const LogRecord& record) {
+  std::string payload;
+  storage::PutU64(&payload, record.seqnum);
+  storage::PutU32(&payload, static_cast<uint32_t>(record.tags.size()));
+  for (TagId tag : record.tags) storage::PutU64(&payload, tag);
+  storage::PutU32(&payload, static_cast<uint32_t>(record.fields.size()));
+  for (const auto& [key, field] : record.fields) {
+    storage::PutStr(&payload, key);
+    if (const int64_t* i = std::get_if<int64_t>(&field)) {
+      storage::PutU8(&payload, 0);
+      storage::PutU64(&payload, static_cast<uint64_t>(*i));
+    } else {
+      storage::PutU8(&payload, 1);
+      storage::PutStr(&payload, std::get<std::string>(field));
+    }
+  }
+  uint64_t end = shared_->durability->AppendFrame(storage::FrameType::kRecord, payload);
+  shared_->durability->NoteCommit(record.seqnum, end);
+}
+
+void LogSpace::RestoreRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
+                             FieldMap fields) {
+  HM_CHECK_MSG(!tags.empty(), "log records must carry at least one tag");
+  SeqOwner(seqnum)->RestoreRecordLocal(now, seqnum, std::move(tags), std::move(fields));
+}
+
+void LogSpace::RestoreRecordLocal(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
+                                  FieldMap fields) {
+  // Frames replay in append order and seqnums are allocated in commit order, so a replay
+  // observes strictly increasing seqnums; the watermark lands exactly where the original
+  // run's durable prefix left it.
+  HM_CHECK_MSG(seqnum > shared_->watermark, "journal replay out of commit order");
+  shared_->watermark = seqnum;
+  InstallRecord(now, seqnum, std::move(tags), std::move(fields));
+}
+
+void LogSpace::RestoreTrim(SimTime now, TagId tag, SeqNum upto) {
+  HM_CHECK_MSG(shared_->tags.Contains(tag), "journal replay trims an unknown tag");
+  TagOwner(tag)->TrimLocal(now, tag, upto, /*journal=*/false);
+}
+
+void LogSpace::ResetShardVolatile() {
+  records_.clear();
+  streams_.clear();
 }
 
 bool LogSpace::CondHolds(TagId cond_tag, size_t cond_pos, SeqNum* existing) {
@@ -321,10 +377,10 @@ void LogSpace::ReleaseRefLocal(SimTime now, SeqNum seqnum) {
 
 size_t LogSpace::Trim(SimTime now, TagId tag, SeqNum upto) {
   if (!shared_->tags.Contains(tag)) return 0;
-  return TagOwner(tag)->TrimLocal(now, tag, upto);
+  return TagOwner(tag)->TrimLocal(now, tag, upto, /*journal=*/true);
 }
 
-size_t LogSpace::TrimLocal(SimTime now, TagId tag, SeqNum upto) {
+size_t LogSpace::TrimLocal(SimTime now, TagId tag, SeqNum upto, bool journal) {
   if (tag >= streams_.size()) return 0;
   TagStream& stream = streams_[tag];
   size_t released = 0;
@@ -336,6 +392,14 @@ size_t LogSpace::TrimLocal(SimTime now, TagId tag, SeqNum upto) {
   }
   if (stream.seqnums.empty() && stream.base > 0) {
     shared_->live_tags.erase(std::string_view(shared_->tags.Name(tag)));
+  }
+  // Trims are journaled fire-and-forget: nothing external depends on a trim being durable,
+  // and a trim lost to a crash merely resurrects garbage the next GC pass re-collects.
+  if (journal && released > 0 && shared_->durability != nullptr) {
+    std::string payload;
+    storage::PutU64(&payload, tag);
+    storage::PutU64(&payload, upto);
+    shared_->durability->AppendFrame(storage::FrameType::kTrim, payload);
   }
   return released;
 }

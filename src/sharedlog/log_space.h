@@ -47,6 +47,10 @@
 #include "src/sharedlog/log_record.h"
 #include "src/sharedlog/tag_registry.h"
 
+namespace halfmoon::storage {
+class DurabilityService;
+}  // namespace halfmoon::storage
+
 namespace halfmoon::sharedlog {
 
 class LogSpace {
@@ -62,6 +66,11 @@ class LogSpace {
     SeqNum watermark = 0;  // 0 = nothing committed; first encoded seqnum is >= 1.
     std::map<std::string_view, TagId> live_tags;
     std::function<void(SeqNum)> commit_listener;
+    // Non-null when the log runs over the simulated durable medium (DESIGN.md §13): every
+    // commit journals a kRecord frame, every releasing trim a kTrim frame. Null (the
+    // default) journals nothing and draws no extra latency samples — bit-identical to the
+    // pre-storage simulation.
+    storage::DurabilityService* durability = nullptr;
   };
 
   // Standalone single-shard log (the historic constructor; bit-identical behaviour).
@@ -234,6 +243,20 @@ class LogSpace {
     return StreamLength(shared_->tags.Find(tag));
   }
 
+  // ---- Crash-restart recovery (DESIGN.md §13) ----
+  // Reinstalls a committed record from its journal frame: same index/stream/gauge effects as
+  // the original append, but no commit listener and no re-journaling. Frames replay in
+  // commit order, so seqnums arrive strictly increasing (asserted); the watermark advances to
+  // each restored seqnum. Routed to the shard that originally sequenced the record.
+  void RestoreRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags, FieldMap fields);
+
+  // Re-applies a durable trim during replay (no re-journaling).
+  void RestoreTrim(SimTime now, TagId tag, SeqNum upto);
+
+  // Drops THIS shard's volatile record store and sub-stream indices (node loss). The caller
+  // (ShardedLog::ResetVolatile) resets the shared state — gauge, live tags, watermark.
+  void ResetShardVolatile();
+
   // Smallest seqnum the next append could receive; strictly greater than every committed
   // seqnum (watermark + 1, which IS the next seqnum when unsharded).
   SeqNum next_seqnum() const { return shared_->watermark + 1; }
@@ -315,7 +338,16 @@ class LogSpace {
   CondAppendResult CondAppendBatchLocal(SimTime now, std::vector<BatchEntry> batch,
                                         TagId cond_tag, size_t cond_pos);
   SeqNum AppendBatchLocal(SimTime now, std::vector<BatchEntry> batch);
-  size_t TrimLocal(SimTime now, TagId tag, SeqNum upto);
+  size_t TrimLocal(SimTime now, TagId tag, SeqNum upto, bool journal);
+
+  // The shared body of AppendLocal and RestoreRecordLocal: builds the immutable record and
+  // installs it into the record store, the per-tag sub-streams, the live-tag index, and the
+  // storage gauge — everything EXCEPT seqnum allocation, journaling, and commit notification,
+  // which is exactly what differs between a live append and a journal replay.
+  LogRecordPtr InstallRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
+                             FieldMap fields);
+  void JournalRecord(const LogRecord& record);
+  void RestoreRecordLocal(SimTime now, SeqNum seqnum, std::vector<TagId> tags, FieldMap fields);
 
   // Stream for `tag` on THIS shard, or null if the tag never had an append. Interned ids are
   // dense, so the stream table is a flat vector indexed by id: the per-op "hash" is a bounds

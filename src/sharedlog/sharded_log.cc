@@ -1,5 +1,9 @@
 #include "src/sharedlog/sharded_log.h"
 
+#include <string>
+
+#include "src/storage/durability.h"
+
 namespace halfmoon::sharedlog {
 
 ShardedLog::ShardedLog(uint32_t shard_count) {
@@ -27,6 +31,27 @@ size_t ShardedLog::IndexEntries() const {
   size_t total = 0;
   for (const auto& shard : shards_) total += shard->IndexEntries();
   return total;
+}
+
+void ShardedLog::AttachDurability(storage::DurabilityService* svc) {
+  shared_.durability = svc;
+  if (svc == nullptr) {
+    shared_.tags.SetInternSink(nullptr);
+    return;
+  }
+  shared_.tags.SetInternSink([svc](TagId id, std::string_view name) {
+    std::string payload;
+    storage::PutU64(&payload, id);
+    storage::PutStr(&payload, name);
+    svc->AppendFrame(storage::FrameType::kTagDef, payload);
+  });
+}
+
+void ShardedLog::ResetVolatile(SimTime now) {
+  shared_.gauge.Add(now, -shared_.gauge.CurrentBytes());
+  shared_.live_tags.clear();
+  shared_.watermark = 0;
+  for (auto& shard : shards_) shard->ResetShardVolatile();
 }
 
 }  // namespace halfmoon::sharedlog

@@ -143,6 +143,33 @@ class ShardedLog {
     return shards_[0]->Trim(now, tag, upto);
   }
 
+  // ---- Durable medium + crash-restart recovery (DESIGN.md §13) ----
+  // Attaches the durability service: every commit journals a kRecord frame, every releasing
+  // trim a kTrim frame, and every newly interned tag a kTagDef frame. Must be attached before
+  // the first workload append (earlier interns — the pre-interned protocol tags — are
+  // deterministic constructor state and need no journal).
+  void AttachDurability(storage::DurabilityService* svc);
+
+  // Drops everything a node loss destroys: records, sub-stream indices, the live-tag index,
+  // the watermark, and the storage gauge's current bytes. The tag/op interners survive — ids
+  // are deterministic client-side handles, and replay cross-checks them via kTagDef frames.
+  void ResetVolatile(SimTime now);
+
+  // Journal replay entry points (frames decoded by the cluster's recovery routine).
+  void RestoreRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags, FieldMap fields) {
+    shards_[0]->RestoreRecord(now, seqnum, std::move(tags), std::move(fields));
+  }
+  void RestoreTrim(SimTime now, TagId tag, SeqNum upto) {
+    shards_[0]->RestoreTrim(now, tag, upto);
+  }
+  // Cross-checks a replayed kTagDef frame against the surviving registry: the journaled
+  // (id, name) assignment must match bit for bit, or the replayed record frames' tag ids
+  // would silently index the wrong streams.
+  void VerifyTagDef(TagId id, std::string_view name) const {
+    HM_CHECK_MSG(shared_.tags.Contains(id) && shared_.tags.Name(id) == name,
+                 "journal replay: tag definition does not match the registry");
+  }
+
   // ---- Accounting / hooks ----
   SeqNum next_seqnum() const { return shards_[0]->next_seqnum(); }
   size_t live_records() const;   // Summed across shards.

@@ -104,6 +104,7 @@ TagId TagRegistry::Register(std::string full_name, uint64_t hash) {
   size_t i = static_cast<size_t>(Finalize(hash)) & table_mask_;
   while (table_[i].id != kInvalidTagId) i = (i + 1) & table_mask_;
   table_[i] = Slot{hash, id};
+  if (intern_sink_) intern_sink_(id, name);
   return id;
 }
 

@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -88,6 +89,14 @@ class TagRegistry {
   // Total Intern/InternPrefixed calls. size() staying flat while this grows proves the
   // steady state never re-materializes a tag name (acceptance criterion of ISSUE 2).
   int64_t intern_requests() const { return intern_requests_; }
+
+  // Fires once per NEWLY registered name, with its freshly assigned id — Register is the
+  // single insertion point, so repeat interns never re-fire. The durability layer hooks this
+  // to journal kTagDef frames (DESIGN.md §13): the (id, name) assignment is volatile sequencer
+  // state, and replay cross-checks it against the journal.
+  void SetInternSink(std::function<void(TagId, std::string_view)> sink) {
+    intern_sink_ = std::move(sink);
+  }
 
  private:
   // Polynomial rolling hash: h := h*r + byte for every byte. Appending is a monoid action,
@@ -149,6 +158,7 @@ class TagRegistry {
   std::vector<const std::string*> names_;      // Dense id → name (stable pointers).
   std::map<std::string_view, TagId> ordered_;  // Name-ordered index for prefix scans.
   int64_t intern_requests_ = 0;
+  std::function<void(TagId, std::string_view)> intern_sink_;
   uint32_t shard_count_ = 1;
   std::vector<uint32_t> shard_of_;  // Dense id → owning shard (all 0 when unsharded).
 };

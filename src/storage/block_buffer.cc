@@ -1,0 +1,28 @@
+#include "src/storage/block_buffer.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace halfmoon::storage {
+
+uint64_t BlockBuffer::Append(std::string_view bytes) {
+  uint64_t offset = data_.size();
+  data_.append(bytes);
+  return offset;
+}
+
+void BlockBuffer::FlushTo(uint64_t upto) {
+  upto = std::min<uint64_t>(upto, data_.size());
+  if (upto <= durable_) return;
+  uint64_t start = (durable_ / kBlockSize) * kBlockSize;
+  device_->WriteBlocks(start, std::string_view(data_).substr(start, upto - start));
+  durable_ = upto;
+}
+
+void BlockBuffer::DropVolatile() {
+  HM_CHECK(durable_ <= data_.size());
+  data_.resize(durable_);
+}
+
+}  // namespace halfmoon::storage

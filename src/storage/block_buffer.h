@@ -1,0 +1,57 @@
+// Write-back buffer cache over the block device.
+//
+// Appends land in a volatile in-memory tail; FlushTo pushes a prefix of that tail down to the
+// device in aligned blocks, re-writing the partial block straddling the durable frontier (the
+// classic small-write amplification of an append-only journal on a block medium). A node kill
+// drops the volatile tail — DropVolatile — leaving exactly the device-backed durable prefix.
+
+#ifndef HALFMOON_STORAGE_BLOCK_BUFFER_H_
+#define HALFMOON_STORAGE_BLOCK_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/storage/block_device.h"
+
+namespace halfmoon::storage {
+
+class BlockBuffer {
+ public:
+  explicit BlockBuffer(BlockDevice* device) : device_(device) {}
+  BlockBuffer(const BlockBuffer&) = delete;
+  BlockBuffer& operator=(const BlockBuffer&) = delete;
+
+  // Appends bytes to the volatile tail; returns the logical offset of the first byte.
+  uint64_t Append(std::string_view bytes);
+
+  // Logical end of the buffer (durable prefix + volatile tail).
+  uint64_t tail() const { return data_.size(); }
+  // End of the durable prefix: everything below this offset survives a kill.
+  uint64_t durable() const { return durable_; }
+
+  // Flushes [durable(), min(upto, tail())) to the device, whole blocks at a time. The block
+  // containing the old frontier is re-written in full — that rewrite is the amplification the
+  // group-flush in durability.cc amortizes.
+  void FlushTo(uint64_t upto);
+
+  // Simulated power loss: discards the volatile tail. The durable prefix is untouched.
+  void DropVolatile();
+
+  // Reads back durable bytes from the device (never the volatile tail — replay must only see
+  // what genuinely survived).
+  std::string_view ReadDurable(uint64_t offset, uint64_t n) const {
+    return device_->Read(offset, n);
+  }
+
+  const BlockDevice& device() const { return *device_; }
+
+ private:
+  BlockDevice* device_;
+  std::string data_;  // Full logical image; [0, durable_) mirrors the device contents.
+  uint64_t durable_ = 0;
+};
+
+}  // namespace halfmoon::storage
+
+#endif  // HALFMOON_STORAGE_BLOCK_BUFFER_H_

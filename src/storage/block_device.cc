@@ -1,0 +1,25 @@
+#include "src/storage/block_device.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace halfmoon::storage {
+
+void BlockDevice::WriteBlocks(uint64_t offset, std::string_view data) {
+  HM_CHECK_MSG(offset % kBlockSize == 0, "unaligned block write");
+  if (data.empty()) return;
+  uint64_t end = offset + data.size();
+  if (end > data_.size()) data_.resize(end);
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+  int64_t blocks = static_cast<int64_t>((data.size() + kBlockSize - 1) / kBlockSize);
+  stats_.block_writes += blocks;
+  stats_.bytes_written += blocks * static_cast<int64_t>(kBlockSize);
+}
+
+std::string_view BlockDevice::Read(uint64_t offset, uint64_t n) const {
+  HM_CHECK_MSG(offset + n <= data_.size(), "device read past the durable end");
+  return std::string_view(data_).substr(offset, n);
+}
+
+}  // namespace halfmoon::storage

@@ -1,0 +1,46 @@
+// The simulated durable medium: a byte-addressed device written in aligned 4 KiB blocks.
+//
+// The device is the ONLY state in the simulation that survives a node kill. Everything above
+// it (the block buffer's volatile tail, LogSpace indices, KvState maps) is reconstructed by
+// replaying the journal frames recorded here (see durability.h). Writes are paid for in whole
+// blocks — flushing a 100-byte journal frame rewrites its 4 KiB tail block — which is what
+// makes group-flush worth modeling and gives bench_recovery_cost a real write-amplification
+// number to report.
+
+#ifndef HALFMOON_STORAGE_BLOCK_DEVICE_H_
+#define HALFMOON_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace halfmoon::storage {
+
+// Flush granularity of the simulated medium (an NVMe-class logical block).
+inline constexpr uint64_t kBlockSize = 4096;
+
+class BlockDevice {
+ public:
+  struct Stats {
+    int64_t block_writes = 0;   // Blocks written; rewriting a partial tail block counts again.
+    int64_t bytes_written = 0;  // Device bytes moved = block_writes * kBlockSize.
+  };
+
+  // Overwrites device contents starting at `offset` (must be block-aligned) with `data`,
+  // growing the device as needed. Whole blocks are paid for even when `data` ends mid-block.
+  void WriteBlocks(uint64_t offset, std::string_view data);
+
+  // Reads back durable bytes; the range must lie within the device.
+  std::string_view Read(uint64_t offset, uint64_t n) const;
+
+  uint64_t size() const { return data_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::string data_;
+  Stats stats_;
+};
+
+}  // namespace halfmoon::storage
+
+#endif  // HALFMOON_STORAGE_BLOCK_DEVICE_H_

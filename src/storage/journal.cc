@@ -1,0 +1,28 @@
+#include "src/storage/journal.h"
+
+namespace halfmoon::storage {
+
+uint64_t AppendFrame(BlockBuffer* buffer, FrameType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU8(&frame, static_cast<uint8_t>(type));
+  frame.append(payload);
+  buffer->Append(frame);
+  return buffer->tail();
+}
+
+void ReplayFrames(const BlockBuffer& buffer, uint64_t upto,
+                  const std::function<void(FrameType, Cursor)>& fn) {
+  uint64_t off = 0;
+  while (off + kFrameHeaderBytes <= upto) {
+    Cursor header(buffer.ReadDurable(off, kFrameHeaderBytes));
+    uint64_t len = header.U32();
+    FrameType type = static_cast<FrameType>(header.U8());
+    if (off + kFrameHeaderBytes + len > upto) break;  // Torn tail frame.
+    fn(type, Cursor(buffer.ReadDurable(off + kFrameHeaderBytes, len)));
+    off += kFrameHeaderBytes + len;
+  }
+}
+
+}  // namespace halfmoon::storage

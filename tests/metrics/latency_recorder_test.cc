@@ -135,6 +135,33 @@ TEST(LatencyRecorderTest, MergeInvalidatesCachedSort) {
   EXPECT_EQ(rec.Percentile(0), Milliseconds(2));
 }
 
+TEST(LatencyRecorderTest, WarmCacheSurvivesEveryMergeShape) {
+  // Merging into a recorder whose sorted cache is warm must never serve percentiles of the
+  // pre-merge sample set, whatever the merge shape: plain fold, self-merge, and a fold into a
+  // recorder that was cleared and refilled between percentile reads.
+  LatencyRecorder rec, other;
+  for (int v : {40, 10, 30, 20}) rec.Record(Milliseconds(v));
+  EXPECT_EQ(rec.P99(), Milliseconds(40));  // Warm cache at length 4.
+  for (int v : {90, 60, 80, 70}) other.Record(Milliseconds(v));
+  rec.Merge(other);
+  EXPECT_EQ(rec.P99(), Milliseconds(90));
+  EXPECT_EQ(rec.Median(), Milliseconds(60));  // rank 3.5 -> index 4 of 10..90.
+
+  rec.Merge(rec);  // Self-merge with a warm cache: percentiles unchanged, count doubled.
+  EXPECT_EQ(rec.count(), 16u);
+  EXPECT_EQ(rec.Median(), Milliseconds(60));
+  EXPECT_EQ(rec.P99(), Milliseconds(90));
+
+  rec.Clear();
+  for (int v : {3, 1, 2}) rec.Record(Milliseconds(v));
+  EXPECT_EQ(rec.Median(), Milliseconds(2));  // Warm again at length 3.
+  LatencyRecorder low;
+  for (int v : {5, 4, 6}) low.Record(Milliseconds(v));
+  rec.Merge(low);
+  EXPECT_EQ(rec.Percentile(100), Milliseconds(6));
+  EXPECT_EQ(rec.Percentile(0), Milliseconds(1));
+}
+
 TEST(LatencyRecorderTest, MergeEmptyAndSelf) {
   LatencyRecorder rec, empty;
   rec.Record(Milliseconds(7));

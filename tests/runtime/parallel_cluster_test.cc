@@ -59,12 +59,13 @@ sim::Task<void> ClientLoad(ParallelCluster* pc, int p, int client, int ops, int 
 }
 
 RunResult RunWorkload(int partitions, bool parallel, uint64_t seed, int ops_per_client = 40,
-                      int remote_every = 4) {
+                      int remote_every = 4, bool durable = false) {
   ParallelClusterConfig config;
   config.partitions = partitions;
   config.parallel = parallel;
   config.clients_per_partition = 2;
   config.seed = seed;
+  config.durable = durable;
   ParallelCluster pc(config);
 
   // tags[owner][src] = the stream on `owner` fed by partition `src`. Interned before Run, as
@@ -158,6 +159,75 @@ TEST(ParallelClusterTest, TwoPartitionHandoff) {
   EXPECT_EQ(parallel.end, single.end);
   // 2 partitions x 2 clients x 15 remote ops each (every even op of 30 crosses).
   EXPECT_EQ(parallel.remote, 2 * 2 * 15);
+}
+
+TEST(ParallelClusterTest, DurableModesCommitIdenticalContent) {
+  // The durable tier must not break the cross-mode pin: per-partition journals and their
+  // flush events are partition-local timestamped events, identical under both engines.
+  RunResult single = RunWorkload(4, /*parallel=*/false, /*seed=*/7, 40, 4, /*durable=*/true);
+  RunResult parallel = RunWorkload(4, /*parallel=*/true, /*seed=*/7, 40, 4, /*durable=*/true);
+  EXPECT_EQ(parallel.checksum, single.checksum);
+  EXPECT_EQ(parallel.events, single.events);
+  EXPECT_EQ(parallel.end, single.end);
+  EXPECT_EQ(parallel.appends, single.appends);
+  EXPECT_GT(parallel.remote, 0);
+  std::printf("[parallel] seed=7 parts=4 durable mode0=%016llx mode1=%016llx %s\n",
+              static_cast<unsigned long long>(single.checksum),
+              static_cast<unsigned long long>(parallel.checksum),
+              single.checksum == parallel.checksum ? "match" : "MISMATCH");
+}
+
+TEST(ParallelClusterTest, DurableParallelRunsAreDeterministic) {
+  RunResult reference = RunWorkload(4, true, /*seed=*/11, 40, 4, /*durable=*/true);
+  for (int run = 0; run < 2; ++run) {
+    RunResult repeat = RunWorkload(4, true, /*seed=*/11, 40, 4, /*durable=*/true);
+    EXPECT_EQ(repeat.checksum, reference.checksum) << "run " << run;
+    EXPECT_EQ(repeat.events, reference.events) << "run " << run;
+    EXPECT_EQ(repeat.end, reference.end) << "run " << run;
+  }
+}
+
+TEST(ParallelClusterTest, DurableGatingDelaysAcksButKeepsContent) {
+  // Write-ahead acks cost time (flush-ordered before the reply leg) but never change what
+  // commits; volatile mode constructs no storage machinery at all.
+  ParallelClusterConfig config;
+  config.partitions = 2;
+  config.parallel = false;
+  config.durable = false;
+  ParallelCluster volatile_pc(config);
+  EXPECT_EQ(volatile_pc.partition(0).durability(), nullptr);
+
+  RunResult plain = RunWorkload(2, false, /*seed=*/5);
+  RunResult durable = RunWorkload(2, false, /*seed=*/5, 40, 4, /*durable=*/true);
+  EXPECT_EQ(durable.appends, plain.appends);
+  EXPECT_GT(durable.end, plain.end);  // The flush gate is on the ack path.
+}
+
+TEST(ParallelClusterTest, EveryPartitionJournalsItsOwnShard) {
+  ParallelClusterConfig config;
+  config.partitions = 3;
+  config.parallel = false;
+  config.durable = true;
+  config.seed = 9;
+  ParallelCluster pc(config);
+  std::vector<sharedlog::TagId> tags;
+  for (int p = 0; p < 3; ++p) tags.push_back(pc.InternTag(p, "t" + std::to_string(p)));
+  for (int p = 0; p < 3; ++p) {
+    pc.Spawn(p, [](ParallelCluster* pc, int p, sharedlog::TagId tag) -> sim::Task<void> {
+      FieldMap fields;
+      fields.SetStr("op", "bench-append");
+      fields.SetInt("step", 0);
+      co_await pc->Append(p, 0, p, std::vector<sharedlog::TagId>(1, tag), std::move(fields));
+    }(&pc, p, tags[static_cast<size_t>(p)]));
+  }
+  pc.Run();
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_NE(pc.partition(p).durability(), nullptr);
+    EXPECT_GT(pc.partition(p).durability()->stats().flushes, 0) << "partition " << p;
+    EXPECT_EQ(pc.partition(p).durability()->durable_offset(),
+              pc.partition(p).durability()->tail_offset())
+        << "partition " << p;  // Quiescence: everything acked is flushed.
+  }
 }
 
 TEST(ParallelClusterTest, DefaultParallelModeReadsEnvironment) {

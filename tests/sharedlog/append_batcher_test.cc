@@ -448,7 +448,10 @@ TEST(AppendBatcherTest, PipelineKnobsReadEnvironment) {
   };
   with_env("HM_PIPELINE", nullptr, [] { EXPECT_EQ(DefaultAppendPipelineDepth(), 1); });
   with_env("HM_PIPELINE", "4", [] { EXPECT_EQ(DefaultAppendPipelineDepth(), 4); });
-  with_env("HM_PIPELINE", "0", [] { EXPECT_EQ(DefaultAppendPipelineDepth(), 1); });  // Clamped.
+  // Out-of-range values abort with a diagnostic instead of silently clamping: a typo'd knob
+  // (HM_PIPELINE=O1, =0) must never run a sweep with a config the user did not ask for.
+  with_env("HM_PIPELINE", "0",
+           [] { EXPECT_DEATH(DefaultAppendPipelineDepth(), "below the knob's minimum"); });
   with_env("HM_BATCH_WINDOW", nullptr, [] { EXPECT_EQ(DefaultAppendBatchWindowUs(), 0); });
   with_env("HM_BATCH_WINDOW", "150", [] { EXPECT_EQ(DefaultAppendBatchWindowUs(), 150); });
   with_env("HM_BATCH_MAX", nullptr, [] { EXPECT_EQ(DefaultAppendBatchMax(), 64); });

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/latency_model.h"
+#include "src/sharedlog/sharded_log.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/sync.h"
 
@@ -148,6 +149,88 @@ TEST(LogClientTest, TrimRemovesRecords) {
   }(&fx));
   fx.scheduler.Run();
   EXPECT_EQ(fx.client.stats().trims, 1);
+}
+
+// Fixture with the node-local payload cache on (requires the sharded-cluster constructor).
+struct CachedClientFixture {
+  sim::Scheduler scheduler;
+  Rng rng{7};
+  LatencyModels models;
+  ShardedLog log{1};
+  LogClient client{&scheduler,
+                   &rng,
+                   &models,
+                   &log,
+                   {},
+                   nullptr,
+                   AppendBatchConfig{.enabled = false},
+                   /*read_cache=*/true};
+};
+
+TEST(LogClientReadCacheTest, TrimDuringCacheHitDelayFailsClosed) {
+  // Regression test for the stale-cache-across-Trim bug: a cache-hit ReadPrev validates,
+  // suspends for its hit latency, and a Trim releases the cached record mid-delay. Serving
+  // the cached payload would resurrect trimmed data; the read must fail closed (re-read,
+  // which now finds nothing) and drop the entry.
+  CachedClientFixture fx;
+  TagId tag = fx.client.tags().Intern("t");
+  SeqNum seq = 0;
+  fx.scheduler.Spawn([](CachedClientFixture* fx, TagId tag, SeqNum* out) -> sim::Task<void> {
+    *out = co_await fx->client.Append(std::vector<TagId>(1, tag), Fields("a"));
+  }(&fx, tag, &seq));
+  fx.scheduler.Run();
+  ASSERT_GT(seq, 0u);  // The appended record is now cached (CacheCommitted).
+
+  LogRecordPtr result;
+  bool done = false;
+  fx.scheduler.Spawn(
+      [](CachedClientFixture* fx, TagId tag, SeqNum seq, LogRecordPtr* out,
+         bool* done) -> sim::Task<void> {
+        *out = co_await fx->client.ReadPrev(tag, seq);
+        *done = true;
+      }(&fx, tag, seq, &result, &done));
+  // Fires while the read is suspended in the cache-hit delay (the trim is synchronous state
+  // mutation, as when another node's GC scan releases the records).
+  fx.scheduler.Post(SimDuration{0}, [&fx, tag, seq] {
+    fx.log.Trim(fx.scheduler.Now(), tag, seq);
+  });
+  fx.scheduler.Run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result, nullptr);  // Fail-closed: the trimmed payload is NOT served.
+  EXPECT_EQ(fx.client.stats().cache_hits, 1);
+  EXPECT_EQ(fx.client.stats().read_cache_stale_invalidations, 1);
+}
+
+TEST(LogClientReadCacheTest, UntrimmedCacheHitStillServesAndCountsNoInvalidation) {
+  CachedClientFixture fx;
+  TagId tag = fx.client.tags().Intern("t");
+  fx.scheduler.Spawn([](CachedClientFixture* fx, TagId tag) -> sim::Task<void> {
+    SeqNum seq = co_await fx->client.Append(std::vector<TagId>(1, tag), Fields("a"));
+    LogRecordPtr record = co_await fx->client.ReadPrev(tag, seq);
+    EXPECT_NE(record, nullptr);
+    if (record == nullptr) co_return;
+    EXPECT_EQ(record->seqnum, seq);
+  }(&fx, tag));
+  fx.scheduler.Run();
+  EXPECT_EQ(fx.client.stats().cache_hits, 1);
+  EXPECT_EQ(fx.client.stats().read_cache_stale_invalidations, 0);
+}
+
+TEST(LogClientReadCacheTest, OwnTrimEvictsTheCachedRecord) {
+  // The client's own Trim drops its cache entry up front, so no stale validation is needed
+  // on the next read.
+  CachedClientFixture fx;
+  TagId tag = fx.client.tags().Intern("t");
+  fx.scheduler.Spawn([](CachedClientFixture* fx, TagId tag) -> sim::Task<void> {
+    SeqNum seq = co_await fx->client.Append(std::vector<TagId>(1, tag), Fields("a"));
+    co_await fx->client.Trim(tag, seq);
+    LogRecordPtr record = co_await fx->client.ReadPrev(tag, seq);
+    EXPECT_EQ(record, nullptr);
+  }(&fx, tag));
+  fx.scheduler.Run();
+  EXPECT_EQ(fx.client.stats().cache_hits, 0);
+  EXPECT_EQ(fx.client.stats().read_cache_stale_invalidations, 0);
 }
 
 }  // namespace
