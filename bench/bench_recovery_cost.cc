@@ -14,14 +14,28 @@
 // the journal replay that rebuilds the tag indices — the time-to-recover a restarted node
 // pays before serving again. Results land in BENCH_recovery.json; the replay-throughput
 // floor is enforced only on full-scale unsanitized runs (gate_enforced records which).
+//
+// Part 3 measures what incremental checkpointing (DESIGN.md §14) buys: a long-history /
+// small-live-state workload (256 object streams trimmed to their last 32 records) swept over
+// history length × checkpoint interval. Without checkpoints, time-to-recover grows with the
+// full history; with them, recovery = newest image + the journal suffix above the cut, so
+// TTR and the retained journal are bounded by live state + one interval, independent of how
+// much history was ever appended. Gated (full-scale, unsanitized): ≥5x TTR advantage at
+// 10^7 records, history-independent retained-journal size, and bounded image write overhead.
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/common/check.h"
+#include "src/runtime/cluster.h"
 #include "src/sharedlog/sharded_log.h"
+#include "src/storage/checkpoint.h"
+#include "src/storage/durability.h"
 #include "src/workloads/loadgen.h"
 #include "src/workloads/synthetic.h"
 
@@ -161,7 +175,13 @@ RecoveryAtScale RunRecoveryAtScale(int64_t records) {
   return result;
 }
 
-void RunRecoveryAtScaleSection() {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+
+RecoveryAtScale RunRecoveryAtScaleSection() {
   double scale = BenchScale();
   int64_t records = std::max<int64_t>(20000, static_cast<int64_t>(1e7 * scale));
   RecoveryAtScale r = RunRecoveryAtScale(records);
@@ -174,18 +194,181 @@ void RunRecoveryAtScaleSection() {
   std::printf("  time-to-recover:    %.3f s wall (%.0f records/s replayed)\n",
               r.replay_seconds, r.replay_records_per_s);
 
-#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
-  constexpr bool sanitized = true;
-#else
-  constexpr bool sanitized = false;
-#endif
   // The replay-throughput floor is a hard gate only where it is meaningful: full-scale
   // (smoke scales amortize nothing) and uninstrumented builds. The measured numbers are
   // recorded either way.
-  const bool gate_enforced = !sanitized && scale >= 1.0;
+  const bool gate_enforced = !kSanitized && scale >= 1.0;
   if (gate_enforced) {
     HM_CHECK_MSG(r.replay_records_per_s >= 1e6,
                  "journal replay fell below the 1M records/s floor");
+  }
+  return r;
+}
+
+// ---- Part 3: checkpointed recovery — cost bounded by live state (DESIGN.md §14) ----
+
+struct CheckpointRun {
+  int64_t records = 0;
+  int64_t interval = 0;  // Records between checkpoint rounds; 0 = checkpointing off.
+  int64_t rounds = 0;
+  double populate_seconds = 0.0;
+  double replay_seconds = 0.0;
+  double journal_appended_mb = 0.0;  // Everything ever journaled (history).
+  double journal_retained_mb = 0.0;  // What survives compaction (live + one interval).
+  double image_mb = 0.0;             // Checkpoint-store bytes written (write overhead).
+  bool used_checkpoint = false;
+  int64_t suffix_frames = 0;
+};
+
+// Long history, small live state: 256 object streams, each trimmed to its last 32 records
+// as populate proceeds. `interval` > 0 triggers a checkpoint round (and drains it) every
+// that many records — except at the very end, so recovery always pays an honest suffix.
+CheckpointRun RunCheckpointedRecovery(int64_t records, int64_t interval) {
+  runtime::ClusterConfig ccfg;
+  ccfg.function_nodes = 1;
+  ccfg.workers_per_node = 1;
+  ccfg.durable = true;
+  ccfg.checkpoint = interval > 0;
+  ccfg.checkpoint_trigger_bytes = 0;  // Rounds driven by the record-count interval below.
+  runtime::Cluster cluster(ccfg);
+  sharedlog::ShardedLog& log = cluster.log_space();
+
+  constexpr int kStreams = 256;
+  constexpr size_t kLivePerStream = 32;
+  std::vector<sharedlog::TagId> tags;
+  tags.reserve(kStreams);
+  for (int i = 0; i < kStreams; ++i) {
+    tags.push_back(log.tags().Intern("obj:" + std::to_string(i)));
+  }
+  std::vector<std::deque<sharedlog::SeqNum>> rings(kStreams);
+
+  constexpr int64_t kBatch = 1 << 18;
+  // Drain boundaries must land on interval boundaries, or a sub-batch interval never gets
+  // its round triggered.
+  const int64_t batch = interval > 0 ? std::min(kBatch, interval) : kBatch;
+  auto populate_start = std::chrono::steady_clock::now();
+  CheckpointRun result;
+  result.records = records;
+  result.interval = interval;
+  int64_t next_round = interval > 0 ? interval : records + 1;
+  for (int64_t done = 0; done < records;) {
+    int64_t upto = std::min(records, done + batch);
+    for (; done < upto; ++done) {
+      FieldMap fields;
+      fields.SetStr("op", "write");
+      fields.SetInt("step", done);
+      size_t stream = static_cast<size_t>(done % kStreams);
+      sharedlog::SeqNum seq =
+          log.Append(cluster.scheduler().Now(),
+                     std::vector<sharedlog::TagId>(1, tags[stream]), std::move(fields));
+      rings[stream].push_back(seq);
+    }
+    cluster.scheduler().Run();
+    // Trim each stream down to its live window. The trims are journaled too — full replay
+    // still pays for the whole history; only compaction escapes it.
+    for (size_t s = 0; s < rings.size(); ++s) {
+      if (rings[s].size() <= kLivePerStream) continue;
+      sharedlog::SeqNum trim_upto = 0;
+      while (rings[s].size() > kLivePerStream) {
+        trim_upto = rings[s].front();
+        rings[s].pop_front();
+      }
+      log.Trim(cluster.scheduler().Now(), tags[s], trim_upto);
+    }
+    cluster.scheduler().Run();
+    // A round per interval boundary, skipping the final one: a checkpoint taken at the exact
+    // end would make the replay suffix empty and the comparison trivially flattering.
+    while (done >= next_round && done < records) {
+      result.rounds += cluster.checkpoint_service()->TriggerRound() ? 1 : 0;
+      cluster.scheduler().Run();
+      next_round += interval;
+    }
+  }
+  result.populate_seconds = WallSeconds(populate_start);
+
+  const storage::DurabilityService& journal = *cluster.log_durability();
+  HM_CHECK_MSG(journal.durable_offset() == journal.tail_offset(),
+               "populate did not quiesce: unflushed journal tail");
+  result.journal_appended_mb = static_cast<double>(journal.stats().appended_bytes) / 1e6;
+  result.journal_retained_mb =
+      static_cast<double>(journal.durable_offset() - journal.retained_offset()) / 1e6;
+  if (cluster.log_checkpoint_store() != nullptr) {
+    result.image_mb = static_cast<double>(cluster.log_checkpoint_store()->tail()) / 1e6;
+  }
+
+  size_t live_before = log.live_records();
+  sharedlog::SeqNum next_before = log.next_seqnum();
+  auto replay_start = std::chrono::steady_clock::now();
+  cluster.KillRestartStorage();
+  result.replay_seconds = WallSeconds(replay_start);
+  result.used_checkpoint = cluster.last_log_recovery().used_checkpoint;
+  result.suffix_frames = cluster.last_log_recovery().suffix_frames;
+
+  HM_CHECK_MSG(log.live_records() == live_before, "replay lost records");
+  HM_CHECK_MSG(log.next_seqnum() == next_before, "replay moved the seqnum allocator");
+  return result;
+}
+
+void RunCheckpointSweepSection(const RecoveryAtScale& part2) {
+  double scale = BenchScale();
+  auto scaled = [scale](double records) {
+    return std::max<int64_t>(10000, static_cast<int64_t>(records * scale));
+  };
+  // History × interval: three history lengths with a fixed-interval checkpoint cadence plus
+  // their no-checkpoint baselines, and a coarser cadence at the longest history. Recovery
+  // cost without checkpoints tracks the history column; with them it tracks the interval.
+  struct SweepPoint {
+    int64_t records;
+    int64_t interval;
+  };
+  const SweepPoint sweep[] = {
+      {scaled(2.5e6), 0},           {scaled(2.5e6), scaled(1.25e6)},
+      {scaled(5e6), 0},             {scaled(5e6), scaled(1.25e6)},
+      {scaled(1e7), 0},             {scaled(1e7), scaled(2.5e6)},
+      {scaled(1e7), scaled(1.25e6)},
+  };
+
+  metrics::TablePrinter table({"records", "ckpt_interval", "rounds", "TTR_s", "retained_MB",
+                               "journal_MB", "image_MB", "suffix_frames"});
+  std::vector<CheckpointRun> runs;
+  for (const SweepPoint& point : sweep) {
+    CheckpointRun r = RunCheckpointedRecovery(point.records, point.interval);
+    // Hard-fail if the replay-suffix path silently degraded to a full replay (or vice
+    // versa): the sweep's comparison is meaningless if both columns measure the same path.
+    HM_CHECK_MSG(r.used_checkpoint == (point.interval > 0),
+                 "recovery took the wrong path for this sweep point");
+    table.AddRow({std::to_string(r.records),
+                  r.interval == 0 ? "off" : std::to_string(r.interval),
+                  std::to_string(r.rounds), Fmt(r.replay_seconds, 3),
+                  Fmt(r.journal_retained_mb, 1), Fmt(r.journal_appended_mb, 1),
+                  Fmt(r.image_mb, 1), std::to_string(r.suffix_frames)});
+    runs.push_back(r);
+  }
+  table.Print();
+  std::printf("\n(without checkpoints TTR and the retained journal track the records column;\n");
+  std::printf(" with them both track live state + one interval — history-independent)\n");
+
+  const CheckpointRun& full_off = runs[4];   // 10^7, no checkpoints.
+  const CheckpointRun& full_on = runs[6];    // 10^7, fine cadence.
+  const CheckpointRun& half_on = runs[3];    // 5x10^6, same cadence.
+  double ttr_advantage = full_off.replay_seconds / std::max(full_on.replay_seconds, 1e-9);
+  double retained_growth =
+      full_on.journal_retained_mb / std::max(half_on.journal_retained_mb, 1e-9);
+  double image_overhead =
+      full_on.image_mb / std::max(full_on.journal_appended_mb, 1e-9);
+  std::printf("  TTR advantage at 10^7:        %.1fx (gate: >= 5x)\n", ttr_advantage);
+  std::printf("  retained growth 5e6 -> 1e7:   %.2fx (gate: < 1.5x, history-independent)\n",
+              retained_growth);
+  std::printf("  image write overhead:         %.3fx of journal bytes (gate: < 0.2x)\n",
+              image_overhead);
+
+  const bool gate_enforced = !kSanitized && scale >= 1.0;
+  if (gate_enforced) {
+    HM_CHECK_MSG(ttr_advantage >= 5.0,
+                 "checkpointed recovery lost its 5x TTR advantage at 10^7 records");
+    HM_CHECK_MSG(retained_growth < 1.5,
+                 "retained journal grew with history despite checkpointing");
+    HM_CHECK_MSG(image_overhead < 0.2, "checkpoint images cost too many extra write bytes");
   }
 
   FILE* json = std::fopen("BENCH_recovery.json", "w");
@@ -195,9 +378,31 @@ void RunRecoveryAtScaleSection() {
                " \"journal_mb\": %.1f, \"write_amplification\": %.3f,\n"
                " \"populate_seconds\": %.3f, \"replay_seconds\": %.3f,\n"
                " \"replay_records_per_s\": %.0f,\n"
-               " \"gate\": {\"replay_records_per_s_floor\": 1000000, \"gate_enforced\": %s}}\n",
-               static_cast<long long>(r.records), r.journal_mb, r.write_amplification,
-               r.populate_seconds, r.replay_seconds, r.replay_records_per_s,
+               " \"gate\": {\"replay_records_per_s_floor\": 1000000, \"gate_enforced\": %s},\n"
+               " \"checkpoint\": {\n"
+               "  \"sweep\": [\n",
+               static_cast<long long>(part2.records), part2.journal_mb,
+               part2.write_amplification, part2.populate_seconds, part2.replay_seconds,
+               part2.replay_records_per_s, gate_enforced ? "true" : "false");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const CheckpointRun& r = runs[i];
+    std::fprintf(json,
+                 "   {\"records\": %lld, \"interval\": %lld, \"rounds\": %lld,\n"
+                 "    \"ttr_seconds\": %.3f, \"retained_mb\": %.1f, \"journal_mb\": %.1f,\n"
+                 "    \"image_mb\": %.1f, \"suffix_frames\": %lld,"
+                 " \"used_checkpoint\": %s}%s\n",
+                 static_cast<long long>(r.records), static_cast<long long>(r.interval),
+                 static_cast<long long>(r.rounds), r.replay_seconds, r.journal_retained_mb,
+                 r.journal_appended_mb, r.image_mb, static_cast<long long>(r.suffix_frames),
+                 r.used_checkpoint ? "true" : "false", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"ttr_advantage_at_1e7\": %.1f, \"retained_growth_5e6_to_1e7\": %.2f,\n"
+               "  \"image_write_overhead\": %.3f,\n"
+               "  \"gate\": {\"ttr_advantage_floor\": 5.0, \"retained_growth_ceiling\": 1.5,\n"
+               "   \"image_overhead_ceiling\": 0.2, \"gate_enforced\": %s}}}\n",
+               ttr_advantage, retained_growth, image_overhead,
                gate_enforced ? "true" : "false");
   std::fclose(json);
   std::printf("  wrote BENCH_recovery.json\n");
@@ -210,6 +415,8 @@ int main() {
   std::printf("== Recovery cost under crash-retry (Section 7) ==\n\n");
   halfmoon::bench::RunSweep();
   std::printf("\n== Whole-node recovery at scale (DESIGN.md S13) ==\n\n");
-  halfmoon::bench::RunRecoveryAtScaleSection();
+  halfmoon::bench::RecoveryAtScale part2 = halfmoon::bench::RunRecoveryAtScaleSection();
+  std::printf("\n== Checkpointed recovery: cost bounded by live state (DESIGN.md S14) ==\n\n");
+  halfmoon::bench::RunCheckpointSweepSection(part2);
   return 0;
 }

@@ -78,6 +78,17 @@ HM_DURABLE=0 "${BUILD_DIR}"/tests/sharded_equivalence_test \
 HM_DURABLE=1 "${BUILD_DIR}"/tests/faultcheck_node_failure_test --gtest_brief=1 \
   | grep '^\[faultcheck\]'
 
+# Checkpoint smoke (DESIGN.md §14). Leg 1: cluster-grain recovery must actually come up
+# through load-image + replay-suffix — a silent regression to full replay would still pass
+# the equivalence assertions, so the 'mode=image+suffix' line is enforced here. Leg 2: the
+# checkpoint-round failure sweeps (daemon crashes inside a round, node kills around one)
+# must pass the consistency oracle; 'failures=0' is enforced by the test itself.
+HM_DURABLE=1 HM_CHECKPOINT=1 "${BUILD_DIR}"/tests/checkpoint_recovery_test \
+  --gtest_brief=1 | grep '^\[checkpoint\]' | tee /dev/stderr | grep -q 'mode=image+suffix' \
+  || { echo "check.sh: FAIL — checkpointed recovery silently fell back to full replay" >&2; exit 1; }
+HM_DURABLE=1 HM_CHECKPOINT=1 "${BUILD_DIR}"/tests/faultcheck_checkpoint_test --gtest_brief=1 \
+  | grep '^\[faultcheck\]' | sed 's/$/ (HM_CHECKPOINT=1)/'
+
 # Advisor smoke (DESIGN.md §11): the drift byte gate (advisor strictly below both static
 # protocols), the hysteresis/dwell counters, and the HM_ADVISOR=0 golden content checksum,
 # surfaced via their '[advisor]' summary lines. A missing 'win' line — the byte gate — or a

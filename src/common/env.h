@@ -71,6 +71,25 @@ inline int DefaultAppendBatchMax() { return EnvInt("HM_BATCH_MAX", 1, 64); }
 // pre-storage simulation, pinned by the golden checksums.
 inline bool DefaultDurableMode() { return EnvFlag("HM_DURABLE"); }
 
+// HM_CHECKPOINT: attach the incremental checkpoint + journal-compaction tier (DESIGN.md
+// §14) on top of the durable medium. Only effective with HM_DURABLE=1 (there is no journal
+// to compact otherwise). Off (the default) constructs no checkpoint service at all —
+// bit-identical to the PR 9 durable engine.
+inline bool DefaultCheckpointMode() { return EnvFlag("HM_CHECKPOINT"); }
+
+// HM_CHECKPOINT_SLICE: checkpoint-walk items emitted per slice before the daemon yields to
+// foreground traffic (bounds how fuzzy an image gets and how long a slice blocks).
+inline int DefaultCheckpointSliceBudget() { return EnvInt("HM_CHECKPOINT_SLICE", 1, 4096); }
+
+// HM_CHECKPOINT_BYTES: journal growth (bytes appended since the last round began) that
+// auto-triggers the next checkpoint round. 0 disables auto-triggering (rounds are then
+// explicit via CheckpointService::TriggerRound — what the faultcheck `ckpt@<hit>` arming and
+// the benches use). The default is large enough that short tests never checkpoint
+// spontaneously, keeping their timing pins stable.
+inline int DefaultCheckpointTriggerBytes() {
+  return EnvInt("HM_CHECKPOINT_BYTES", 0, 64 << 20);
+}
+
 }  // namespace halfmoon
 
 #endif  // HALFMOON_COMMON_ENV_H_

@@ -35,7 +35,10 @@ void GcService::RunOnce() {
   // un-commit. Without the clamp a GC pass could delete a KV version superseded only by a
   // volatile write — a crash would then lose the write but keep the deletion, and replay
   // would leave the object's write log pointing at a version that no longer exists.
-  SeqNum frontier = std::min(cluster_->RunningFrontier(), cluster_->DurableTrimBound());
+  // CheckpointBound (DESIGN.md §14) additionally fences records an in-flight checkpoint
+  // round may still walk: trimming them mid-round would tear the image under the walker.
+  SeqNum frontier = std::min({cluster_->RunningFrontier(), cluster_->DurableTrimBound(),
+                              cluster_->CheckpointBound()});
 
   // (2) Per-object write logs and their versions. The write-log tag id doubles as the
   // object's handle in the versioned store, so no key string is ever rebuilt here.

@@ -41,7 +41,8 @@ std::string ExplorerReport::Summary() const {
                     " gc=" + std::to_string(explored_gc) +
                     " switch=" + std::to_string(explored_switch) +
                     " advisor=" + std::to_string(explored_advisor) +
-                    " kill=" + std::to_string(explored_kill) + ")" +
+                    " kill=" + std::to_string(explored_kill) +
+                    " ckpt=" + std::to_string(explored_ckpt) + ")" +
                     " failures=" + std::to_string(failures.size());
   return out;
 }
@@ -57,6 +58,7 @@ Explorer::RunOutcome Explorer::RunSchedule(const Schedule& schedule, bool record
   if (options_.log_shards > 0) ccfg.log_shards = options_.log_shards;
   if (options_.pipeline_depth > 0) ccfg.append_batch_pipeline = options_.pipeline_depth;
   if (options_.durable >= 0) ccfg.durable = options_.durable != 0;
+  if (options_.checkpoints) ccfg.checkpoint = true;
   runtime::Cluster cluster(ccfg);
 
   core::RuntimeConfig rcfg;
@@ -124,6 +126,13 @@ Explorer::RunOutcome Explorer::RunSchedule(const Schedule& schedule, bool record
             HM_CHECK_MSG(false, "unknown kill domain (want store | seq | fn<i>)");
           }
         });
+        break;
+      case FaultKind::kCheckpoint:
+        HM_CHECK_MSG(ccfg.durable && ccfg.checkpoint,
+                     "checkpoint fault points require the checkpoint tier "
+                     "(ExplorerOptions::checkpoints with durable = 1)");
+        injector.RunAtHit(point.at_hit,
+                          [&cluster] { cluster.checkpoint_service()->TriggerRound(); });
         break;
     }
   }
@@ -214,6 +223,36 @@ ExplorerReport Explorer::Run() {
         kill.points.push_back(FaultPoint::NodeKill(domain, static_cast<int64_t>(i)));
         ++report.explored_kill;
         NoteVerdict(kill, RunSchedule(kill).verdict, &report);
+      }
+    }
+  }
+
+  if (options_.checkpoints) {
+    // Checkpoint family: start a round at a traced hit, then stress every way it can die.
+    // The daemon crash sites cover the round's own phases (partial image / manifest without
+    // truncation / truncation without store release); the node-kill compositions land a
+    // whole-node loss while the round is walking (hit + 1) and just after it finished
+    // (hit + 2), so recovery must come up through the image + replay-suffix path.
+    static constexpr const char* kCkptCrashSites[] = {"ckpt.write", "ckpt.install",
+                                                      "ckpt.truncate"};
+    for (size_t i = 0; i < trace.size(); i += first_stride) {
+      Schedule round;
+      round.points.push_back(FaultPoint::Checkpoint(static_cast<int64_t>(i)));
+      ++report.explored_ckpt;
+      NoteVerdict(round, RunSchedule(round).verdict, &report);
+      for (const char* site : kCkptCrashSites) {
+        Schedule crash = round;
+        crash.points.push_back(FaultPoint::Crash(site, 0));
+        ++report.explored_ckpt;
+        NoteVerdict(crash, RunSchedule(crash).verdict, &report);
+      }
+      for (const std::string& domain : options_.kill_domains) {
+        for (int64_t delta : {1, 2}) {
+          Schedule kill = round;
+          kill.points.push_back(FaultPoint::NodeKill(domain, static_cast<int64_t>(i) + delta));
+          ++report.explored_ckpt;
+          NoteVerdict(kill, RunSchedule(kill).verdict, &report);
+        }
       }
     }
   }

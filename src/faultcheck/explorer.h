@@ -68,6 +68,13 @@ struct ExplorerOptions {
   bool node_kills = false;
   std::vector<std::string> kill_domains = {"store", "seq", "fn0"};
 
+  // Checkpoint family (requires durable = 1; every cluster then runs with the checkpoint
+  // tier attached): trigger a checkpoint round at each strided trace position — alone, with
+  // the daemon crashing inside the round (ckpt.write / ckpt.install / ckpt.truncate), and
+  // with whole-node kills landing mid-round and right after it, so recovery comes up from a
+  // partial image, an untruncated manifest, or the freshly compacted journal (DESIGN.md §14).
+  bool checkpoints = false;
+
   // Which depth-2 families to enumerate.
   bool crash_pairs = true;
   bool crash_plus_peer = true;
@@ -105,11 +112,12 @@ struct ExplorerReport {
   int64_t explored_switch = 0;
   int64_t explored_advisor = 0;
   int64_t explored_kill = 0;
+  int64_t explored_ckpt = 0;
   std::vector<FailingSchedule> failures;
 
   int64_t TotalExplored() const {
     return explored_none + explored_single + explored_pairs + explored_peer + explored_gc +
-           explored_switch + explored_advisor + explored_kill;
+           explored_switch + explored_advisor + explored_kill + explored_ckpt;
   }
   bool AllPassed() const { return failures.empty(); }
 

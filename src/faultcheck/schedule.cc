@@ -63,6 +63,11 @@ std::optional<FaultPoint> ParsePoint(std::string_view token) {
     if (!target.has_value() || !hit.has_value()) return std::nullopt;
     return FaultPoint::AdvisorFire(*target, *hit);
   }
+  if (token.starts_with("ckpt@")) {
+    std::optional<int64_t> hit = ParseInt(token.substr(5));
+    if (!hit.has_value()) return std::nullopt;
+    return FaultPoint::Checkpoint(*hit);
+  }
   if (token.starts_with("kill[")) {
     size_t close = token.find("]@");
     if (close == std::string_view::npos) return std::nullopt;
@@ -122,6 +127,13 @@ FaultPoint FaultPoint::NodeKill(std::string domain, int64_t at_hit) {
   return p;
 }
 
+FaultPoint FaultPoint::Checkpoint(int64_t at_hit) {
+  FaultPoint p;
+  p.kind = FaultKind::kCheckpoint;
+  p.at_hit = at_hit;
+  return p;
+}
+
 std::string FaultPoint::ToString() const {
   switch (kind) {
     case FaultKind::kCrash:
@@ -138,6 +150,8 @@ std::string FaultPoint::ToString() const {
              std::to_string(at_hit);
     case FaultKind::kNodeKill:
       return "kill[" + site + "]@" + std::to_string(at_hit);
+    case FaultKind::kCheckpoint:
+      return "ckpt@" + std::to_string(at_hit);
   }
   return "?";
 }

@@ -28,6 +28,7 @@ enum class FaultKind {
   kSwitchBegin,  // Start a protocol switch to `target` when the counter reaches at_hit.
   kAdvisorFire,  // Fire advisor per-object switches (every workload key) at at_hit.
   kNodeKill,     // Kill + restart a whole node (see `site` for the domain) at at_hit.
+  kCheckpoint,   // Trigger a checkpoint round (DESIGN.md §14) when the counter hits at_hit.
 };
 
 struct FaultPoint {
@@ -48,9 +49,10 @@ struct FaultPoint {
   static FaultPoint SwitchBegin(core::ProtocolKind target, int64_t at_hit);
   static FaultPoint AdvisorFire(core::ProtocolKind target, int64_t at_hit);
   static FaultPoint NodeKill(std::string domain, int64_t at_hit);
+  static FaultPoint Checkpoint(int64_t at_hit);
 
   // crash(<site>#<occ>) | peer@<hit> | gc@<hit> | switch[<protocol>]@<hit> |
-  // advisor[<protocol>]@<hit> | kill[<domain>]@<hit>
+  // advisor[<protocol>]@<hit> | kill[<domain>]@<hit> | ckpt@<hit>
   std::string ToString() const;
 };
 

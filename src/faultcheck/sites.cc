@@ -58,6 +58,14 @@ const std::vector<std::string_view>& KnownCrashSites() {
       // reply: the round commits and the reply arrives, but the function dies processing it.
       "batch.depart",
       "batch.reply",
+      // Checkpoint daemon rounds (src/storage/checkpoint.cc, via the crash probe Cluster
+      // installs). write: the daemon dies mid-image, its unflushed slice evaporates.
+      // install: the manifest is durable but the truncation never ran — both the image and
+      // the full journal survive. truncate: the journal prefix is gone but the superseded
+      // images were not released. All three must leave recovery exact (DESIGN.md §14).
+      "ckpt.write",
+      "ckpt.install",
+      "ckpt.truncate",
   };
   return kSites;
 }

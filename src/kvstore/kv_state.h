@@ -27,6 +27,7 @@
 #include "src/storage/journal.h"
 
 namespace halfmoon::storage {
+class CheckpointStore;
 class DurabilityService;
 }  // namespace halfmoon::storage
 
@@ -98,10 +99,27 @@ class KvState {
   // bytes. The journal itself lives in the durability service and survives.
   void ResetVolatile(SimTime now);
 
-  // Re-applies one replayed kKv* journal frame without re-journaling it. Restore order is
-  // append order, so replayed CondPuts re-apply unconditionally — they were journaled only
-  // when they applied.
-  void RestoreFrame(SimTime now, storage::FrameType type, storage::Cursor cursor);
+  // Re-applies one replayed kKv* journal frame without re-journaling it. In strict mode
+  // (full replay) restore order is append order, so replayed CondPuts re-apply
+  // unconditionally and versioned deletes always find their victim — they were journaled
+  // only when they applied (asserted). In fuzzy mode (replay-suffix on top of a checkpoint
+  // image, DESIGN.md §14) the image may already reflect the frame: a CondPut whose version
+  // is no longer newer and a delete that finds nothing are silently absorbed.
+  void RestoreFrame(SimTime now, storage::FrameType type, storage::Cursor cursor,
+                    bool fuzzy = false);
+
+  // ---- Incremental checkpointing (DESIGN.md §14) ----
+  // The walk snapshots the key list (latest slots) and the versioned-object bound at round
+  // start, then emits one frame per latest slot / stored version across bounded slices.
+  // Keys and versions written after round start are covered by the replay suffix either way,
+  // so the fuzzy image + suffix composition is exact.
+  void BeginCheckpointWalk();
+  // Emits roughly `budget` image frames; returns true once the walk is complete. *frames
+  // counts frames appended by this slice.
+  bool WriteCheckpointSlice(storage::CheckpointStore* store, int64_t budget, int64_t* frames);
+
+  // Image-restore installers (kCkptKvLatest / kCkptKvVersion frames).
+  void RestoreCheckpointFrame(SimTime now, storage::FrameType type, storage::Cursor cursor);
 
  private:
   struct LatestSlot {
@@ -130,6 +148,14 @@ class KvState {
   storage::DurabilityService* durability_ = nullptr;
   uint64_t last_journal_offset_ = 0;
   bool restoring_ = false;  // Suppresses journaling while RestoreFrame re-applies mutations.
+
+  // Checkpoint-walk cursor (valid between BeginCheckpointWalk and the slice returning true).
+  std::vector<std::string> walk_keys_;  // Latest-slot keys snapshotted at round start.
+  size_t walk_key_idx_ = 0;
+  size_t walk_object_ = 0;        // Next versioned object to (re)visit.
+  size_t walk_object_limit_ = 0;  // versioned_.size() at round start.
+  std::string walk_version_;      // Last version emitted of walk_object_ (resume point).
+  bool walk_version_valid_ = false;
 };
 
 }  // namespace halfmoon::kvstore

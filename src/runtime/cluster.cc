@@ -70,6 +70,43 @@ Cluster::Cluster(const ClusterConfig& config)
     }
   }
 
+  // Incremental checkpointing + journal compaction (DESIGN.md §14): one background service
+  // walking both storage domains into sibling checkpoint stores. Like the durability
+  // services it draws pacing samples from its OWN derived RNG stream, and when disabled it
+  // is simply never constructed — bit-identical to the PR 9 durable engine.
+  if (config.durable && config.checkpoint) {
+    log_ckpt_ = std::make_unique<storage::CheckpointStore>();
+    kv_ckpt_ = std::make_unique<storage::CheckpointStore>();
+    ckpt_service_ =
+        std::make_unique<storage::CheckpointService>(&scheduler_, &models_, config.seed);
+    ckpt_service_->SetSliceBudget(config.checkpoint_slice);
+    ckpt_service_->SetAutoTriggerBytes(config.checkpoint_trigger_bytes);
+    ckpt_service_->InstallCrashProbe(
+        [this](const char* site) { return injector_.ShouldCrash(rng_, site); });
+    storage::CheckpointService::Target log_target;
+    log_target.domain = storage::kCkptLogDomain;
+    log_target.journal = log_durability_.get();
+    log_target.store = log_ckpt_.get();
+    log_target.begin_walk = [this] { log_space_.BeginCheckpointWalk(); };
+    log_target.write_slice = [this](storage::CheckpointStore* store, int64_t budget,
+                                    int64_t* frames) {
+      return log_space_.WriteCheckpointSlice(store, budget, frames);
+    };
+    log_target.watermark_floor = [this] { return log_durability_->durable_seq(); };
+    ckpt_service_->AddTarget(std::move(log_target));
+    storage::CheckpointService::Target kv_target;
+    kv_target.domain = storage::kCkptKvDomain;
+    kv_target.journal = kv_durability_.get();
+    kv_target.store = kv_ckpt_.get();
+    kv_target.begin_walk = [this] { kv_state_.BeginCheckpointWalk(); };
+    kv_target.write_slice = [this](storage::CheckpointStore* store, int64_t budget,
+                                   int64_t* frames) {
+      return kv_state_.WriteCheckpointSlice(store, budget, frames);
+    };
+    kv_target.watermark_floor = [] { return uint64_t{0}; };  // Seqnums are a log concept.
+    ckpt_service_->AddTarget(std::move(kv_target));
+  }
+
   // Index propagation: every committed seqnum reaches each function node's index replica
   // after a sampled delay, enabling the cheap local logReadPrev path (§4.1).
   log_space_.SetCommitListener([this](sharedlog::SeqNum seqnum) { OnCommit(seqnum); });
@@ -77,6 +114,10 @@ Cluster::Cluster(const ClusterConfig& config)
 
 void Cluster::OnCommit(sharedlog::SeqNum seqnum) {
   ++index_propagation_commits_;
+  // Checkpoint rounds are driven by journal growth off the commit path — the service never
+  // free-runs a timer, so a drained scheduler stays drainable. No-op (and no RNG draw)
+  // unless the growth threshold tripped.
+  if (ckpt_service_ != nullptr) ckpt_service_->MaybeAutoTrigger();
   // The delay is sampled before branching on the mode, so coalesced and per-commit runs draw
   // the identical rng sequence — a prerequisite for bit-identical simulations.
   SimDuration delay = models_.index_propagation.Sample(rng_);
@@ -153,7 +194,10 @@ void Cluster::KillRestartSequencer() {
   HM_CHECK_MSG(log_durability_ != nullptr, "KillRestart* requires ClusterConfig.durable");
   // The ordering/replication tier dies: the log journal's volatile tail, its in-flight
   // flush, and every record past the durable frontier are lost. Waiters on lost records fail
-  // (crashable ones abort their attempts); restart replays the durable prefix.
+  // (crashable ones abort their attempts); restart replays the durable prefix. The
+  // checkpoint daemon rides the same tier: its in-flight round is abandoned and both stores'
+  // unflushed tails die — the durable images and manifests survive for recovery.
+  if (ckpt_service_ != nullptr) ckpt_service_->Kill();
   log_durability_->Kill();
   ReplayLogJournal();
   for (auto& node : nodes_) {
@@ -180,51 +224,40 @@ void Cluster::KillRestartFunctionNode(int i) {
 }
 
 void Cluster::ReplayLogJournal() {
-  SimTime now = scheduler_.Now();
-  log_space_.ResetVolatile(now);
-  log_durability_->Replay([this, now](storage::FrameType type, storage::Cursor cursor) {
-    switch (type) {
-      case storage::FrameType::kTagDef: {
-        sharedlog::TagId id = cursor.U64();
-        log_space_.VerifyTagDef(id, cursor.Str());
-        break;
-      }
-      case storage::FrameType::kRecord: {
-        sharedlog::SeqNum seqnum = cursor.U64();
-        uint32_t ntags = cursor.U32();
-        std::vector<sharedlog::TagId> tags;
-        tags.reserve(ntags);
-        for (uint32_t t = 0; t < ntags; ++t) tags.push_back(cursor.U64());
-        uint32_t nfields = cursor.U32();
-        FieldMap fields;
-        for (uint32_t f = 0; f < nfields; ++f) {
-          std::string key(cursor.Str());
-          if (cursor.U8() == 0) {
-            fields.SetInt(key, static_cast<int64_t>(cursor.U64()));
-          } else {
-            fields.SetStr(key, std::string(cursor.Str()));
-          }
-        }
-        log_space_.RestoreRecord(now, seqnum, std::move(tags), std::move(fields));
-        break;
-      }
-      case storage::FrameType::kTrim: {
-        sharedlog::TagId tag = cursor.U64();
-        sharedlog::SeqNum upto = cursor.U64();
-        log_space_.RestoreTrim(now, tag, upto);
-        break;
-      }
-      default:
-        HM_CHECK_MSG(false, "unexpected frame type in the log journal");
-    }
-  });
+  // Shared driver (DESIGN.md §13, §14): image + replay-suffix when a valid checkpoint
+  // manifest exists, strict full replay otherwise (always, when the tier is off).
+  last_log_recovery_ = sharedlog::RestoreLogFromJournal(scheduler_.Now(), &log_space_,
+                                                        log_durability_.get(), log_ckpt_.get());
 }
 
 void Cluster::ReplayKvJournal() {
   SimTime now = scheduler_.Now();
-  kv_durability_->Replay([this, now](storage::FrameType type, storage::Cursor cursor) {
-    kv_state_.RestoreFrame(now, type, cursor);
-  });
+  sharedlog::LogRecoveryStats stats;
+  storage::InstalledManifest manifest;
+  bool have_image = kv_ckpt_ != nullptr &&
+                    storage::FindLatestValidManifest(*kv_ckpt_, storage::kCkptKvDomain,
+                                                     &manifest, &stats.manifests_rejected);
+  if (have_image) {
+    stats.used_checkpoint = true;
+    storage::ReplayImage(*kv_ckpt_, manifest,
+                         [&](storage::FrameType type, storage::Cursor cursor) {
+                           kv_state_.RestoreCheckpointFrame(now, type, cursor);
+                           ++stats.image_frames;
+                         });
+    kv_durability_->Replay(manifest.manifest.cut,
+                           [&](storage::FrameType type, storage::Cursor cursor) {
+                             kv_state_.RestoreFrame(now, type, cursor, /*fuzzy=*/true);
+                             ++stats.suffix_frames;
+                           });
+  } else {
+    HM_CHECK_MSG(kv_durability_->retained_offset() == 0,
+                 "kv journal was compacted but no valid checkpoint manifest exists");
+    kv_durability_->Replay([&](storage::FrameType type, storage::Cursor cursor) {
+      kv_state_.RestoreFrame(now, type, cursor);
+      ++stats.suffix_frames;
+    });
+  }
+  last_kv_recovery_ = stats;
 }
 
 void Cluster::RegisterInitRecord(const std::string& instance_id,

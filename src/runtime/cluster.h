@@ -27,10 +27,12 @@
 #include "src/kvstore/kv_state.h"
 #include "src/runtime/failure_injector.h"
 #include "src/sharedlog/log_client.h"
+#include "src/sharedlog/log_recovery.h"
 #include "src/sharedlog/log_space.h"
 #include "src/sharedlog/sharded_log.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/service_station.h"
+#include "src/storage/checkpoint.h"
 #include "src/storage/durability.h"
 
 namespace halfmoon::runtime {
@@ -107,6 +109,17 @@ struct ClusterConfig {
   // bit-identical to the pre-storage engine.
   bool durable = DefaultDurableMode();
 
+  // Incremental checkpointing + journal compaction (DESIGN.md §14), from HM_CHECKPOINT by
+  // default. Effective only with `durable` (there is no journal to compact otherwise); the
+  // combination durable=0 + checkpoint=1 silently runs without the checkpoint tier. When
+  // clear, no checkpoint service or store is ever constructed — bit-identical to the PR 9
+  // durable engine.
+  bool checkpoint = DefaultCheckpointMode();
+  // Walk items per checkpoint slice before the daemon yields to foreground traffic.
+  int64_t checkpoint_slice = DefaultCheckpointSliceBudget();
+  // Journal growth in bytes that auto-triggers a round (0 = explicit TriggerRound only).
+  int64_t checkpoint_trigger_bytes = DefaultCheckpointTriggerBytes();
+
   uint64_t seed = 1;
   LatencyCalibration calibration;
 };
@@ -160,6 +173,19 @@ class Cluster {
   storage::DurabilityService* log_durability() { return log_durability_.get(); }
   storage::DurabilityService* kv_durability() { return kv_durability_.get(); }
 
+  // ---- Incremental checkpointing + compaction (DESIGN.md §14) ----
+
+  // Null unless config.durable && config.checkpoint.
+  storage::CheckpointService* checkpoint_service() { return ckpt_service_.get(); }
+  storage::CheckpointStore* log_checkpoint_store() { return log_ckpt_.get(); }
+  storage::CheckpointStore* kv_checkpoint_store() { return kv_ckpt_.get(); }
+
+  // What the last KillRestart* actually did per domain: image + replay-suffix (and how many
+  // torn/corrupt manifests it skipped), or full replay. Tests and the check.sh smoke assert
+  // the suffix path is really taken.
+  const sharedlog::LogRecoveryStats& last_log_recovery() const { return last_log_recovery_; }
+  const sharedlog::LogRecoveryStats& last_kv_recovery() const { return last_kv_recovery_; }
+
   // Whole-node loss + immediate restart, atomic at the current instant. Each wipes the
   // domain's volatile state, fails in-flight durability waiters (crashable waiters abort
   // their attempts into the retry loop), replays the durable journal prefix to rebuild the
@@ -175,6 +201,15 @@ class Cluster {
   sharedlog::SeqNum DurableTrimBound() const {
     return log_durability_ == nullptr ? sharedlog::kMaxSeqNum
                                       : log_durability_->durable_seq() + 1;
+  }
+
+  // GC clamp while a checkpoint round is walking the indices (DESIGN.md §14): the walk must
+  // not race trims past the watermark it started from. kMaxSeqNum when no round is in
+  // flight (or no checkpoint tier exists).
+  sharedlog::SeqNum CheckpointBound() const {
+    if (ckpt_service_ == nullptr) return sharedlog::kMaxSeqNum;
+    uint64_t bound = ckpt_service_->CheckpointBound();
+    return bound > sharedlog::kMaxSeqNum ? sharedlog::kMaxSeqNum : bound;
   }
 
   int node_count() const { return static_cast<int>(nodes_.size()); }
@@ -275,6 +310,13 @@ class Cluster {
 
   std::unique_ptr<storage::DurabilityService> log_durability_;  // Null unless durable.
   std::unique_ptr<storage::DurabilityService> kv_durability_;   // Null unless durable.
+
+  // Null unless durable && checkpoint (DESIGN.md §14).
+  std::unique_ptr<storage::CheckpointStore> log_ckpt_;
+  std::unique_ptr<storage::CheckpointStore> kv_ckpt_;
+  std::unique_ptr<storage::CheckpointService> ckpt_service_;
+  sharedlog::LogRecoveryStats last_log_recovery_;
+  sharedlog::LogRecoveryStats last_kv_recovery_;
 
   std::vector<std::unique_ptr<FunctionNode>> nodes_;
   size_t next_node_ = 0;

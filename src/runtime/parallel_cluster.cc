@@ -60,6 +60,9 @@ LogPartition::LogPartition(int id, sim::Scheduler* scheduler, uint64_t seed,
     durability_ = std::make_unique<storage::DurabilityService>(scheduler_, models_,
                                                                PartitionSeed(seed, id));
     log_.AttachDurability(durability_.get());
+    // The checkpoint store is pure state (no RNG, no events), so constructing it cannot
+    // perturb the determinism pins; rounds only ever run via CheckpointNow between drains.
+    if (config.checkpoint) ckpt_ = std::make_unique<storage::CheckpointStore>();
   }
   clients_.reserve(static_cast<size_t>(config.clients_per_partition));
   for (int i = 0; i < config.clients_per_partition; ++i) {
@@ -90,6 +93,41 @@ void LogPartition::OnCommit(sharedlog::SeqNum seqnum) {
   scheduler_->Post(delay, [this, seqnum] {
     for (auto& client : clients_) client->AdvanceIndex(seqnum);
   });
+}
+
+void LogPartition::CheckpointNow() {
+  HM_CHECK_MSG(durability_ != nullptr && ckpt_ != nullptr,
+               "CheckpointNow needs the durable + checkpoint tiers attached");
+  // Quiesced: everything acked is flushed, so the cut covers the whole log and the image is
+  // sharp (recovery still runs the same image + suffix driver; the suffix is just empty).
+  HM_CHECK(durability_->durable_offset() == durability_->tail_offset());
+  uint64_t cut = durability_->durable_offset();
+  uint64_t image_start = ckpt_->tail();
+  HM_CHECK(image_start == ckpt_->durable());
+  log_.BeginCheckpointWalk();
+  int64_t frames = 0;
+  while (!log_.WriteCheckpointSlice(ckpt_.get(), /*budget=*/1 << 20, &frames)) {
+  }
+  ckpt_->Flush();
+  storage::CheckpointManifest m;
+  m.domain = storage::kCkptLogDomain;
+  m.cut = cut;
+  m.image_start = image_start;
+  m.frame_count = static_cast<uint64_t>(frames);
+  m.checksum = storage::ChecksumImage(*ckpt_, image_start, ckpt_->durable());
+  m.watermark_floor = durability_->durable_seq();
+  ckpt_->AppendFrame(storage::FrameType::kCkptManifest, storage::EncodeManifest(m));
+  ckpt_->Flush();
+  durability_->TruncateTo(cut);
+  ckpt_->TruncatePrefix(image_start);
+}
+
+sharedlog::LogRecoveryStats LogPartition::RestartFromJournal() {
+  HM_CHECK_MSG(durability_ != nullptr, "RestartFromJournal needs the durable tier attached");
+  durability_->Kill();
+  if (ckpt_ != nullptr) ckpt_->DropVolatile();
+  return sharedlog::RestoreLogFromJournal(scheduler_->Now(), &log_, durability_.get(),
+                                          ckpt_.get());
 }
 
 ParallelCluster::ParallelCluster(const ParallelClusterConfig& config)

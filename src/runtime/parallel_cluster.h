@@ -36,10 +36,12 @@
 #include "src/common/rng.h"
 #include "src/metrics/latency_recorder.h"
 #include "src/sharedlog/log_client.h"
+#include "src/sharedlog/log_recovery.h"
 #include "src/sharedlog/sharded_log.h"
 #include "src/sim/parallel.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/service_station.h"
+#include "src/storage/checkpoint.h"
 #include "src/storage/durability.h"
 
 namespace halfmoon::runtime {
@@ -82,6 +84,12 @@ struct ParallelClusterConfig {
   // bit-identical to the pre-storage engine.
   bool durable = DefaultDurableMode();
 
+  // Checkpoint + compaction tier (DESIGN.md §14): each partition gets its own sibling
+  // checkpoint store. Rounds are explicit (LogPartition::CheckpointNow between drains) —
+  // there is no background daemon on the worker loops, so the conservative-window protocol
+  // and the cross-mode determinism pins are untouched. Only effective with durable = true.
+  bool checkpoint = DefaultCheckpointMode();
+
   sim::QueueMode queue_mode = sim::QueueMode::kTimerWheel;
   uint64_t seed = 1;
   LatencyCalibration calibration;
@@ -116,6 +124,20 @@ class LogPartition {
   storage::DurabilityService* durability() { return durability_.get(); }
   const storage::DurabilityService* durability() const { return durability_.get(); }
 
+  // This partition's checkpoint store (nullptr unless durable && checkpoint).
+  storage::CheckpointStore* checkpoint_store() { return ckpt_.get(); }
+  const storage::CheckpointStore* checkpoint_store() const { return ckpt_.get(); }
+
+  // Quiesced checkpoint round (call between Run() drains, on the main thread): walks the
+  // whole live index in one pass, stamps the manifest, truncates the journal below the cut
+  // and the store below the new image. Sharp rather than fuzzy — nothing is volatile at a
+  // drain, so no replay suffix is ever needed for the image itself.
+  void CheckpointNow();
+
+  // Whole-partition crash-restart: volatile tails die, the log re-arises from the newest
+  // valid checkpoint image plus the journal suffix (full replay when no image exists).
+  sharedlog::LogRecoveryStats RestartFromJournal();
+
  private:
   friend class ParallelCluster;
   // Partition-local index propagation: every commit reaches this partition's client replicas
@@ -130,6 +152,7 @@ class LogPartition {
   sim::ServiceStation sequencer_;
   sim::ServiceStation storage_;
   std::unique_ptr<storage::DurabilityService> durability_;  // Durable tier only.
+  std::unique_ptr<storage::CheckpointStore> ckpt_;          // Checkpoint tier only.
   std::vector<std::unique_ptr<sharedlog::LogClient>> clients_;
   metrics::LatencyRecorder append_latency_;
   int64_t remote_appends_out_ = 0;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/storage/checkpoint.h"
 #include "src/storage/durability.h"
 
 namespace halfmoon::sharedlog {
@@ -72,8 +73,7 @@ SeqNum LogSpace::AppendLocal(SimTime now, std::vector<TagId> tags, FieldMap fiel
   return seqnum;
 }
 
-LogRecordPtr LogSpace::InstallRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
-                                     FieldMap fields) {
+LogRecordPtr LogSpace::MakeRecord(SeqNum seqnum, std::vector<TagId> tags, FieldMap fields) {
   auto record = std::make_shared<LogRecord>();
   record->seqnum = seqnum;
   record->tags = std::move(tags);
@@ -81,7 +81,12 @@ LogRecordPtr LogSpace::InstallRecord(SimTime now, SeqNum seqnum, std::vector<Tag
   if (record->fields.Has("op")) {
     record->op = shared_->ops.Intern(record->fields.GetStr("op"));
   }
+  return record;
+}
 
+LogRecordPtr LogSpace::InstallRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
+                                     FieldMap fields) {
+  LogRecordPtr record = MakeRecord(seqnum, std::move(tags), std::move(fields));
   StoredRecord stored;
   stored.live_tag_refs = static_cast<int>(record->tags.size());
   shared_->gauge.Add(now, static_cast<int64_t>(record->ByteSize()));
@@ -100,7 +105,7 @@ LogRecordPtr LogSpace::InstallRecord(SimTime now, SeqNum seqnum, std::vector<Tag
   return record;
 }
 
-void LogSpace::JournalRecord(const LogRecord& record) {
+std::string LogSpace::EncodeRecordPayload(const LogRecord& record) {
   std::string payload;
   storage::PutU64(&payload, record.seqnum);
   storage::PutU32(&payload, static_cast<uint32_t>(record.tags.size()));
@@ -116,14 +121,23 @@ void LogSpace::JournalRecord(const LogRecord& record) {
       storage::PutStr(&payload, std::get<std::string>(field));
     }
   }
-  uint64_t end = shared_->durability->AppendFrame(storage::FrameType::kRecord, payload);
+  return payload;
+}
+
+void LogSpace::JournalRecord(const LogRecord& record) {
+  uint64_t end = shared_->durability->AppendFrame(storage::FrameType::kRecord,
+                                                  EncodeRecordPayload(record));
   shared_->durability->NoteCommit(record.seqnum, end);
 }
 
 void LogSpace::RestoreRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
-                             FieldMap fields) {
+                             FieldMap fields, bool fuzzy) {
   HM_CHECK_MSG(!tags.empty(), "log records must carry at least one tag");
-  SeqOwner(seqnum)->RestoreRecordLocal(now, seqnum, std::move(tags), std::move(fields));
+  if (fuzzy) {
+    SeqOwner(seqnum)->RestoreRecordFuzzyLocal(now, seqnum, std::move(tags), std::move(fields));
+  } else {
+    SeqOwner(seqnum)->RestoreRecordLocal(now, seqnum, std::move(tags), std::move(fields));
+  }
 }
 
 void LogSpace::RestoreRecordLocal(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
@@ -136,9 +150,120 @@ void LogSpace::RestoreRecordLocal(SimTime now, SeqNum seqnum, std::vector<TagId>
   InstallRecord(now, seqnum, std::move(tags), std::move(fields));
 }
 
-void LogSpace::RestoreTrim(SimTime now, TagId tag, SeqNum upto) {
+void LogSpace::RestoreRecordFuzzyLocal(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
+                                       FieldMap fields) {
+  // Replay-suffix on top of a fuzzy image: the image may reflect this record in none, some,
+  // or all of its streams (each stream was snapshotted at its own instant). The body installs
+  // once; each stream does a sorted check-and-insert so already-absorbed frames are no-ops.
+  // Seqnums need not arrive above the watermark — image streams already carried later ones.
+  if (shared_->watermark < seqnum) shared_->watermark = seqnum;
+  auto it = records_.find(seqnum);
+  if (it == records_.end()) {
+    LogRecordPtr record = MakeRecord(seqnum, std::move(tags), std::move(fields));
+    shared_->gauge.Add(now, static_cast<int64_t>(record->ByteSize()));
+    it = records_.emplace(seqnum, StoredRecord{std::move(record), 0}).first;
+  }
+  StoredRecord& stored = it->second;
+  for (TagId tag : stored.record->tags) {
+    TagStream& stream = TagOwner(tag)->StreamFor(tag);
+    auto pos = std::lower_bound(stream.seqnums.begin(), stream.seqnums.end(), seqnum);
+    if (pos != stream.seqnums.end() && *pos == seqnum) continue;  // Image already has it.
+    if (stream.seqnums.empty()) {
+      shared_->live_tags.emplace(std::string_view(shared_->tags.Name(tag)), tag);
+    }
+    stream.seqnums.insert(pos, seqnum);
+    ++stored.live_tag_refs;
+  }
+}
+
+void LogSpace::RestoreTrim(SimTime now, TagId tag, SeqNum upto, size_t base_after) {
   HM_CHECK_MSG(shared_->tags.Contains(tag), "journal replay trims an unknown tag");
-  TagOwner(tag)->TrimLocal(now, tag, upto, /*journal=*/false);
+  TagOwner(tag)->RestoreTrimLocal(now, tag, upto, base_after);
+}
+
+void LogSpace::RestoreTrimLocal(SimTime now, TagId tag, SeqNum upto, size_t base_after) {
+  TagStream& stream = StreamFor(tag);
+  while (!stream.seqnums.empty() && stream.seqnums.front() <= upto) {
+    ReleaseRef(now, stream.seqnums.front());
+    stream.seqnums.pop_front();
+  }
+  // max() rather than += pops: when the image already absorbed (part of) this trim the pops
+  // above release fewer records than the original did, but the journaled base_after is the
+  // exact base the original trim left behind — logical offsets stay correct either way.
+  if (stream.base < base_after) stream.base = base_after;
+  if (stream.seqnums.empty() && stream.base > 0) {
+    shared_->live_tags.erase(std::string_view(shared_->tags.Name(tag)));
+  }
+}
+
+size_t LogSpace::CheckpointTag(TagId tag, storage::CheckpointStore* store,
+                               std::unordered_set<SeqNum>* emitted_bodies,
+                               int64_t* frames) const {
+  const TagStream* stream = FindStream(tag);
+  if (stream == nullptr || stream->length() == 0) return 0;
+  size_t consumed = 1;
+  std::string payload;
+  storage::PutU64(&payload, tag);
+  storage::PutU64(&payload, stream->base);
+  storage::PutU32(&payload, static_cast<uint32_t>(stream->seqnums.size()));
+  for (SeqNum seqnum : stream->seqnums) {
+    // Emit each referenced body once per round, before the first stream that references it.
+    if (emitted_bodies->insert(seqnum).second) {
+      LogRecordPtr record = LookupLive(seqnum);
+      HM_CHECK_MSG(record != nullptr, "checkpoint walk: stream references a dead record");
+      store->AppendFrame(storage::FrameType::kCkptRecord, EncodeRecordPayload(*record));
+      ++*frames;
+      ++consumed;
+    }
+    storage::PutU64(&payload, seqnum);
+    ++consumed;
+  }
+  store->AppendFrame(storage::FrameType::kCkptTagStream, payload);
+  ++*frames;
+  return consumed;
+}
+
+void LogSpace::RestoreCheckpointRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
+                                       FieldMap fields) {
+  HM_CHECK_MSG(!tags.empty(), "log records must carry at least one tag");
+  LogSpace* owner = SeqOwner(seqnum);
+  LogRecordPtr record = owner->MakeRecord(seqnum, std::move(tags), std::move(fields));
+  shared_->gauge.Add(now, static_cast<int64_t>(record->ByteSize()));
+  bool inserted = owner->records_.emplace(seqnum, StoredRecord{std::move(record), 0}).second;
+  HM_CHECK_MSG(inserted, "checkpoint image installs a record twice");
+  if (shared_->watermark < seqnum) shared_->watermark = seqnum;
+}
+
+void LogSpace::RestoreCheckpointStream(SimTime now, TagId tag, size_t base,
+                                       const std::vector<SeqNum>& seqnums) {
+  HM_CHECK_MSG(shared_->tags.Contains(tag), "checkpoint image names an unknown tag");
+  TagOwner(tag)->RestoreCheckpointStreamLocal(now, tag, base, seqnums);
+}
+
+void LogSpace::RestoreCheckpointStreamLocal(SimTime now, TagId tag, size_t base,
+                                            const std::vector<SeqNum>& seqnums) {
+  (void)now;
+  TagStream& stream = StreamFor(tag);
+  HM_CHECK_MSG(stream.seqnums.empty() && stream.base == 0,
+               "checkpoint image restores a stream twice");
+  stream.base = base;
+  for (SeqNum seqnum : seqnums) {
+    HM_CHECK_MSG(stream.seqnums.empty() || stream.seqnums.back() < seqnum,
+                 "checkpoint image stream is not sorted");
+    stream.seqnums.push_back(seqnum);
+    SeqOwner(seqnum)->TakeRefLocal(seqnum);
+    if (shared_->watermark < seqnum) shared_->watermark = seqnum;
+  }
+  if (!stream.seqnums.empty()) {
+    shared_->live_tags.emplace(std::string_view(shared_->tags.Name(tag)), tag);
+  }
+}
+
+void LogSpace::TakeRefLocal(SeqNum seqnum) {
+  auto it = records_.find(seqnum);
+  HM_CHECK_MSG(it != records_.end(),
+               "checkpoint image stream references a record the image does not carry");
+  ++it->second.live_tag_refs;
 }
 
 void LogSpace::ResetShardVolatile() {
@@ -394,11 +519,14 @@ size_t LogSpace::TrimLocal(SimTime now, TagId tag, SeqNum upto, bool journal) {
     shared_->live_tags.erase(std::string_view(shared_->tags.Name(tag)));
   }
   // Trims are journaled fire-and-forget: nothing external depends on a trim being durable,
-  // and a trim lost to a crash merely resurrects garbage the next GC pass re-collects.
+  // and a trim lost to a crash merely resurrects garbage the next GC pass re-collects. The
+  // resulting base rides along so fuzzy replay (DESIGN.md §14) can restore logical offsets
+  // without re-counting pops the image may have absorbed.
   if (journal && released > 0 && shared_->durability != nullptr) {
     std::string payload;
     storage::PutU64(&payload, tag);
     storage::PutU64(&payload, upto);
+    storage::PutU64(&payload, stream.base);
     shared_->durability->AppendFrame(storage::FrameType::kTrim, payload);
   }
   return released;

@@ -40,6 +40,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/time.h"
@@ -48,6 +49,7 @@
 #include "src/sharedlog/tag_registry.h"
 
 namespace halfmoon::storage {
+class CheckpointStore;
 class DurabilityService;
 }  // namespace halfmoon::storage
 
@@ -243,15 +245,50 @@ class LogSpace {
     return StreamLength(shared_->tags.Find(tag));
   }
 
-  // ---- Crash-restart recovery (DESIGN.md §13) ----
+  // ---- Crash-restart recovery (DESIGN.md §13, §14) ----
   // Reinstalls a committed record from its journal frame: same index/stream/gauge effects as
-  // the original append, but no commit listener and no re-journaling. Frames replay in
-  // commit order, so seqnums arrive strictly increasing (asserted); the watermark advances to
-  // each restored seqnum. Routed to the shard that originally sequenced the record.
-  void RestoreRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags, FieldMap fields);
+  // the original append, but no commit listener and no re-journaling. In strict mode (full
+  // replay) frames arrive in commit order, so seqnums are strictly increasing (asserted) and
+  // the watermark advances to each restored seqnum. In fuzzy mode (replay-suffix on top of a
+  // checkpoint image, §14) the image may already reflect the record in some — or all — of its
+  // streams: the body is installed only if absent and each stream gets a sorted
+  // check-and-insert, so replaying an already-absorbed frame is a no-op. Routed to the shard
+  // that originally sequenced the record.
+  void RestoreRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags, FieldMap fields,
+                     bool fuzzy = false);
 
-  // Re-applies a durable trim during replay (no re-journaling).
-  void RestoreTrim(SimTime now, TagId tag, SeqNum upto);
+  // Re-applies a durable trim during replay (no re-journaling). `base_after` is the stream's
+  // logical base right after the original trim (journaled in the kTrim frame): restoring
+  // takes max(base, base_after) instead of counting pops, which lands on the exact original
+  // base whether or not the checkpoint image had already absorbed the trim.
+  void RestoreTrim(SimTime now, TagId tag, SeqNum upto, size_t base_after);
+
+  // Raises the shared watermark to at least `floor` (no-op when already past it). Recovery
+  // calls this with the manifest's watermark floor / the journal's durable seqnum: truncation
+  // can erase the highest durable records (trimmed ones), and the restored allocator must
+  // still never re-issue their seqnums.
+  void EnsureWatermark(SeqNum floor) {
+    if (shared_->watermark < floor) shared_->watermark = floor;
+  }
+
+  // ---- Incremental checkpointing (DESIGN.md §14) ----
+  // Emits the image frames of THIS shard's `tag` sub-stream into the checkpoint store: first
+  // a kCkptRecord body for every referenced record not yet emitted this round (dedup via
+  // `emitted_bodies` — records are multi-tag, bodies are written once), then one
+  // kCkptTagStream frame with the stream's base and live seqnums. Fully-trimmed streams
+  // (empty deque, base > 0) are emitted too: their base carries the logical offsets
+  // logCondAppend depends on. Returns the walk-budget items consumed (0 when the tag has no
+  // stream here); increments *frames per frame appended.
+  size_t CheckpointTag(TagId tag, storage::CheckpointStore* store,
+                       std::unordered_set<SeqNum>* emitted_bodies, int64_t* frames) const;
+
+  // Image-restore installers. A body installs with zero live-tag refs (streams re-reference
+  // it as they restore); a stream sets its base, pushes its seqnums and takes one ref per
+  // entry. Bodies precede the streams that reference them in every image.
+  void RestoreCheckpointRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
+                               FieldMap fields);
+  void RestoreCheckpointStream(SimTime now, TagId tag, size_t base,
+                               const std::vector<SeqNum>& seqnums);
 
   // Drops THIS shard's volatile record store and sub-stream indices (node loss). The caller
   // (ShardedLog::ResetVolatile) resets the shared state — gauge, live tags, watermark.
@@ -346,8 +383,19 @@ class LogSpace {
   // which is exactly what differs between a live append and a journal replay.
   LogRecordPtr InstallRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
                              FieldMap fields);
+  // The kRecord / kCkptRecord payload (they share one encoding): seqnum, tags, fields.
+  static std::string EncodeRecordPayload(const LogRecord& record);
+  // Builds the immutable record object (op interned) without installing it anywhere.
+  LogRecordPtr MakeRecord(SeqNum seqnum, std::vector<TagId> tags, FieldMap fields);
   void JournalRecord(const LogRecord& record);
   void RestoreRecordLocal(SimTime now, SeqNum seqnum, std::vector<TagId> tags, FieldMap fields);
+  void RestoreRecordFuzzyLocal(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
+                               FieldMap fields);
+  void RestoreTrimLocal(SimTime now, TagId tag, SeqNum upto, size_t base_after);
+  void RestoreCheckpointStreamLocal(SimTime now, TagId tag, size_t base,
+                                    const std::vector<SeqNum>& seqnums);
+  // +1 live-tag ref on the record at `seqnum` (must exist); image-stream restore only.
+  void TakeRefLocal(SeqNum seqnum);
 
   // Stream for `tag` on THIS shard, or null if the tag never had an append. Interned ids are
   // dense, so the stream table is a flat vector indexed by id: the per-op "hash" is a bounds

@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -155,12 +156,15 @@ class ShardedLog {
   // are deterministic client-side handles, and replay cross-checks them via kTagDef frames.
   void ResetVolatile(SimTime now);
 
-  // Journal replay entry points (frames decoded by the cluster's recovery routine).
-  void RestoreRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags, FieldMap fields) {
-    shards_[0]->RestoreRecord(now, seqnum, std::move(tags), std::move(fields));
+  // Journal replay entry points (frames decoded by RestoreLogFromJournal). `fuzzy` marks a
+  // replay-suffix on top of a checkpoint image (DESIGN.md §14): restores become idempotent
+  // check-and-inserts instead of strictly ordered installs.
+  void RestoreRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags, FieldMap fields,
+                     bool fuzzy = false) {
+    shards_[0]->RestoreRecord(now, seqnum, std::move(tags), std::move(fields), fuzzy);
   }
-  void RestoreTrim(SimTime now, TagId tag, SeqNum upto) {
-    shards_[0]->RestoreTrim(now, tag, upto);
+  void RestoreTrim(SimTime now, TagId tag, SeqNum upto, size_t base_after) {
+    shards_[0]->RestoreTrim(now, tag, upto, base_after);
   }
   // Cross-checks a replayed kTagDef frame against the surviving registry: the journaled
   // (id, name) assignment must match bit for bit, or the replayed record frames' tag ids
@@ -169,6 +173,41 @@ class ShardedLog {
     HM_CHECK_MSG(shared_.tags.Contains(id) && shared_.tags.Name(id) == name,
                  "journal replay: tag definition does not match the registry");
   }
+
+  // ---- Incremental checkpointing (DESIGN.md §14) ----
+  // One checkpoint round walks every interned tag in id order (stable across registry
+  // growth), emitting record bodies (deduped round-wide — records are multi-tag) and
+  // per-tag stream snapshots. The walk is resumable in bounded slices; tags interned after a
+  // slice are picked up by later slices, and their records also ride the replay suffix, so
+  // either way the image + suffix composition is exact.
+  void BeginCheckpointWalk() {
+    walk_next_tag_ = 0;
+    walk_emitted_.clear();
+  }
+  // Emits roughly `budget` items' worth of image frames; returns true once every tag has
+  // been walked. *frames counts frames appended by this slice.
+  bool WriteCheckpointSlice(storage::CheckpointStore* store, int64_t budget, int64_t* frames) {
+    int64_t consumed = 0;
+    while (walk_next_tag_ < shared_.tags.size()) {
+      if (consumed >= budget) return false;
+      TagId tag = walk_next_tag_++;
+      const LogSpace& owner = *shards_[shared_.tags.ShardOf(tag)];
+      consumed += static_cast<int64_t>(owner.CheckpointTag(tag, store, &walk_emitted_, frames));
+    }
+    return true;
+  }
+
+  // Image-restore entry points (any shard routes to the owner).
+  void RestoreCheckpointRecord(SimTime now, SeqNum seqnum, std::vector<TagId> tags,
+                               FieldMap fields) {
+    shards_[0]->RestoreCheckpointRecord(now, seqnum, std::move(tags), std::move(fields));
+  }
+  void RestoreCheckpointStream(SimTime now, TagId tag, size_t base,
+                               const std::vector<SeqNum>& seqnums) {
+    shards_[0]->RestoreCheckpointStream(now, tag, base, seqnums);
+  }
+  // Raises the watermark to at least `floor` (see LogSpace::EnsureWatermark).
+  void EnsureWatermark(SeqNum floor) { shards_[0]->EnsureWatermark(floor); }
 
   // ---- Accounting / hooks ----
   SeqNum next_seqnum() const { return shards_[0]->next_seqnum(); }
@@ -184,6 +223,10 @@ class ShardedLog {
  private:
   LogSpace::Shared shared_;
   std::vector<std::unique_ptr<LogSpace>> shards_;
+
+  // Checkpoint-walk cursor (valid between BeginCheckpointWalk and the slice returning true).
+  TagId walk_next_tag_ = 0;
+  std::unordered_set<SeqNum> walk_emitted_;
 };
 
 }  // namespace halfmoon::sharedlog

@@ -4,6 +4,8 @@
 // device in aligned blocks, re-writing the partial block straddling the durable frontier (the
 // classic small-write amplification of an append-only journal on a block medium). A node kill
 // drops the volatile tail — DropVolatile — leaving exactly the device-backed durable prefix.
+// Compaction may release a durable prefix — TruncatePrefix — freeing its blocks while keeping
+// every surviving offset logical (nothing renumbers).
 
 #ifndef HALFMOON_STORAGE_BLOCK_BUFFER_H_
 #define HALFMOON_STORAGE_BLOCK_BUFFER_H_
@@ -26,9 +28,12 @@ class BlockBuffer {
   uint64_t Append(std::string_view bytes);
 
   // Logical end of the buffer (durable prefix + volatile tail).
-  uint64_t tail() const { return data_.size(); }
+  uint64_t tail() const { return base_ + data_.size(); }
   // End of the durable prefix: everything below this offset survives a kill.
   uint64_t durable() const { return durable_; }
+  // First retained logical offset: the caller's truncation point (a frame boundary for
+  // journals); bytes below it have been released. 0 until the first truncation.
+  uint64_t retained() const { return retained_; }
 
   // Flushes [durable(), min(upto, tail())) to the device, whole blocks at a time. The block
   // containing the old frontier is re-written in full — that rewrite is the amplification the
@@ -38,8 +43,13 @@ class BlockBuffer {
   // Simulated power loss: discards the volatile tail. The durable prefix is untouched.
   void DropVolatile();
 
+  // Releases the durable prefix below `offset` (≤ durable()): whole blocks below it are freed
+  // on the device and in this cache, and retained() advances to exactly `offset`. Returns the
+  // device bytes freed.
+  uint64_t TruncatePrefix(uint64_t offset);
+
   // Reads back durable bytes from the device (never the volatile tail — replay must only see
-  // what genuinely survived).
+  // what genuinely survived). The range must lie at or above retained()'s block base.
   std::string_view ReadDurable(uint64_t offset, uint64_t n) const {
     return device_->Read(offset, n);
   }
@@ -48,8 +58,10 @@ class BlockBuffer {
 
  private:
   BlockDevice* device_;
-  std::string data_;  // Full logical image; [0, durable_) mirrors the device contents.
+  std::string data_;  // Contents of [base_, tail()); [base_, durable_) mirrors the device.
+  uint64_t base_ = 0;
   uint64_t durable_ = 0;
+  uint64_t retained_ = 0;
 };
 
 }  // namespace halfmoon::storage

@@ -8,18 +8,32 @@ namespace halfmoon::storage {
 
 void BlockDevice::WriteBlocks(uint64_t offset, std::string_view data) {
   HM_CHECK_MSG(offset % kBlockSize == 0, "unaligned block write");
+  HM_CHECK_MSG(offset >= base_, "block write below the truncated base");
   if (data.empty()) return;
   uint64_t end = offset + data.size();
-  if (end > data_.size()) data_.resize(end);
-  std::memcpy(data_.data() + offset, data.data(), data.size());
+  if (end > size()) data_.resize(end - base_);
+  std::memcpy(data_.data() + (offset - base_), data.data(), data.size());
   int64_t blocks = static_cast<int64_t>((data.size() + kBlockSize - 1) / kBlockSize);
   stats_.block_writes += blocks;
   stats_.bytes_written += blocks * static_cast<int64_t>(kBlockSize);
 }
 
 std::string_view BlockDevice::Read(uint64_t offset, uint64_t n) const {
-  HM_CHECK_MSG(offset + n <= data_.size(), "device read past the durable end");
-  return std::string_view(data_).substr(offset, n);
+  HM_CHECK_MSG(offset >= base_, "device read below the truncated base");
+  HM_CHECK_MSG(offset + n <= size(), "device read past the durable end");
+  return std::string_view(data_).substr(offset - base_, n);
+}
+
+uint64_t BlockDevice::TruncatePrefix(uint64_t offset) {
+  uint64_t aligned = (offset / kBlockSize) * kBlockSize;
+  if (aligned <= base_) return 0;
+  HM_CHECK_MSG(aligned <= size(), "prefix truncation past the device end");
+  uint64_t freed = aligned - base_;
+  data_.erase(0, freed);
+  data_.shrink_to_fit();
+  base_ = aligned;
+  stats_.bytes_dropped += static_cast<int64_t>(freed);
+  return freed;
 }
 
 }  // namespace halfmoon::storage

@@ -44,6 +44,7 @@ class DurabilityService {
     int64_t kills = 0;              // Kill() invocations.
     int64_t failed_waits = 0;       // Waiters resumed with ok=false by a kill.
     int64_t dropped_callbacks = 0;  // WhenDurable callbacks lost to a kill.
+    int64_t durable_bytes_dropped = 0;  // Journal bytes released by TruncateTo compaction.
   };
 
   // The service draws flush latencies from its OWN derived RNG stream so that attaching it
@@ -115,9 +116,25 @@ class DurabilityService {
   // journal tail, in-flight flush, waiters, callbacks, commit bookkeeping — dies.
   void Kill();
 
-  // Replays every whole frame of the durable prefix in append order (restart recovery).
+  // Compaction (DESIGN.md §14): releases the journal prefix below `offset`, a frame boundary
+  // at or below the durable frontier. Only legal once a checkpoint manifest covering the
+  // prefix is itself durable — recovery then replays [offset, durable) on top of the image.
+  void TruncateTo(uint64_t offset) {
+    HM_CHECK_MSG(offset <= buffer_.durable(), "journal truncation past the durable frontier");
+    stats_.durable_bytes_dropped += static_cast<int64_t>(buffer_.TruncatePrefix(offset));
+  }
+
+  // First surviving journal offset (0 until the first truncation). Full replay is only
+  // possible from here; recovery below it needs a checkpoint image.
+  uint64_t retained_offset() const { return buffer_.retained(); }
+
+  // Replays every whole frame of the surviving durable prefix in append order (restart
+  // recovery). The `from` overload starts at a manifest's cut instead.
   void Replay(const std::function<void(FrameType, Cursor)>& fn) const {
     ReplayFrames(buffer_, buffer_.durable(), fn);
+  }
+  void Replay(uint64_t from, const std::function<void(FrameType, Cursor)>& fn) const {
+    ReplayFrames(buffer_, from, buffer_.durable(), fn);
   }
 
   const Stats& stats() const { return stats_; }

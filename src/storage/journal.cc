@@ -12,9 +12,9 @@ uint64_t AppendFrame(BlockBuffer* buffer, FrameType type, std::string_view paylo
   return buffer->tail();
 }
 
-void ReplayFrames(const BlockBuffer& buffer, uint64_t upto,
+void ReplayFrames(const BlockBuffer& buffer, uint64_t from, uint64_t upto,
                   const std::function<void(FrameType, Cursor)>& fn) {
-  uint64_t off = 0;
+  uint64_t off = from;
   while (off + kFrameHeaderBytes <= upto) {
     Cursor header(buffer.ReadDurable(off, kFrameHeaderBytes));
     uint64_t len = header.U32();

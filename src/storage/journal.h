@@ -25,11 +25,19 @@ namespace halfmoon::storage {
 enum class FrameType : uint8_t {
   kTagDef = 1,             // u64 tag id, str name — registry cross-check on replay.
   kRecord = 2,             // Log record: seqnum, tags, fields.
-  kTrim = 3,               // u64 tag, u64 upto — a LogSpace::Trim that released records.
+  kTrim = 3,               // u64 tag, u64 upto, u64 base_after — a Trim that released records.
   kKvPut = 4,              // str key, str value.
   kKvCondPut = 5,          // str key, str value, u64 cursor_ts, u64 counter (applied only).
   kKvPutVersioned = 6,     // u64 object, str version_id, str value.
   kKvDeleteVersioned = 7,  // u64 object, str version_id (the ones that deleted something).
+
+  // Checkpoint image frames (DESIGN.md §14); these live in the sibling checkpoint store, not
+  // the journal. An image is a run of state frames closed by exactly one manifest.
+  kCkptRecord = 8,      // Same payload as kRecord: one live record body, emitted once.
+  kCkptTagStream = 9,   // u64 tag, u64 base, u32 n, n×u64 seqnums — one tag's live stream.
+  kCkptKvLatest = 10,   // str key, str value, u64 cursor_ts, u64 counter — one latest slot.
+  kCkptKvVersion = 11,  // u64 object, str version_id, str value — one stored version.
+  kCkptManifest = 12,   // See CheckpointManifest in checkpoint.h.
 };
 
 inline constexpr uint64_t kFrameHeaderBytes = 5;  // u32 len + u8 type.
@@ -91,10 +99,17 @@ class Cursor {
 // durability threshold its writer waits on).
 uint64_t AppendFrame(BlockBuffer* buffer, FrameType type, std::string_view payload);
 
-// Invokes `fn` for every whole frame within [0, upto) of the buffer's durable prefix, in
-// append order. A frame whose bytes cross `upto` is a torn tail and is skipped.
-void ReplayFrames(const BlockBuffer& buffer, uint64_t upto,
+// Invokes `fn` for every whole frame within [from, upto) of the buffer's durable prefix, in
+// append order. `from` must be a frame boundary (0, a previous frame's end, or a manifest's
+// cut). A frame whose bytes cross `upto` is a torn tail and is skipped.
+void ReplayFrames(const BlockBuffer& buffer, uint64_t from, uint64_t upto,
                   const std::function<void(FrameType, Cursor)>& fn);
+
+// Replays [retained(), upto): the whole surviving prefix of a possibly-compacted buffer.
+inline void ReplayFrames(const BlockBuffer& buffer, uint64_t upto,
+                         const std::function<void(FrameType, Cursor)>& fn) {
+  ReplayFrames(buffer, buffer.retained(), upto, fn);
+}
 
 }  // namespace halfmoon::storage
 
